@@ -1,0 +1,38 @@
+# MEPipe reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race bench report figures artifact clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table/figure as text.
+eval:
+	$(GO) run ./cmd/mepipe-bench
+
+# Self-contained HTML report with embedded timelines.
+report:
+	$(GO) run ./cmd/mepipe-report -o report.html
+
+# The Figs 2-7 schedule gallery.
+figures:
+	$(GO) run ./cmd/mepipe-figures > docs/SCHEDULES.md
+
+# The paper's artifact workflow (E0/E1/E2).
+artifact:
+	cd artifact && sh e0_run.sh && sh e1_run.sh && sh e2_run.sh
+
+clean:
+	rm -f report.html artifact/results/*.txt

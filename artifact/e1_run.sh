@@ -1,0 +1,9 @@
+#!/bin/sh
+# E1 — end-to-end: Fig 8 (Llama 13B across global batch sizes) and the
+# Table 5 optimal configurations.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p artifact/results
+go run ./cmd/mepipe-bench -exp fig8 2>&1 | tee artifact/results/e1.txt
+go run ./cmd/mepipe-bench -exp table5 2>&1 | tee -a artifact/results/e1.txt
+echo "E1 done; compare against artifact/e1_expected.md"

@@ -1,0 +1,7 @@
+#!/bin/sh
+# E2 — SPP/CP profiling: per-layer throughput under both slicing strategies.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p artifact/results
+go run ./cmd/mepipe-bench -exp fig9 2>&1 | tee artifact/results/e2.txt
+echo "E2 done; compare against artifact/e2_expected.md"

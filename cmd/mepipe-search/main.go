@@ -1,0 +1,98 @@
+// Command mepipe-search grid-searches the parallel-strategy space (§7.3)
+// for one or all scheduling systems and prints the ranked candidates.
+//
+// Example:
+//
+//	mepipe-search -model 13b -gbs 64
+//	mepipe-search -model 34b -gbs 128 -system mepipe -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/strategy"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "13b", "model preset: 7b, 13b, 34b")
+		gbs       = flag.Int("gbs", 64, "global batch size")
+		system    = flag.String("system", "all", "system to search, or 'all'")
+		gpu       = flag.String("cluster", "4090", "cluster: 4090 or a100")
+		top       = flag.Int("top", 3, "candidates to print per system")
+	)
+	flag.Parse()
+
+	m, err := config.ModelByName(*modelName)
+	fatal(err)
+	cl := cluster.RTX4090Cluster(8)
+	if strings.EqualFold(*gpu, "a100") {
+		cl = cluster.A100Cluster(4)
+	}
+	tr := config.Training{GlobalBatch: *gbs, MicroBatch: 1}
+
+	systems := strategy.Systems()
+	if !strings.EqualFold(*system, "all") {
+		sys, err := systemByName(*system)
+		fatal(err)
+		systems = []strategy.System{sys}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\trank\tstrategy\tn\titeration\tbubble\tpeak act\tstatus")
+	for _, sys := range systems {
+		res, err := strategy.Search(sys, m, cl, tr, strategy.DefaultSpace())
+		if err != nil && res == nil {
+			fmt.Fprintf(w, "%s\t-\t%v\t\t\t\t\t\n", sys, err)
+			continue
+		}
+		shown := 0
+		for _, c := range res.Candidates {
+			if shown >= *top {
+				break
+			}
+			shown++
+			status := "ok"
+			iter := fmt.Sprintf("%.1f ms", c.IterTime*1e3)
+			if c.OOM {
+				status = "OOM: " + c.OOMWhy
+				iter = "-"
+			}
+			fmt.Fprintf(w, "%s\t#%d\t%v\t%d\t%s\t%.1f%%\t%.2f GiB\t%s\n",
+				sys, shown, c.Par, c.N, iter, 100*c.Bubble, float64(c.PeakAct)/(1<<30), status)
+		}
+	}
+	fatal(w.Flush())
+}
+
+func systemByName(s string) (strategy.System, error) {
+	switch strings.ToLower(s) {
+	case "mepipe":
+		return strategy.MEPipe, nil
+	case "dapple":
+		return strategy.DAPPLE, nil
+	case "vpp":
+		return strategy.VPP, nil
+	case "zb":
+		return strategy.ZB, nil
+	case "zbv":
+		return strategy.ZBV, nil
+	case "terapipe":
+		return strategy.TeraPipe, nil
+	case "gpipe":
+		return strategy.GPipe, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mepipe-search:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+// Command mepipe-sim simulates one training configuration on a modelled
+// cluster and reports iteration time, bubble ratio, memory, and (optionally)
+// the stage timeline.
+//
+// Examples:
+//
+//	mepipe-sim -model 13b -gbs 64 -system mepipe -pp 8 -spp 4
+//	mepipe-sim -model 13b -gbs 64 -system dapple -pp 8 -cp 2 -timeline
+//	mepipe-sim -model 34b -gbs 128 -system mepipe -pp 16 -spp 16 -trace out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/strategy"
+	"mepipe/internal/timeline"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "13b", "model preset: 7b, 13b, 34b")
+		gbs       = flag.Int("gbs", 64, "global batch size")
+		system    = flag.String("system", "mepipe", "scheduler: mepipe, dapple, vpp, zb, zbv, terapipe, gpipe")
+		pp        = flag.Int("pp", 8, "pipeline stages")
+		cp        = flag.Int("cp", 1, "context-parallel size")
+		spp       = flag.Int("spp", 0, "sequence pipeline size (slices); 0 picks 4 for mepipe/terapipe, 1 otherwise")
+		vp        = flag.Int("vp", 0, "virtual pipeline size; 0 picks the system default")
+		recompute = flag.String("recompute", "none", "activation recomputation: none, selective, full")
+		gpu       = flag.String("cluster", "4090", "cluster: 4090 (8 servers x 8) or a100 (4 servers x 8)")
+		showTL    = flag.Bool("timeline", false, "render the per-stage ASCII timeline")
+		traceOut  = flag.String("trace", "", "write a Chrome trace JSON to this file")
+	)
+	flag.Parse()
+
+	m, err := config.ModelByName(*modelName)
+	fatal(err)
+	var cl cluster.Cluster
+	switch strings.ToLower(*gpu) {
+	case "4090":
+		cl = cluster.RTX4090Cluster(8)
+	case "a100":
+		cl = cluster.A100Cluster(4)
+	default:
+		fatal(fmt.Errorf("unknown cluster %q", *gpu))
+	}
+	sys, err := systemByName(*system)
+	fatal(err)
+
+	rec, err := recomputeByName(*recompute)
+	fatal(err)
+	par := config.Parallel{PP: *pp, CP: *cp, SPP: *spp, VP: *vp, Recompute: rec}
+	if par.SPP == 0 {
+		par.SPP = 1
+		if sys == strategy.MEPipe || sys == strategy.TeraPipe {
+			par.SPP = 4
+		}
+	}
+	if par.VP == 0 {
+		par.VP = 1
+		if sys == strategy.VPP || sys == strategy.ZBV {
+			par.VP = 2
+		}
+	}
+	par.DP = cl.GPUs() / (par.PP * par.CP)
+	tr := config.Training{GlobalBatch: *gbs, MicroBatch: 1}
+
+	ev, err := strategy.Evaluate(sys, m, cl, par, tr)
+	fatal(err)
+	fmt.Printf("system     %s\n", sys)
+	fmt.Printf("model      %s on %s (%d GPUs)\n", m.Name, cl.GPU.Name, cl.GPUs())
+	fmt.Printf("strategy   %v, n=%d micro-batches\n", ev.Par, ev.N)
+	if ev.OOM {
+		fmt.Printf("result     OUT OF MEMORY: %s\n", ev.OOMWhy)
+		os.Exit(2)
+	}
+	fmt.Printf("iteration  %.1f ms\n", ev.IterTime*1e3)
+	fmt.Printf("bubble     %.1f%%\n", 100*ev.Bubble)
+	fmt.Printf("peak act   %.2f GiB (budget %.2f GiB)\n", float64(ev.PeakAct)/(1<<30), float64(ev.Budget)/(1<<30))
+	fmt.Printf("throughput %.1f TFLOPS/GPU, MFU %.1f%%\n",
+		ev.TFLOPSPerGPU(m, tr, cl.GPUs()), 100*ev.MFU(m, tr, cl))
+	if ev.F > 0 {
+		fmt.Printf("variant    f=%d forwards in flight (§4.2)\n", ev.F)
+	}
+	u := ev.Result.MeanUtilization()
+	fr, b, wt, tail, idle := u.Fractions()
+	fmt.Printf("breakdown  forward %.1f%%, backward %.1f%%, weight-grad %.1f%%, grad-sync %.1f%%, idle %.1f%%\n",
+		100*fr, 100*b, 100*wt, 100*tail, 100*idle)
+	if *showTL {
+		fmt.Println()
+		timeline.Render(os.Stdout, ev.Result, 0)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		fatal(timeline.WriteChromeTrace(f, ev.Result))
+		fatal(f.Close())
+		fmt.Printf("trace      written to %s (open in chrome://tracing)\n", *traceOut)
+	}
+}
+
+func recomputeByName(s string) (config.RecomputeMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return config.RecomputeNone, nil
+	case "selective":
+		return config.RecomputeSelective, nil
+	case "full":
+		return config.RecomputeFull, nil
+	}
+	return 0, fmt.Errorf("unknown recompute mode %q", s)
+}
+
+func systemByName(s string) (strategy.System, error) {
+	switch strings.ToLower(s) {
+	case "mepipe":
+		return strategy.MEPipe, nil
+	case "dapple":
+		return strategy.DAPPLE, nil
+	case "vpp":
+		return strategy.VPP, nil
+	case "zb":
+		return strategy.ZB, nil
+	case "zbv":
+		return strategy.ZBV, nil
+	case "terapipe":
+		return strategy.TeraPipe, nil
+	case "gpipe":
+		return strategy.GPipe, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mepipe-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package mepipe_test
+
+import (
+	"fmt"
+	"log"
+
+	"mepipe"
+)
+
+// The SVPP schedule of the paper's Fig 4(a) — 4 stages, 2 slices per
+// sample — simulated with unit costs: peak activations are 5 slice-forwards
+// (5/8 of a sample) and the bubble ratio matches Table 3's closed form.
+func ExampleNewSVPP() {
+	s, err := mepipe.NewSVPP(mepipe.SVPPOptions{P: 4, V: 1, S: 2, N: 8, Reschedule: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mepipe.Simulate(mepipe.SimOptions{Sched: s, Costs: mepipe.UnitCosts()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak activations: %d/8 of a sample\n", res.PeakAct)
+	fmt.Printf("bubble ratio: %.2f%%\n", 100*res.BubbleRatio)
+	// Output:
+	// peak activations: 5/8 of a sample
+	// bubble ratio: 15.79%
+}
+
+// Table 3's closed forms are available directly.
+func ExampleBubbleRatio() {
+	b, err := mepipe.BubbleRatio(mepipe.AnalyticSVPP, mepipe.AnalyticParams{P: 8, V: 2, S: 4, N: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := mepipe.ActivationMemory(mepipe.AnalyticSVPP, mepipe.AnalyticParams{P: 8, V: 2, S: 4, N: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bubble %.4f, memory %.4f A\n", b, m)
+	// Output:
+	// bubble 0.0986, memory 0.2969 A
+}
+
+// Planning MEPipe for the paper's Table 5 configuration: the memory model
+// picks the SVPP variant f, and the simulator reports the iteration.
+func ExamplePlanMEPipeAt() {
+	plan, err := mepipe.PlanMEPipeAt(mepipe.Job{
+		Model:   mepipe.Llama13B(),
+		Cluster: mepipe.RTX4090Cluster(8),
+		Train:   mepipe.Training{GlobalBatch: 64, MicroBatch: 1},
+	}, mepipe.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("micro-batches per pipeline: %d\n", plan.N)
+	fmt.Printf("SVPP variant: f=%d (bubble-optimal is %d)\n",
+		plan.F, mepipe.DefaultF(8, 1, 4))
+	// Output:
+	// micro-batches per pipeline: 8
+	// SVPP variant: f=11 (bubble-optimal is 11)
+}
+
+// Evaluating a single named configuration end to end.
+func ExampleEvaluate() {
+	ev, err := mepipe.Evaluate(mepipe.DAPPLE,
+		mepipe.Llama13B(), mepipe.RTX4090Cluster(8),
+		mepipe.Parallel{PP: 2, DP: 4, CP: 8, SPP: 1, VP: 1},
+		mepipe.Training{GlobalBatch: 64, MicroBatch: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fits:", !ev.OOM) // Table 6's first row dies on static memory
+	// Output:
+	// fits: false
+}

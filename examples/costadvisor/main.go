@@ -1,0 +1,63 @@
+// costadvisor reproduces the paper's cost-effectiveness analysis (Table 9):
+// given a model, it plans training on both the 64× RTX 4090 cluster and the
+// 32× A100 cluster and reports where each dollar goes — the paper's
+// democratization argument in one program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mepipe"
+)
+
+func main() {
+	modelName := flag.String("model", "13b", "model preset: 7b, 13b, 34b")
+	flag.Parse()
+	model, err := mepipe.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := mepipe.Training{GlobalBatch: 128, MicroBatch: 1}
+
+	type result struct {
+		name string
+		cl   mepipe.Cluster
+		eval *mepipe.Eval
+	}
+	clusters := []result{
+		{"64x RTX 4090 (8 servers)", mepipe.RTX4090Cluster(8), nil},
+		{"32x A100 80GB (4 servers)", mepipe.A100Cluster(4), nil},
+	}
+	for i := range clusters {
+		best := (*mepipe.Eval)(nil)
+		for _, sys := range mepipe.Systems() {
+			res, err := mepipe.Search(sys, model, clusters[i].cl, tr, mepipe.DefaultSpace())
+			if err != nil && res == nil {
+				continue
+			}
+			if b := res.Best(); b != nil && (best == nil || b.IterTime < best.IterTime) {
+				best = b
+			}
+		}
+		if best == nil {
+			log.Fatalf("no feasible strategy on %s", clusters[i].name)
+		}
+		clusters[i].eval = best
+	}
+
+	fmt.Printf("training %s, global batch %d, sequence %d\n\n", model.Name, tr.GlobalBatch, model.SeqLen)
+	for _, c := range clusters {
+		price := c.cl.Price()
+		tokPerSec := float64(tr.GlobalBatch*model.SeqLen) / c.eval.IterTime
+		fmt.Printf("%s  ($%.0fk)\n", c.name, price/1e3)
+		fmt.Printf("  best system/strategy: %s %v\n", c.eval.Sys, c.eval.Par)
+		fmt.Printf("  iteration: %.0f ms   throughput: %.0f tokens/s   %.1f TFLOPS/GPU\n",
+			c.eval.IterTime*1e3, tokPerSec, c.eval.TFLOPSPerGPU(model, tr, c.cl.GPUs()))
+		fmt.Printf("  tokens/s per $1k of hardware: %.1f\n\n", tokPerSec/(price/1e3))
+	}
+	g4090, a100 := clusters[0], clusters[1]
+	ce := (a100.eval.IterTime * a100.cl.Price()) / (g4090.eval.IterTime * g4090.cl.Price())
+	fmt.Printf("cost-effectiveness of the 4090 cluster: %.2fx (paper: ~2.5x)\n", ce)
+}

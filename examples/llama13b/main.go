@@ -1,0 +1,59 @@
+// llama13b reproduces the paper's headline end-to-end comparison (Fig 8):
+// Llama 13B on 64 RTX 4090s at global batch sizes 32/64/128, every system
+// at its grid-searched optimum, using only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"text/tabwriter"
+
+	"os"
+
+	"mepipe"
+)
+
+func main() {
+	model := mepipe.Llama13B()
+	cl := mepipe.RTX4090Cluster(8)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "GBS\tsystem\tbest strategy\titeration\tbubble\tspeedup")
+	for _, gbs := range []int{32, 64, 128} {
+		tr := mepipe.Training{GlobalBatch: gbs, MicroBatch: 1}
+		type row struct {
+			sys  mepipe.System
+			eval *mepipe.Eval
+		}
+		var rows []row
+		bestBaseline := 0.0
+		for _, sys := range mepipe.Systems() {
+			res, err := mepipe.Search(sys, model, cl, tr, mepipe.DefaultSpace())
+			if err != nil && res == nil {
+				log.Fatal(err)
+			}
+			best := res.Best()
+			rows = append(rows, row{sys, best})
+			if best != nil && sys != mepipe.MEPipe {
+				if bestBaseline == 0 || best.IterTime < bestBaseline {
+					bestBaseline = best.IterTime
+				}
+			}
+		}
+		for _, r := range rows {
+			if r.eval == nil {
+				fmt.Fprintf(w, "%d\t%s\tOOM\t\t\t\n", gbs, r.sys)
+				continue
+			}
+			speedup := ""
+			if r.sys == mepipe.MEPipe {
+				speedup = fmt.Sprintf("%.2fx over best baseline", bestBaseline/r.eval.IterTime)
+			}
+			fmt.Fprintf(w, "%d\t%s\t%v\t%.0f ms\t%.1f%%\t%s\n",
+				gbs, r.sys, r.eval.Par, r.eval.IterTime*1e3, 100*r.eval.Bubble, speedup)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper (Fig 8): MEPipe 1.86x / 1.49x / 1.36x at GBS 32 / 64 / 128")
+}

@@ -1,0 +1,93 @@
+// profiled closes the paper's §6 loop on real hardware (this machine's
+// CPU): the profiler measures the tiny decoder's actual layer times, fits
+// the saturating throughput model, the scheduler generates a MEPipe
+// schedule from the *measured* costs, the simulator predicts the iteration
+// time, and the goroutine runtime then executes the schedule for real —
+// prediction vs reality, end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mepipe/internal/data"
+	"mepipe/internal/nn"
+	"mepipe/internal/pipeline"
+	"mepipe/internal/profile"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+func main() {
+	cfg := nn.Config{Hidden: 64, Heads: 4, FFN: 128, Vocab: 64, Layers: 8, SeqLen: 256}
+	const (
+		stages = 4
+		slices = 4
+		micros = 4
+	)
+	m, err := nn.NewModel(cfg, 7)
+	fatal(err)
+
+	// 1. Profile every (slice, op) at its true shape, like MEPipe's
+	// profiler (§6) — the cache is grown to the slice's start position,
+	// backwards run in reverse order with real gradients.
+	table, err := profile.MeasureSliceOps(m, slices, cfg.Layers/stages, 5)
+	fatal(err)
+	fmt.Println("profiled per-slice times for one pipeline chunk (median of 5):")
+	for i := 0; i < slices; i++ {
+		fmt.Printf("  slice %d: fwd %8.1fµs  bAct %8.1fµs  W %8.1fµs\n",
+			i, table.F[i]*1e6, table.BAct[i]*1e6, table.W[i]*1e6)
+	}
+	fmt.Printf("causal imbalance: last/first forward = %.2fx (the §5 effect, measured)\n\n",
+		table.F[slices-1]/table.F[0])
+
+	// 2. Schedule directly from the measured table.
+	s, err := sched.MEPipe(stages, 1, slices, micros, 0, table.Pieces, table)
+	fatal(err)
+
+	// 3. Predict with the simulator over the same measured costs.
+	pred, err := sim.Run(sim.Options{Sched: s, Costs: simCosts{table}})
+	fatal(err)
+
+	// 4. Execute for real.
+	stream, err := data.NewStream(cfg.Vocab, cfg.SeqLen, 3)
+	fatal(err)
+	batch := stream.Batch(micros)
+	var best time.Duration
+	for trial := 0; trial < 3; trial++ {
+		m.ZeroGrads()
+		r, err := pipeline.New(m, s, batch)
+		fatal(err)
+		t0 := time.Now()
+		if _, err := r.Run(); err != nil {
+			fatal(err)
+		}
+		if d := time.Since(t0); trial == 0 || d < best {
+			best = d
+		}
+	}
+	fmt.Printf("schedule:  %s\n", s)
+	fmt.Printf("predicted: %.1f ms per iteration (bubble %.1f%%)\n", pred.IterTime*1e3, 100*pred.BubbleRatio)
+	fmt.Printf("measured:  %.1f ms per iteration (best of 3)\n", float64(best.Microseconds())/1e3)
+	ratio := float64(best.Seconds()) / pred.IterTime
+	fmt.Printf("reality/prediction: %.2fx\n", ratio)
+	fmt.Println("\n(the gap is host-CPU contention: the profiler times each op alone, but the")
+	fmt.Println(" four stage goroutines share this machine's memory bandwidth — on a real")
+	fmt.Println(" cluster each stage owns its accelerator, which is what the simulator models;")
+	fmt.Println(" the *relative* schedule structure, including the measured slice imbalance,")
+	fmt.Println(" is what the generator consumed)")
+}
+
+// simCosts adapts the measured table to the simulator's interface with
+// unit memory (memory is not the point of this example).
+type simCosts struct{ *profile.OpTable }
+
+func (simCosts) ActBytes(stage int, f sched.Op) int64  { return 1 }
+func (simCosts) GradBytes(stage int, b sched.Op) int64 { return 1 }
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

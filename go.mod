@@ -1,0 +1,3 @@
+module mepipe
+
+go 1.22

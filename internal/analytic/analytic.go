@@ -1,0 +1,180 @@
+// Package analytic implements the closed-form bubble-ratio and activation-
+// memory expressions of Table 3 of the paper, for both cluster regimes
+// (n ≥ p, the "small cluster" case, and n < p, the "large cluster" case).
+// The unit of memory is A, the activation footprint of one full sample
+// (model.SampleActivationBytes). The discrete-event simulator is cross-
+// validated against these expressions in tests.
+package analytic
+
+import "fmt"
+
+// Params identifies one scheduling configuration.
+type Params struct {
+	P int // pipeline stages
+	V int // virtual pipeline size
+	S int // sequence pipeline size (slices)
+	N int // micro-batches
+}
+
+func (p Params) validate() error {
+	if p.P <= 0 || p.V <= 0 || p.S <= 0 || p.N <= 0 {
+		return fmt.Errorf("analytic: non-positive parameter in %+v", p)
+	}
+	return nil
+}
+
+// Method is one row of Table 3.
+type Method int
+
+const (
+	GPipe Method = iota
+	DAPPLE
+	VPP
+	Hanayo
+	TeraPipe
+	SVPP
+)
+
+func (m Method) String() string {
+	switch m {
+	case GPipe:
+		return "GPipe"
+	case DAPPLE:
+		return "DAPPLE"
+	case VPP:
+		return "VPP"
+	case Hanayo:
+		return "Hanayo"
+	case TeraPipe:
+		return "TeraPipe"
+	case SVPP:
+		return "SVPP"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Supported reports whether Table 3 defines the method for the given shape
+// (VPP is undefined for n < p; only SVPP and TeraPipe accept s > 1; only
+// VPP, Hanayo and SVPP accept v > 1).
+func Supported(m Method, p Params) bool {
+	switch m {
+	case GPipe, DAPPLE:
+		return p.V == 1 && p.S == 1
+	case VPP:
+		return p.S == 1 && p.N >= p.P
+	case Hanayo:
+		return p.S == 1 && p.V == 2
+	case TeraPipe:
+		return p.V == 1
+	case SVPP:
+		return true
+	}
+	return false
+}
+
+// BubbleRatio returns the Table 3 bubble ratio.
+func BubbleRatio(m Method, p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if !Supported(m, p) {
+		return 0, fmt.Errorf("analytic: %s does not support shape %+v", m, p)
+	}
+	fp, fv, fs, fn := float64(p.P), float64(p.V), float64(p.S), float64(p.N)
+	switch m {
+	case GPipe, DAPPLE:
+		return (fp - 1) / (fp - 1 + fn), nil
+	case VPP:
+		return (fp - 1) / (fp - 1 + fn*fv), nil
+	case Hanayo:
+		if p.N >= p.P {
+			return (fp - 1) / (fp - 1 + fn*fv), nil
+		}
+		return (fv*fp + fn - 1 - fn*fv) / (fv*fp + fn - 1), nil
+	case TeraPipe:
+		return (fp - 1) / (fn*fs + fp - 1), nil
+	case SVPP:
+		if p.N >= p.P {
+			return (fp - 1) / (fn*fs*fv + fp - 1), nil
+		}
+		extra := (fv - 1) * max0(fp-fs*fn)
+		return (fp - 1 + extra) / (fp - 1 + extra + fn*fv*fs), nil
+	}
+	return 0, fmt.Errorf("analytic: unknown method %v", m)
+}
+
+// ActivationMemory returns the Table 3 peak activation memory of the first
+// (most loaded) stage, in units of A.
+func ActivationMemory(m Method, p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if !Supported(m, p) {
+		return 0, fmt.Errorf("analytic: %s does not support shape %+v", m, p)
+	}
+	fp, fv, fs, fn := float64(p.P), float64(p.V), float64(p.S), float64(p.N)
+	switch m {
+	case GPipe:
+		return fn / fp, nil
+	case DAPPLE:
+		if p.N >= p.P {
+			return 1, nil
+		}
+		return fn / fp, nil
+	case VPP:
+		return min2(1+(fp-1)/(fp*fv), fn/fp), nil
+	case Hanayo:
+		if p.N >= p.P {
+			return min2(1+(fp-1)/(fp*fv), fn/fp), nil
+		}
+		return fn / fp, nil
+	case TeraPipe:
+		return fn / fp, nil
+	case SVPP:
+		peak := (fv*maxf(fp, fs) + minf(fp, fs) - 1) / (fv * fs * fp)
+		return min2(peak, fn/fp), nil
+	}
+	return 0, fmt.Errorf("analytic: unknown method %v", m)
+}
+
+// SVPPMemoryAt returns the peak activation memory (in units of A) of the
+// SVPP variant that admits f forwards before the first backward (§4.2):
+// simply f slice-chunk activations, each A/(v·s·p), floored at the v·s
+// minimum and capped by the n·v·s forwards that exist.
+func SVPPMemoryAt(p Params, f int) float64 {
+	if f < p.V*p.S {
+		f = p.V * p.S
+	}
+	if lim := p.N * p.V * p.S; f > lim {
+		f = lim
+	}
+	return float64(f) / float64(p.V*p.S*p.P)
+}
+
+func max0(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestTable3SmallCluster(t *testing.T) {
+	// Spot values for p=4, v=2, s=2, n=8 (n ≥ p regime).
+	p := Params{P: 4, V: 1, S: 1, N: 8}
+	if b, _ := BubbleRatio(DAPPLE, p); !almost(b, 3.0/11) {
+		t.Errorf("DAPPLE bubble = %v, want 3/11", b)
+	}
+	if m, _ := ActivationMemory(DAPPLE, p); !almost(m, 1) {
+		t.Errorf("DAPPLE memory = %v, want A", m)
+	}
+	pv := Params{P: 4, V: 2, S: 1, N: 8}
+	if b, _ := BubbleRatio(VPP, pv); !almost(b, 3.0/19) {
+		t.Errorf("VPP bubble = %v, want 3/19", b)
+	}
+	if m, _ := ActivationMemory(VPP, pv); !almost(m, 1+3.0/8) {
+		t.Errorf("VPP memory = %v, want 1+3/8", m)
+	}
+	ps := Params{P: 4, V: 1, S: 2, N: 8}
+	if b, _ := BubbleRatio(TeraPipe, ps); !almost(b, 3.0/19) {
+		t.Errorf("TeraPipe bubble = %v, want 3/19", b)
+	}
+	if m, _ := ActivationMemory(TeraPipe, ps); !almost(m, 2) {
+		t.Errorf("TeraPipe memory = %v, want n/p = 2", m)
+	}
+	sv := Params{P: 4, V: 2, S: 2, N: 8}
+	if b, _ := BubbleRatio(SVPP, sv); !almost(b, 3.0/35) {
+		t.Errorf("SVPP bubble = %v, want 3/35", b)
+	}
+	// Fig 4(b): peak 9/16 A.
+	if m, _ := ActivationMemory(SVPP, sv); !almost(m, 9.0/16) {
+		t.Errorf("SVPP memory = %v, want 9/16", m)
+	}
+}
+
+func TestSVPPMemoryFig4a(t *testing.T) {
+	// Fig 4(a): p=4, v=1, s=2 → 5/8 A.
+	m, err := ActivationMemory(SVPP, Params{P: 4, V: 1, S: 2, N: 8})
+	if err != nil || !almost(m, 5.0/8) {
+		t.Errorf("SVPP v=1 memory = %v (%v), want 5/8", m, err)
+	}
+}
+
+func TestFig1MemoryReduction(t *testing.T) {
+	// Fig 1's headline: at s=4 and s=8 (p=8, v=2), SVPP cuts peak
+	// activation memory by >70% and >80% vs DAPPLE's A.
+	base, _ := ActivationMemory(DAPPLE, Params{P: 8, V: 1, S: 1, N: 8})
+	m4, _ := ActivationMemory(SVPP, Params{P: 8, V: 2, S: 4, N: 8})
+	m8, _ := ActivationMemory(SVPP, Params{P: 8, V: 2, S: 8, N: 8})
+	if red := 1 - m4/base; red < 0.70 {
+		t.Errorf("s=4 reduction %.1f%%, want > 70%%", 100*red)
+	}
+	if red := 1 - m8/base; red < 0.80 {
+		t.Errorf("s=8 reduction %.1f%%, want > 80%%", 100*red)
+	}
+}
+
+func TestLargeClusterRegime(t *testing.T) {
+	// n < p: DAPPLE memory falls to n/p; SVPP picks up extra bubbles
+	// when (v−1)·(p−s·n) > 0.
+	p := Params{P: 8, V: 1, S: 1, N: 4}
+	if m, _ := ActivationMemory(DAPPLE, p); !almost(m, 0.5) {
+		t.Errorf("DAPPLE n<p memory = %v, want 1/2", m)
+	}
+	// SVPP with v=2, s=2, n=2, p=8: extra = (2−1)·(8−4) = 4.
+	sv := Params{P: 8, V: 2, S: 2, N: 2}
+	want := (7.0 + 4) / (7 + 4 + 8)
+	if b, _ := BubbleRatio(SVPP, sv); !almost(b, want) {
+		t.Errorf("SVPP n<p bubble = %v, want %v", b, want)
+	}
+	// With s·n ≥ p the extra term vanishes.
+	sv2 := Params{P: 8, V: 2, S: 4, N: 2}
+	if b, _ := BubbleRatio(SVPP, sv2); !almost(b, 7.0/(7+16)) {
+		t.Errorf("SVPP n<p s·n≥p bubble = %v, want 7/23", b)
+	}
+}
+
+func TestSVPPBeatsBaselines(t *testing.T) {
+	// Table 3's qualitative claim: with the same shape, SVPP's bubble is
+	// the lowest and its memory far below A.
+	for _, n := range []int{8, 16, 32} {
+		d, _ := BubbleRatio(DAPPLE, Params{P: 8, V: 1, S: 1, N: n})
+		v, _ := BubbleRatio(VPP, Params{P: 8, V: 2, S: 1, N: n})
+		tp, _ := BubbleRatio(TeraPipe, Params{P: 8, V: 1, S: 4, N: n})
+		sv, _ := BubbleRatio(SVPP, Params{P: 8, V: 2, S: 4, N: n})
+		if !(sv < tp && sv < v && sv < d) {
+			t.Errorf("n=%d: SVPP bubble %v not lowest (dapple %v, vpp %v, terapipe %v)", n, sv, d, v, tp)
+		}
+		dm, _ := ActivationMemory(DAPPLE, Params{P: 8, V: 1, S: 1, N: n})
+		svm, _ := ActivationMemory(SVPP, Params{P: 8, V: 2, S: 4, N: n})
+		if svm >= dm {
+			t.Errorf("n=%d: SVPP memory %v not below DAPPLE %v", n, svm, dm)
+		}
+	}
+}
+
+func TestSVPPLimitSliceCount(t *testing.T) {
+	// Table 3 footer: s → ∞ drives bubble to 0 and memory to A/p.
+	b, _ := BubbleRatio(SVPP, Params{P: 8, V: 1, S: 1 << 20, N: 8})
+	if b > 1e-4 {
+		t.Errorf("bubble at huge s = %v, want → 0", b)
+	}
+	m, _ := ActivationMemory(SVPP, Params{P: 8, V: 1, S: 1 << 20, N: 8})
+	if math.Abs(m-1.0/8) > 1e-4 {
+		t.Errorf("memory at huge s = %v, want → 1/8", m)
+	}
+}
+
+func TestSVPPMemoryAtVariants(t *testing.T) {
+	// Fig 5: p=4, v=2, s=2, n=2. The f=8 variant peaks at n·v·s forwards
+	// = 1/2 A (Fig 6 caption); the f=4 minimum peaks at v·s/(v·s·p) = 1/4.
+	p := Params{P: 4, V: 2, S: 2, N: 2}
+	if m := SVPPMemoryAt(p, 9); !almost(m, 0.5) {
+		t.Errorf("f=9 memory %v, want clamp to 1/2 (only 8 forwards exist)", m)
+	}
+	if m := SVPPMemoryAt(p, 4); !almost(m, 0.25) {
+		t.Errorf("f=4 memory %v, want 1/4", m)
+	}
+	if m := SVPPMemoryAt(p, 1); !almost(m, 0.25) {
+		t.Errorf("f below v·s must clamp up: %v, want 1/4", m)
+	}
+}
+
+func TestUnsupportedCombos(t *testing.T) {
+	if _, err := BubbleRatio(VPP, Params{P: 8, V: 2, S: 1, N: 4}); err == nil {
+		t.Error("VPP with n < p should be unsupported (Table 3 dash)")
+	}
+	if _, err := BubbleRatio(DAPPLE, Params{P: 8, V: 2, S: 1, N: 16}); err == nil {
+		t.Error("DAPPLE with v > 1 should be unsupported")
+	}
+	if _, err := ActivationMemory(GPipe, Params{P: 8, V: 1, S: 2, N: 16}); err == nil {
+		t.Error("GPipe with s > 1 should be unsupported")
+	}
+	if _, err := BubbleRatio(SVPP, Params{}); err == nil {
+		t.Error("zero params should error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{GPipe: "GPipe", DAPPLE: "DAPPLE", VPP: "VPP", Hanayo: "Hanayo", TeraPipe: "TeraPipe", SVPP: "SVPP"} {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestHanayoLargeCluster(t *testing.T) {
+	// n < p: Table 3's wave formula (vp+n−1−nv)/(vp+n−1).
+	b, err := BubbleRatio(Hanayo, Params{P: 8, V: 2, S: 1, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (16.0 + 4 - 1 - 8) / (16 + 4 - 1)
+	if !almost(b, want) {
+		t.Errorf("Hanayo n<p bubble %v, want %v", b, want)
+	}
+	m, err := ActivationMemory(Hanayo, Params{P: 8, V: 2, S: 1, N: 4})
+	if err != nil || !almost(m, 0.5) {
+		t.Errorf("Hanayo n<p memory %v (%v), want n/p = 1/2", m, err)
+	}
+}
+
+// TestSVPPDefaultFConsistency: the §4.4 memory row equals the default-f
+// variant of SVPPMemoryAt for n >= p.
+func TestSVPPDefaultFConsistency(t *testing.T) {
+	for _, p := range []Params{
+		{P: 4, V: 1, S: 2, N: 8}, {P: 8, V: 2, S: 4, N: 16}, {P: 4, V: 2, S: 8, N: 8},
+	} {
+		table, err := ActivationMemory(SVPP, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := p.V*maxi(p.P, p.S) + mini(p.P, p.S) - 1
+		if at := SVPPMemoryAt(p, f); !almost(table, at) {
+			t.Errorf("%+v: table %v != SVPPMemoryAt(default f=%d) %v", p, table, f, at)
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

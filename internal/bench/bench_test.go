@@ -1,0 +1,385 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell ("6308" or "3520.3 ms").
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	f := strings.Fields(s)[0]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(f, "%"), "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func row(t *testing.T, r *Report, name string) []string {
+	t.Helper()
+	for _, row := range r.Rows {
+		if strings.HasPrefix(row[0], name) {
+			return row
+		}
+	}
+	t.Fatalf("%s: no row %q", r.ID, name)
+	return nil
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline reductions: >70% at s=4, >80% at s=8.
+	if v := cell(t, row(t, r, "MEPipe (s=4)")[3]); v > -70 {
+		t.Errorf("s=4 reduction %v%%, want <= -70%%", v)
+	}
+	if v := cell(t, row(t, r, "MEPipe (s=8)")[3]); v > -80 {
+		t.Errorf("s=8 reduction %v%%, want <= -80%%", v)
+	}
+	// MEPipe has both the lowest bubble and the lowest memory.
+	me := cell(t, row(t, r, "MEPipe (s=8)")[1])
+	for _, base := range []string{"DAPPLE", "VPP", "Hanayo", "TeraPipe"} {
+		if b := cell(t, row(t, r, base)[1]); b <= me {
+			t.Errorf("%s bubble %v%% not above MEPipe's %v%%", base, b, me)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid searches are slow")
+	}
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MEPipe fastest at every batch size; speedup within a band of the
+	// paper's 1.86/1.49/1.36.
+	bands := map[int][2]float64{1: {1.3, 2.2}, 2: {1.25, 1.8}, 3: {1.15, 1.6}}
+	me := row(t, r, "MEPipe")
+	for col := 1; col <= 3; col++ {
+		mine := cell(t, me[col])
+		best := 0.0
+		for _, base := range []string{"DAPPLE", "VPP", "ZB", "ZBV"} {
+			c := row(t, r, base)[col]
+			if c == "OOM" {
+				continue
+			}
+			v := cell(t, c)
+			if best == 0 || v < best {
+				best = v
+			}
+		}
+		if mine >= best {
+			t.Errorf("col %d: MEPipe %v not fastest (best baseline %v)", col, mine, best)
+		}
+		sp := best / mine
+		if sp < bands[col][0] || sp > bands[col][1] {
+			t.Errorf("col %d: speedup %.2fx outside band %v (paper: 1.86/1.49/1.36)", col, sp, bands[col])
+		}
+	}
+}
+
+func TestTable5Configs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid searches are slow")
+	}
+	r, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 5: MEPipe settles on (8,4,1,x) at every batch size and
+	// DAPPLE on (8,2,1,x).
+	me := row(t, r, "MEPipe")
+	da := row(t, r, "DAPPLE")
+	for col := 1; col <= 3; col++ {
+		if me[col] != "(8,4,1,x)" {
+			t.Errorf("MEPipe col %d = %s, paper reports (8,4,1,x)", col, me[col])
+		}
+		if da[col] != "(8,2,1,x)" {
+			t.Errorf("DAPPLE col %d = %s, paper reports (8,2,1,x)", col, da[col])
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rw := range r.Rows {
+		spp := cell(t, rw[2])
+		cp := cell(t, rw[4])
+		if i == 0 {
+			continue
+		}
+		if cp >= spp {
+			t.Errorf("size %s: CP relative %v%% not below SPP %v%% (Fig 9)", rw[0], cp, spp)
+		}
+	}
+	// SPP=8 degradation near the paper's 12.6%.
+	last := r.Rows[len(r.Rows)-1]
+	if d := 100 - cell(t, last[2]); d < 8 || d > 20 {
+		t.Errorf("SPP=8 degradation %v%%, want near 12.6%%", d)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	r, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][4] != "OOM" {
+		t.Errorf("PP=2 should OOM, got %s", r.Rows[0][4])
+	}
+	pp4 := cell(t, r.Rows[1][4])
+	pp8 := cell(t, r.Rows[2][4])
+	if pp8 >= pp4 {
+		t.Errorf("PP=8 (%v ms) should beat PP=4 (%v ms)", pp8, pp4)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	r, err := Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1 := cell(t, r.Rows[0][4])
+	cp2 := cell(t, r.Rows[1][4])
+	cp4 := cell(t, r.Rows[2][4])
+	if !(cp2 < cp1 && cp2 < cp4) {
+		t.Errorf("CP=2 (%v) should be the sweet spot (CP1 %v, CP4 %v)", cp2, cp1, cp4)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid searches are slow")
+	}
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := row(t, r, "MEPipe")
+	for col := 1; col <= 3; col++ {
+		if me[col] == "OOM" {
+			t.Fatalf("MEPipe OOM in col %d", col)
+		}
+		mine := cell(t, me[col])
+		for _, base := range []string{"DAPPLE", "VPP", "ZB", "ZBV"} {
+			c := row(t, r, base)[col]
+			if c == "OOM" {
+				continue
+			}
+			if cell(t, c) <= mine {
+				t.Errorf("col %d: %s (%s) not slower than MEPipe (%v)", col, base, c, mine)
+			}
+		}
+	}
+	// 34B defeats the zero-bubble baselines (paper Table 8 dashes).
+	if row(t, r, "ZB")[3] != "OOM" || row(t, r, "ZBV")[3] != "OOM" {
+		t.Error("ZB/ZBV should OOM on 34B")
+	}
+	// Absolute anchors within 25% of the paper's Table 9 values.
+	anchors := map[int]float64{1: 3171, 2: 5852, 3: 17043}
+	for col, want := range anchors {
+		got := cell(t, me[col])
+		if got < want*0.75 || got > want*1.25 {
+			t.Errorf("col %d: MEPipe %v ms vs paper %v ms (off by more than 25%%)", col, got, want)
+		}
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid searches are slow")
+	}
+	r, err := Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range r.Rows {
+		a100 := cell(t, rw[1])
+		g4090 := cell(t, rw[3])
+		// §7.6: comparable iteration times between 64x4090 and 32xA100.
+		if ratio := g4090 / a100; ratio < 0.75 || ratio > 1.4 {
+			t.Errorf("%s: 4090/A100 time ratio %.2f outside the 'comparable' band", rw[0], ratio)
+		}
+		if ce := cell(t, rw[6]); ce < 1.7 || ce > 3.0 {
+			t.Errorf("%s: cost-effectiveness %.2fx, paper reports ~2.5x", rw[0], ce)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11_12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := cell(t, row(t, r, "w/o: W fused")[1])
+	prompt := cell(t, row(t, r, "w/o: W split")[1])
+	fine := cell(t, row(t, r, "with fine-grained")[1])
+	if !(fine < prompt && prompt < fused) {
+		t.Errorf("expected fine (%v) < prompt (%v) < fused (%v)", fine, prompt, fused)
+	}
+	// The paper's 9.4% improvement must fall inside the two readings.
+	lo := (prompt - fine) / prompt * 100
+	hi := (fused - fine) / fused * 100
+	if lo > 9.4 || hi < 9.4 {
+		t.Errorf("paper's 9.4%% outside the measured [%.1f%%, %.1f%%] band", lo, hi)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f shrinks top to bottom: memory falls, makespan (weakly) grows, and
+	// rescheduling never hurts.
+	var prevMem, prevSpan float64
+	for i, rw := range r.Rows {
+		mem := cell(t, strings.Fields(rw[1])[2]) // "8/16 = 0.500 A"
+		base := cell(t, rw[2])
+		resched := cell(t, rw[3])
+		if resched > base {
+			t.Errorf("row %d: rescheduling worsened makespan", i)
+		}
+		if i > 0 {
+			if mem >= prevMem {
+				t.Errorf("row %d: memory did not shrink", i)
+			}
+			if resched+1e-9 < prevSpan {
+				t.Errorf("row %d: makespan improved while shrinking memory", i)
+			}
+		}
+		prevMem, prevSpan = mem, resched
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cell(t, row(t, r, "full MEPipe")[1])
+	for _, variant := range []string{"whole-op W", "prompt W"} {
+		if v := cell(t, row(t, r, variant)[1]); v < full {
+			t.Errorf("%s (%v ms) should not beat the full system (%v ms)", variant, v, full)
+		}
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Fatalf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nonexistent"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+	// Rendering round-trip on a cheap report.
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "MEPipe") {
+		t.Errorf("rendered report missing content:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Report{
+		ID: "x", Title: "t",
+		Header: []string{"a", "b"},
+	}
+	r.Add("plain", `with "quotes", comma`)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quotes\"\", comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, []*Report{r}, map[string]string{"fig1": `<svg xmlns="x"></svg>`}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"<!DOCTYPE html", "fig1", "MEPipe", "<svg", "</html>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("HTML missing %q", frag)
+		}
+	}
+	// Table cells must be escaped.
+	evil := &Report{ID: "x", Title: "<script>alert(1)</script>", Header: []string{"h"}}
+	evil.Add("<b>cell</b>")
+	buf.Reset()
+	if err := WriteHTML(&buf, []*Report{evil}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") || strings.Contains(buf.String(), "<b>cell</b>") {
+		t.Error("HTML output not escaped")
+	}
+	// Non-SVG payloads in the svg map are rejected.
+	if err := WriteHTML(&buf, []*Report{r}, map[string]string{"fig1": "<div>not svg</div>"}); err == nil {
+		t.Error("non-SVG embed accepted")
+	}
+}
+
+// TestEveryExperimentRuns is the catch-all: every registered experiment
+// must produce a well-formed report (slow search-based ones are covered by
+// their own tests and skipped under -short via the registry walk).
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment including the grid searches")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", r.ID, e.ID)
+			}
+			if len(r.Header) == 0 || len(r.Rows) == 0 {
+				t.Error("empty report")
+			}
+			for i, row := range r.Rows {
+				if len(row) != len(r.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(r.Header))
+				}
+			}
+		})
+	}
+}

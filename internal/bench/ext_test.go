@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLongContextCrossover asserts the §5 discussion: uniform slicing with
+// fine-grained weight gradients wins at 4k context, non-uniform balanced
+// slicing wins at 128k.
+func TestLongContextCrossover(t *testing.T) {
+	r, err := LongContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	if got := r.Rows[0][3]; got != "uniform+fgW" {
+		t.Errorf("4k winner = %s, §5 says fine-grained W absorbs the imbalance", got)
+	}
+	if got := r.Rows[2][3]; got != "non-uniform" {
+		t.Errorf("128k winner = %s, §5 says non-uniform wins past 128k tokens", got)
+	}
+	// At 4k the DP should find the (near-)uniform partition.
+	if !strings.Contains(r.Rows[0][4], "256 / 256") {
+		t.Errorf("4k partition %s, want uniform 256/256", r.Rows[0][4])
+	}
+	// The 128k gap should be material (> 5%).
+	u := cell(t, r.Rows[2][1])
+	nu := cell(t, r.Rows[2][2])
+	if (u-nu)/u < 0.05 {
+		t.Errorf("128k non-uniform advantage only %.1f%%, want > 5%%", 100*(u-nu)/u)
+	}
+}
+
+// TestTensorParallelCrossover asserts the §2.2 judgement the experiment
+// measures: TP degrades steeply on PCIe and is useful on NVLink.
+func TestTensorParallelCrossover(t *testing.T) {
+	r, err := TensorParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are TP = 1, 2, 4, 8; columns: [tp, 4090, a100].
+	g2 := cell(t, r.Rows[1][1])
+	g4 := cell(t, r.Rows[2][1])
+	g8 := cell(t, r.Rows[3][1])
+	if !(g2 < g4 && g4 < g8) {
+		t.Errorf("4090: TP should degrade monotonically: %v, %v, %v", g2, g4, g8)
+	}
+	if g8 < 1.8*g2 {
+		t.Errorf("4090: TP=8 (%v) should be far worse than TP=2 (%v) on PCIe", g8, g2)
+	}
+	a1 := cell(t, r.Rows[0][2])
+	a2 := cell(t, r.Rows[1][2])
+	if a2 > a1*1.05 {
+		t.Errorf("A100: TP=2 (%v) should not lose to TP=1 (%v) on NVLink", a2, a1)
+	}
+	// The same TP=2 config is far cheaper on NVLink than on PCIe.
+	if g2 < 1.3*a2 {
+		t.Errorf("TP=2 on PCIe (%v) should cost far more than on NVLink (%v)", g2, a2)
+	}
+}
+
+// TestPowerParity asserts the §9 headline: roughly 24 years for the A100
+// cluster to reach cost parity through electricity savings.
+func TestPowerParity(t *testing.T) {
+	years := YearsToParity()
+	if years < 15 || years > 35 {
+		t.Errorf("years to parity = %.1f, paper estimates ~24", years)
+	}
+	r, err := Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(r.Rows))
+	}
+	// The 4090 cluster must draw more total power (§9: two 4090s match
+	// one A100, so the consumer cluster pays more in operation).
+	kw4090 := cell(t, r.Rows[0][2])
+	kwA100 := cell(t, r.Rows[1][2])
+	if kw4090 <= kwA100 {
+		t.Errorf("4090 cluster %v kW should exceed A100 cluster %v kW", kw4090, kwA100)
+	}
+}
+
+// TestCoDesignShape: the MEPipe advantage weakly shrinks as accelerator
+// memory grows, and DAPPLE's config simplifies (recompute/CP disappear).
+func TestCoDesignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid searches are slow")
+	}
+	r, err := CoDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, rw := range r.Rows {
+		if rw[4] == "only MEPipe fits" || rw[4] == "-" {
+			continue
+		}
+		sp := cell(t, rw[4])
+		if sp <= 1 {
+			t.Errorf("%s: MEPipe should keep an advantage (%.2fx)", rw[0], sp)
+		}
+		if i > 0 && prev > 0 && sp > prev+0.02 {
+			t.Errorf("%s: advantage grew with more memory (%.2fx after %.2fx)", rw[0], sp, prev)
+		}
+		prev = sp
+	}
+	// At the memory-rich end DAPPLE runs bare 1F1B.
+	last := r.Rows[len(r.Rows)-1]
+	if last[2] != "(8,1,1,x)" {
+		t.Errorf("80 GiB DAPPLE config %s, want bare (8,1,1,x)", last[2])
+	}
+}
+
+// TestParetoShape: the f sweep must trade memory for time monotonically in
+// peak, and the bubble-optimal f dominates nothing above it.
+func TestParetoShape(t *testing.T) {
+	r, err := Pareto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("only %d variants", len(r.Rows))
+	}
+	// Rows are sorted f descending: peak non-increasing, iteration
+	// non-decreasing.
+	for i := 1; i < len(r.Rows); i++ {
+		if cell(t, r.Rows[i][1]) > cell(t, r.Rows[i-1][1])+1e-9 {
+			t.Errorf("row %d: peak memory rose while f shrank", i)
+		}
+		if cell(t, r.Rows[i][2]) < cell(t, r.Rows[i-1][2])-1e-9 {
+			t.Errorf("row %d: iteration improved while f shrank", i)
+		}
+	}
+	// The top (bubble-optimal) variant is always on the frontier.
+	if r.Rows[0][4] != "*" {
+		t.Error("bubble-optimal variant missing from the frontier")
+	}
+	// Most variants should be frontier points (near-strict trade-off).
+	stars := 0
+	for _, row := range r.Rows {
+		if row[4] == "*" {
+			stars++
+		}
+	}
+	if stars < len(r.Rows)/2 {
+		t.Errorf("only %d/%d variants on the frontier", stars, len(r.Rows))
+	}
+}
+
+// TestTable2Ordering: the computed volumes must reproduce the paper's
+// qualitative ordering TP > CP > DP > PP = SPP.
+func TestTable2Ordering(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 { return cell(t, row(t, r, name)[1]) }
+	tp, cp, dp := get("TP"), get("CP"), get("DP")
+	pp, spp := get("PP"), get("SPP")
+	if !(tp > cp && cp > dp && dp > pp) {
+		t.Errorf("ordering broken: TP %.1f, CP %.1f, DP %.1f, PP %.1f", tp, cp, dp, pp)
+	}
+	if pp != spp {
+		t.Errorf("SPP (%.1f) must equal PP (%.1f) — no extra communication", spp, pp)
+	}
+	// The gaps should be decisive (an order of magnitude TP vs PP).
+	if tp < 20*pp {
+		t.Errorf("TP (%.1f) should dwarf PP (%.1f)", tp, pp)
+	}
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/analytic"
+	"mepipe/internal/config"
+	"mepipe/internal/model"
+)
+
+func init() {
+	register("fig1", "bubble ratio vs peak activation memory of SOTA schedulers (Llama 13B)", Fig1)
+}
+
+// Fig1 regenerates Figure 1: bubble ratio and peak activation memory per
+// worker for the state-of-the-art schedulers on Llama 13B with context 4096,
+// p = 8, v = 2, micro-batch size 1, and n = 8 micro-batches; MEPipe shown at
+// s = 4 and s = 8.
+func Fig1() (*Report, error) {
+	m := config.Llama13B()
+	a := float64(model.SampleActivationBytes(m)) / (1 << 30)
+	r := &Report{
+		ID:     "fig1",
+		Title:  "bubble ratio and peak activation memory (Llama 13B, p=8, v=2, n=8)",
+		Header: []string{"scheduler", "bubble ratio", "peak act (GiB/worker)", "vs DAPPLE"},
+	}
+	type entry struct {
+		name string
+		meth analytic.Method
+		p    analytic.Params
+	}
+	entries := []entry{
+		{"DAPPLE", analytic.DAPPLE, analytic.Params{P: 8, V: 1, S: 1, N: 8}},
+		{"VPP", analytic.VPP, analytic.Params{P: 8, V: 2, S: 1, N: 8}},
+		{"Hanayo", analytic.Hanayo, analytic.Params{P: 8, V: 2, S: 1, N: 8}},
+		{"TeraPipe (s=4)", analytic.TeraPipe, analytic.Params{P: 8, V: 1, S: 4, N: 8}},
+		{"MEPipe (s=4)", analytic.SVPP, analytic.Params{P: 8, V: 2, S: 4, N: 8}},
+		{"MEPipe (s=8)", analytic.SVPP, analytic.Params{P: 8, V: 2, S: 8, N: 8}},
+	}
+	base := 0.0
+	for _, e := range entries {
+		b, err := analytic.BubbleRatio(e.meth, e.p)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := analytic.ActivationMemory(e.meth, e.p)
+		if err != nil {
+			return nil, err
+		}
+		gib := mem * a
+		if e.name == "DAPPLE" {
+			base = gib
+		}
+		r.Add(e.name, fmt.Sprintf("%.1f%%", 100*b), fmt.Sprintf("%.1f", gib),
+			fmt.Sprintf("%+.0f%%", 100*(gib-base)/base))
+	}
+	r.Note("A = %.1f GiB per sample; paper claims >70%% reduction at s=4 and >80%% at s=8", a)
+	return r, nil
+}

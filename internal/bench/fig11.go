@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/memplan"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+func init() {
+	register("fig11_12", "fine-grained weight-gradient computation ablation (timelines of Figs 11-12)", Fig11_12)
+	register("ablation", "design-choice ablations: rescheduling, W granularity, dynamic engine", Ablation)
+}
+
+// mepipeSetup builds the Fig 11/12 configuration: Llama 13B, GBS 64,
+// MEPipe's Table 5 optimum (PP=8, SPP=4, VP=1, DP=8).
+func mepipeSetup() (*perf.Costs, *memplan.Plan, int, int, error) {
+	m := config.Llama13B()
+	cl := cluster.RTX4090Cluster(8)
+	par := config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	costs, err := perf.New(m, mesh)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	plan, err := memplan.New(m, mesh)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	f, err := memplan.ChooseF(par,
+		costs.ActBytes(0, sched.Op{Kind: sched.F}),
+		costs.GradBytes(0, sched.Op{Kind: sched.BAct}),
+		plan.ActBudget[0])
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	n := 64 / par.DP
+	return costs, plan, f, n, nil
+}
+
+// fig11Variant identifies one interpretation of "MEPipe w/o fine-grained
+// weight gradient computation" plus the full system.
+type fig11Variant int
+
+const (
+	// variantFused keeps weight gradients inside a fused backward — the
+	// strictest reading of Fig 11's "compute the weight gradient right
+	// after the corresponding backward passes".
+	variantFused fig11Variant = iota
+	// variantPromptW splits B but forces each W immediately after its
+	// BAct (zero deferral) — the weakest reading.
+	variantPromptW
+	// variantFineGrained is the full §5 system: 7-GEMM decomposition
+	// drained dynamically into stalls.
+	variantFineGrained
+)
+
+// runVariant simulates one Fig 11/12 variant.
+func runVariant(costs *perf.Costs, plan *memplan.Plan, f, n int, v fig11Variant) (*sim.Result, error) {
+	opts := sched.SVPPOptions{
+		P: 8, V: 1, S: 4, N: n, F: f,
+		Reschedule: true, Est: costs,
+	}
+	dynamic := false
+	switch v {
+	case variantFused:
+		// fused B: nothing to configure
+	case variantPromptW:
+		opts.Split = true
+		opts.WDeferCap = func(int) int { return 0 }
+	case variantFineGrained:
+		opts.Split = true
+		opts.FineGrainedW = costs.WPieces()
+		dynamic = true
+	}
+	s, err := sched.SVPP(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Options{
+		Sched: s, Costs: costs, ActBudget: plan.ActBudget,
+		DynamicW: dynamic, TailTime: costs.TailTime,
+	})
+}
+
+// Fig11_12 regenerates the Figures 11–12 comparison: MEPipe with and
+// without fine-grained weight-gradient computation on Llama 13B at GBS 64.
+// The paper's "w/o" variant is bracketed by two readings — a fused backward
+// (upper bound) and a split-but-immediate W (lower bound); the paper's
+// measured 9.4% improvement falls between them.
+func Fig11_12() (*Report, error) {
+	costs, plan, f, n, err := mepipeSetup()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "fig11_12",
+		Title:  "MEPipe w/ and w/o fine-grained weight gradients (Llama 13B, GBS 64, PP=8, SPP=4)",
+		Header: []string{"variant", "iteration", "bubble", "peak act (GiB)"},
+	}
+	names := map[fig11Variant]string{
+		variantFused:       "w/o: W fused into backward (Fig 11, strict)",
+		variantPromptW:     "w/o: W split but immediate (Fig 11, weak)",
+		variantFineGrained: "with fine-grained W (Fig 12)",
+	}
+	results := map[fig11Variant]*sim.Result{}
+	for _, v := range []fig11Variant{variantFused, variantPromptW, variantFineGrained} {
+		res, err := runVariant(costs, plan, f, n, v)
+		if err != nil {
+			return nil, err
+		}
+		results[v] = res
+		r.Add(names[v], fmt.Sprintf("%.1f ms", res.IterTime*1e3),
+			fmt.Sprintf("%.1f%%", 100*res.BubbleRatio), fmt.Sprintf("%.1f", float64(res.PeakAct)/(1<<30)))
+	}
+	with := results[variantFineGrained].IterTime
+	hi := (results[variantFused].IterTime - with) / results[variantFused].IterTime
+	lo := (results[variantPromptW].IterTime - with) / results[variantPromptW].IterTime
+	r.Note("improvement: %.1f%%-%.1f%% depending on the baseline reading (paper: 9.4%%)", 100*lo, 100*hi)
+	r.Note("render the timelines with: mepipe-sim -model 13b -gbs 64 -system mepipe -timeline")
+	return r, nil
+}
+
+// Ablation quantifies the design choices DESIGN.md calls out.
+func Ablation() (*Report, error) {
+	costs, plan, f, n, err := mepipeSetup()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "ablation",
+		Title:  "MEPipe design ablations (Llama 13B, GBS 64, PP=8, SPP=4)",
+		Header: []string{"variant", "iteration", "bubble"},
+	}
+	run := func(name string, opts sched.SVPPOptions, dynamic bool) error {
+		opts.P, opts.V, opts.S, opts.N, opts.F = 8, 1, 4, n, f
+		opts.Split, opts.Est = true, costs
+		s, err := sched.SVPP(opts)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Options{Sched: s, Costs: costs, ActBudget: plan.ActBudget, DynamicW: dynamic, TailTime: costs.TailTime})
+		if err != nil {
+			return err
+		}
+		r.Add(name, fmt.Sprintf("%.1f ms", res.IterTime*1e3), fmt.Sprintf("%.1f%%", 100*res.BubbleRatio))
+		return nil
+	}
+	full := sched.SVPPOptions{Reschedule: true, FineGrainedW: costs.WPieces()}
+	if err := run("full MEPipe (rescheduled, 7-piece W, dynamic)", full, true); err != nil {
+		return nil, err
+	}
+	if err := run("no backward rescheduling", sched.SVPPOptions{FineGrainedW: costs.WPieces()}, true); err != nil {
+		return nil, err
+	}
+	if err := run("whole-op W (no GEMM decomposition)", sched.SVPPOptions{Reschedule: true}, true); err != nil {
+		return nil, err
+	}
+	if err := run("static W placement (generator gap-filling only)", sched.SVPPOptions{Reschedule: true, FineGrainedW: costs.WPieces()}, false); err != nil {
+		return nil, err
+	}
+	if err := run("prompt W (deferral disabled)", sched.SVPPOptions{Reschedule: true, WDeferCap: func(int) int { return 0 }}, false); err != nil {
+		return nil, err
+	}
+	// How close is the full system to order-free optimal? Compare against
+	// the DAG/resource lower bound (no schedule can beat it).
+	full2, err := sched.SVPP(sched.SVPPOptions{
+		P: 8, V: 1, S: 4, N: n, F: f, Split: true, Reschedule: true,
+		FineGrainedW: costs.WPieces(), Est: costs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound, err := sim.MakespanBound(full2, costs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Options{Sched: full2, Costs: costs, ActBudget: plan.ActBudget, DynamicW: true})
+	if err != nil {
+		return nil, err
+	}
+	r.Note("order-free lower bound (critical path / busiest stage): %.1f ms — full MEPipe is within %.1f%% of schedule-optimal before the gradient-sync tail",
+		bound*1e3, 100*(res.IterTime-bound)/bound)
+	return r, nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/perf"
+)
+
+func init() {
+	register("fig9", "transformer-layer performance under CP vs SPP slicing", Fig9)
+}
+
+// Fig9 regenerates Figure 9: measured per-GPU transformer-layer throughput
+// for Llama 13B as the sample is sliced 1/2/4/8 ways by context parallelism
+// and by sequence pipeline parallelism. SPP degrades only through operator
+// efficiency; CP additionally pays ring communication and finer 2·cp
+// chunking, so its curve falls faster.
+func Fig9() (*Report, error) {
+	m := config.Llama13B()
+	cl := cluster.RTX4090Cluster(8)
+	r := &Report{
+		ID:     "fig9",
+		Title:  "per-layer throughput (TFLOPS/GPU) vs CP/SPP size, Llama 13B",
+		Header: []string{"size", "SPP TFLOPS", "SPP relative", "CP TFLOPS", "CP relative"},
+	}
+	base, err := perf.TransformerLayerTFLOPS(m, cl, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []int{1, 2, 4, 8} {
+		spp, err := perf.TransformerLayerTFLOPS(m, cl, f, false)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := perf.TransformerLayerTFLOPS(m, cl, f, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(f,
+			fmt.Sprintf("%.1f", spp), fmt.Sprintf("%.1f%%", 100*spp/base),
+			fmt.Sprintf("%.1f", cp), fmt.Sprintf("%.1f%%", 100*cp/base))
+	}
+	spp8, _ := perf.TransformerLayerTFLOPS(m, cl, 8, false)
+	r.Note("paper anchor: SPP=8 loses 12.6%% per layer; measured here: %.1f%%", 100*(1-spp8/base))
+	return r, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/partition"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+func init() {
+	register("longctx", "uniform + fine-grained W vs TeraPipe-style non-uniform slicing across context lengths (§5 discussion)", LongContext)
+}
+
+// longCtxVariant simulates one slicing strategy at one context length and
+// returns the iteration time.
+func longCtxVariant(m config.Model, cl cluster.Cluster, par config.Parallel, n int, widths []int, fineGrained bool) (float64, error) {
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return 0, err
+	}
+	costs, err := perf.New(m, mesh)
+	if err != nil {
+		return 0, err
+	}
+	if widths != nil {
+		if _, err := costs.WithSlicePartition(widths); err != nil {
+			return 0, err
+		}
+	}
+	opts := sched.SVPPOptions{
+		P: par.PP, V: par.VP, S: par.SPP, N: n,
+		Reschedule: true, Est: costs,
+	}
+	if fineGrained {
+		opts.Split = true
+		opts.FineGrainedW = costs.WPieces()
+	}
+	s, err := sched.SVPP(opts)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(sim.Options{
+		Sched: s, Costs: costs, DynamicW: fineGrained, TailTime: costs.TailTime,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.IterTime, nil
+}
+
+// LongContext measures the §5 trade-off the paper discusses but does not
+// plot: uniform slices with fine-grained weight-gradient filling (MEPipe's
+// choice) versus TeraPipe-style non-uniform slices balanced by dynamic
+// programming. At 4k context the attention imbalance is small and weight
+// gradients absorb it; past ~128k tokens the attention share dominates and
+// the balanced partition wins — "in this scenario, the non-uniform
+// partitioning strategy would be more efficient".
+//
+// Memory budgets are intentionally not enforced here (128k-token samples
+// exceed any 24 GB card regardless of slicing); the experiment isolates the
+// compute-balance question, like the paper's discussion.
+func LongContext() (*Report, error) {
+	cl := cluster.RTX4090Cluster(8)
+	r := &Report{
+		ID:     "longctx",
+		Title:  "uniform + fine-grained W vs non-uniform balanced slices (Llama-7B-shaped model, PP=8, SPP=16)",
+		Header: []string{"context", "uniform+fgW", "non-uniform", "winner", "largest/smallest slice"},
+	}
+	par := config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 16, VP: 1}
+	const n = 8
+	for _, ctx := range []int{4096, 32768, 131072} {
+		m := config.Llama7B()
+		m.SeqLen = ctx
+		uniform, err := longCtxVariant(m, cl, par, n, nil, true)
+		if err != nil {
+			return nil, err
+		}
+		// Balance slice processing times with the TeraPipe DP (§5),
+		// boundaries on 128-token quanta.
+		mesh, err := cluster.NewMesh(cl, par)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := perf.New(m, mesh)
+		if err != nil {
+			return nil, err
+		}
+		widths, err := partition.Optimal(ctx, par.SPP, 128, costs.SliceCost())
+		if err != nil {
+			return nil, err
+		}
+		nonUniform, err := longCtxVariant(m, cl, par, n, widths, false)
+		if err != nil {
+			return nil, err
+		}
+		winner := "uniform+fgW"
+		if nonUniform < uniform {
+			winner = "non-uniform"
+		}
+		lo, hi := widths[0], widths[0]
+		for _, w := range widths {
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		r.Add(fmt.Sprintf("%dk", ctx/1024),
+			fmt.Sprintf("%.0f ms", uniform*1e3),
+			fmt.Sprintf("%.0f ms", nonUniform*1e3),
+			winner,
+			fmt.Sprintf("%d / %d tokens", hi, lo))
+	}
+	r.Note("§5: fine-grained W absorbs the imbalance at 4k context; beyond ~128k the attention share dominates and balanced non-uniform slicing wins")
+	return r, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/cluster"
+)
+
+func init() {
+	register("power", "power draw and total cost of ownership: 4090 vs A100 clusters (§9)", Power)
+}
+
+// ElectricityUSDPerKWh is the industrial rate the paper quotes (§9,
+// February 2025).
+const ElectricityUSDPerKWh = 0.1
+
+// Power regenerates the §9 operational-cost argument: the 4090 cluster
+// draws more power for equivalent compute, but the A100 cluster's capital
+// premium takes decades of electricity savings to recoup — the paper
+// estimates roughly 24 years.
+func Power() (*Report, error) {
+	g4090 := cluster.RTX4090Cluster(8)
+	a100 := cluster.A100Cluster(4)
+	r := &Report{
+		ID:     "power",
+		Title:  "power and total cost of ownership (64x RTX 4090 vs 32x A100)",
+		Header: []string{"cluster", "GPUs", "board power", "energy $/year (24/7)", "hardware price"},
+	}
+	row := func(name string, c cluster.Cluster) (kw float64) {
+		kw = float64(c.GPUs()) * c.GPU.PowerWatts / 1e3
+		perYear := kw * 24 * 365 * ElectricityUSDPerKWh
+		r.Add(name, c.GPUs(), fmt.Sprintf("%.1f kW", kw),
+			fmt.Sprintf("$%.0f", perYear), fmt.Sprintf("$%.0fk", c.Price()/1e3))
+		return kw
+	}
+	kw4090 := row("RTX 4090", g4090)
+	kwA100 := row("A100", a100)
+
+	priceGap := a100.Price() - g4090.Price()
+	powerGapKW := kw4090 - kwA100
+	perYearGap := powerGapKW * 24 * 365 * ElectricityUSDPerKWh
+	years := priceGap / perYearGap
+	r.Note("the 4090 cluster draws %.1f kW more; at $%.2f/kWh that is $%.0f/year extra", powerGapKW, ElectricityUSDPerKWh, perYearGap)
+	r.Note("cost parity for the A100 cluster after %.0f years (paper: ~24 years)", years)
+	return r, nil
+}
+
+// YearsToParity exposes the §9 headline number for tests.
+func YearsToParity() float64 {
+	g4090 := cluster.RTX4090Cluster(8)
+	a100 := cluster.A100Cluster(4)
+	kwGap := (float64(g4090.GPUs())*g4090.GPU.PowerWatts - float64(a100.GPUs())*a100.GPU.PowerWatts) / 1e3
+	perYear := kwGap * 24 * 365 * ElectricityUSDPerKWh
+	return (a100.Price() - g4090.Price()) / perYear
+}

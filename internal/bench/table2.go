@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"mepipe/internal/config"
+	"mepipe/internal/model"
+)
+
+func init() {
+	register("table2", "communication volume per strategy: the numbers behind Table 2's plus signs", Table2)
+}
+
+// commVolumes returns the per-GPU, per-iteration communication volume (in
+// bytes) each parallel strategy moves for a reference job, computed from
+// first principles. g is the group size each strategy uses.
+func commVolumes(m config.Model, gbs, g int) map[string]float64 {
+	layers := float64(m.NumLayers)
+	seq := float64(m.SeqLen)
+	h := float64(m.HiddenSize)
+	kv := float64(m.HeadDim() * m.NumKVHeads)
+	params := float64(model.TotalParams(m))
+	samples := float64(gbs)
+	ring := 2 * float64(g-1) / float64(g) // ring all-reduce volume factor
+
+	return map[string]float64{
+		// TP: two activation all-reduces per layer per forward and two
+		// per backward, for every sample's tokens (§2.2).
+		"TP": samples * layers * 4 * ring * seq * h * model.BytesFP16,
+		// CP: ring exchange of K/V forward and K/V gradients backward,
+		// per layer per sample.
+		"CP (ZeRO)": samples*layers*3*(float64(g-1)/float64(g))*seq*2*kv*model.BytesFP16 +
+			// plus the ZeRO gradient reduce-scatter + param all-gather
+			ring*params*model.BytesFP16,
+		// DP with ZeRO-1: one gradient reduce-scatter + parameter
+		// all-gather per iteration, independent of the batch.
+		"DP (ZeRO)": ring * params * model.BytesFP16,
+		// PP: activations forward + gradients backward across each of
+		// the p−1 cuts, but each GPU touches only its two cuts: per
+		// GPU ≈ 2 sends + 2 receives of seq·h per sample.
+		"PP": samples * 4 * seq * h * model.BytesFP16 / float64(g),
+		// SPP: identical wire traffic to PP — slicing is temporal, the
+		// per-sample bytes crossing each cut are unchanged (Table 2's
+		// point: memory partitioning without new communication).
+		"SPP": samples * 4 * seq * h * model.BytesFP16 / float64(g),
+	}
+}
+
+// Table2 quantifies Table 2: per-GPU communication volume for each
+// parallel strategy at group size 8 on Llama 13B with global batch 64 —
+// turning the paper's qualitative +++++/++++/++/+ column into bytes.
+func Table2() (*Report, error) {
+	m := config.Llama13B()
+	const gbs, g = 64, 8
+	vols := commVolumes(m, gbs, g)
+	r := &Report{
+		ID:     "table2",
+		Title:  fmt.Sprintf("per-GPU communication per iteration, %s, GBS %d, group size %d", m.Name, gbs, g),
+		Header: []string{"strategy", "volume", "paper's Table 2", "partitions"},
+	}
+	rows := []struct {
+		name, plus, parts string
+	}{
+		{"TP", "+++++", "parameters, activations, optimizer"},
+		{"CP (ZeRO)", "++++", "activations, optimizer"},
+		{"DP (ZeRO)", "++", "optimizer"},
+		{"PP", "+", "parameters, optimizer"},
+		{"SPP", "+", "parameters, activations, optimizer"},
+	}
+	for _, row := range rows {
+		r.Add(row.name, fmt.Sprintf("%.1f GiB", vols[row.name]/(1<<30)), row.plus, row.parts)
+	}
+	r.Note("SPP matches PP's wire bytes while also partitioning activations — Table 2's bottom row, the paper's reason to build on it")
+	return r, nil
+}

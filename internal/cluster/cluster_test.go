@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"mepipe/internal/config"
+	"mepipe/internal/hw"
+)
+
+func mesh(t *testing.T, c Cluster, par config.Parallel) Mesh {
+	t.Helper()
+	m, err := NewMesh(c, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshValidates(t *testing.T) {
+	c := RTX4090Cluster(8)
+	if c.GPUs() != 64 {
+		t.Fatalf("cluster GPUs = %d, want 64", c.GPUs())
+	}
+	if _, err := NewMesh(c, config.Parallel{PP: 8, DP: 4, CP: 1, SPP: 1, VP: 1}); err == nil {
+		t.Error("32-GPU strategy accepted on a 64-GPU cluster")
+	}
+	if _, err := NewMesh(c, config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 1, VP: 1}); err != nil {
+		t.Errorf("valid mesh rejected: %v", err)
+	}
+}
+
+func TestStageLinksFollowPlacement(t *testing.T) {
+	c := RTX4090Cluster(8)
+	// PP=8 on 8 servers: each stage owns one full server (DP·CP = 8), so
+	// every pipeline hop crosses InfiniBand.
+	m := mesh(t, c, config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 1, VP: 1})
+	for k := 0; k < 8; k++ {
+		if got := m.StageLink(k); got != c.Inter {
+			t.Fatalf("pp=8: hop %d on %s, want InfiniBand", k, got.Name)
+		}
+	}
+	// PP=16: stage blocks of 4 GPUs, two stages per server: alternate
+	// hops stay on PCIe.
+	m = mesh(t, c, config.Parallel{PP: 16, DP: 4, CP: 1, SPP: 1, VP: 1})
+	intra, inter := 0, 0
+	for k := 0; k < 16; k++ {
+		if m.StageLink(k) == c.Intra {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra != 8 || inter != 8 {
+		t.Errorf("pp=16: %d intra / %d inter hops, want 8/8", intra, inter)
+	}
+	// DP group of a stage block that fits one server rides PCIe.
+	m = mesh(t, c, config.Parallel{PP: 8, DP: 4, CP: 2, SPP: 1, VP: 1})
+	if got := m.DPGroupLink(); got != c.Intra {
+		t.Errorf("DP group on %s, want intra-node", got.Name)
+	}
+	if got := m.CPGroupLink(); got != c.Intra {
+		t.Errorf("CP group on %s, want intra-node", got.Name)
+	}
+}
+
+func TestCollectiveCosts(t *testing.T) {
+	l := hw.PCIe4()
+	if AllReduceTime(l, 1, 1<<30) != 0 {
+		t.Error("single-rank all-reduce must be free")
+	}
+	if AllReduceTime(l, 8, 0) != 0 {
+		t.Error("zero-byte all-reduce must be free")
+	}
+	ar := AllReduceTime(l, 8, 1<<30)
+	rs := ReduceScatterTime(l, 8, 1<<30)
+	ag := AllGatherTime(l, 8, 1<<30)
+	if rs != ag {
+		t.Error("ring reduce-scatter and all-gather move the same volume")
+	}
+	if ar <= rs || ar >= rs+ag+1e-6 {
+		t.Errorf("all-reduce %.4f should be ≈ reduce-scatter %.4f + all-gather %.4f", ar, rs, ag)
+	}
+	// More ranks → more volume per the 2(g−1)/g law.
+	if AllReduceTime(l, 2, 1<<30) >= AllReduceTime(l, 8, 1<<30) {
+		t.Error("2-rank all-reduce should be cheaper than 8-rank")
+	}
+}
+
+func TestClusterPrice(t *testing.T) {
+	if p := RTX4090Cluster(8).Price(); p != 240000 {
+		t.Errorf("4090 cluster price %v, want 240000", p)
+	}
+	// §7.6: 32 A100s (4 servers) cost 2.5× the 64-4090 cluster.
+	r := A100Cluster(4).Price() / RTX4090Cluster(8).Price()
+	if r != 2.5 {
+		t.Errorf("price ratio %v, want 2.5", r)
+	}
+}
+
+func TestA100MeshLinks(t *testing.T) {
+	c := A100Cluster(4) // 32 GPUs
+	m := mesh(t, c, config.Parallel{PP: 4, DP: 8, CP: 1, SPP: 1, VP: 1})
+	// PP=4 on 4 servers: one stage per server, hops over IB800.
+	for k := 0; k < 4; k++ {
+		if m.StageLink(k).Name != c.Inter.Name {
+			t.Fatalf("hop %d on %s, want InfiniBand", k, m.StageLink(k).Name)
+		}
+	}
+	if m.DPGroupLink().Name != c.Intra.Name {
+		t.Error("DP group should ride NVLink")
+	}
+}
+
+func TestTPGroupLink(t *testing.T) {
+	c := RTX4090Cluster(8)
+	m := mesh(t, c, config.Parallel{PP: 8, DP: 4, CP: 1, SPP: 1, VP: 1, TP: 2})
+	if m.TPGroupLink().Name != c.Intra.Name {
+		t.Error("TP=2 group should stay intra-node")
+	}
+	m = mesh(t, c, config.Parallel{PP: 2, DP: 2, CP: 1, SPP: 1, VP: 1, TP: 16})
+	if m.TPGroupLink().Name != c.Inter.Name {
+		t.Error("TP=16 group cannot fit one 8-GPU server")
+	}
+}
+
+func TestDPGroupSpansServers(t *testing.T) {
+	c := RTX4090Cluster(8)
+	// PP=2: each stage block holds 32 GPUs across 4 servers; the DP ring
+	// must cross InfiniBand.
+	m := mesh(t, c, config.Parallel{PP: 2, DP: 32, CP: 1, SPP: 1, VP: 1})
+	if m.DPGroupLink().Name != c.Inter.Name {
+		t.Error("a 32-GPU DP group cannot stay intra-node")
+	}
+}

@@ -1,0 +1,170 @@
+package config
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []Model{Llama7B(), Llama13B(), Llama34B()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestModelValidateErrors(t *testing.T) {
+	base := Llama7B()
+	cases := []struct {
+		name string
+		mut  func(*Model)
+	}{
+		{"hidden", func(m *Model) { m.HiddenSize = 0 }},
+		{"layers", func(m *Model) { m.NumLayers = -1 }},
+		{"heads", func(m *Model) { m.NumHeads = 0 }},
+		{"kvheads-zero", func(m *Model) { m.NumKVHeads = 0 }},
+		{"kvheads-divide", func(m *Model) { m.NumKVHeads = 7 }},
+		{"headdim", func(m *Model) { m.NumHeads = 33 }},
+		{"ffn", func(m *Model) { m.FFNHidden = 0 }},
+		{"vocab", func(m *Model) { m.VocabSize = 0 }},
+		{"seq", func(m *Model) { m.SeqLen = 0 }},
+	}
+	for _, c := range cases {
+		m := base
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"llama-7b", "7b", "7B", "llama-13b", "13b", "llama-34b", "34B"} {
+		if _, err := ModelByName(name); err != nil {
+			t.Errorf("ModelByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ModelByName("gpt-5"); err == nil {
+		t.Error("ModelByName(gpt-5): expected error")
+	}
+}
+
+func TestHeadDim(t *testing.T) {
+	if got := Llama13B().HeadDim(); got != 128 {
+		t.Errorf("13B head dim = %d, want 128", got)
+	}
+}
+
+func TestParallelValidate(t *testing.T) {
+	good := Parallel{PP: 8, DP: 4, CP: 1, SPP: 4, VP: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+	bad := []Parallel{
+		{PP: 0, DP: 1, CP: 1, SPP: 1, VP: 1},
+		{PP: 1, DP: 0, CP: 1, SPP: 1, VP: 1},
+		{PP: 1, DP: 1, CP: 0, SPP: 1, VP: 1},
+		{PP: 1, DP: 1, CP: 1, SPP: 0, VP: 1},
+		{PP: 1, DP: 1, CP: 1, SPP: 1, VP: 0},
+		{PP: 1, DP: 1, CP: 2, SPP: 2, VP: 1}, // CP and SPP both slice the sample
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, p)
+		}
+	}
+}
+
+func TestParallelDevices(t *testing.T) {
+	p := Parallel{PP: 8, DP: 4, CP: 2, SPP: 1, VP: 1}
+	if got := p.Devices(); got != 64 {
+		t.Errorf("Devices() = %d, want 64", got)
+	}
+	// SPP consumes no devices.
+	p = Parallel{PP: 8, DP: 8, CP: 1, SPP: 16, VP: 1}
+	if got := p.Devices(); got != 64 {
+		t.Errorf("Devices() with SPP = %d, want 64", got)
+	}
+}
+
+func TestMicroBatches(t *testing.T) {
+	tr := Training{GlobalBatch: 64, MicroBatch: 1}
+	n, err := tr.MicroBatches(Parallel{PP: 8, DP: 4, CP: 2, SPP: 1, VP: 1})
+	if err != nil || n != 16 {
+		t.Errorf("MicroBatches = %d, %v; want 16, nil", n, err)
+	}
+	// Table 7's point: CP shrinks DP, so each DP group sees more
+	// micro-batches.
+	n, err = tr.MicroBatches(Parallel{PP: 8, DP: 2, CP: 4, SPP: 1, VP: 1})
+	if err != nil || n != 32 {
+		t.Errorf("MicroBatches = %d, %v; want 32, nil", n, err)
+	}
+	if _, err := tr.MicroBatches(Parallel{PP: 8, DP: 5, CP: 1, SPP: 1, VP: 1}); err == nil {
+		t.Error("expected divisibility error for DP=5")
+	}
+	if _, err := (Training{GlobalBatch: 4, MicroBatch: 8}).MicroBatches(Parallel{PP: 1, DP: 1, CP: 1, SPP: 1, VP: 1}); err == nil {
+		t.Error("expected error for batch smaller than micro-batch")
+	}
+}
+
+func TestTrainingValidate(t *testing.T) {
+	if err := (Training{GlobalBatch: 128, MicroBatch: 1}).Validate(); err != nil {
+		t.Errorf("valid training rejected: %v", err)
+	}
+	if err := (Training{GlobalBatch: 0, MicroBatch: 1}).Validate(); err == nil {
+		t.Error("zero global batch accepted")
+	}
+	if err := (Training{GlobalBatch: 8, MicroBatch: 0}).Validate(); err == nil {
+		t.Error("zero micro batch accepted")
+	}
+}
+
+func TestTPSizeAndString(t *testing.T) {
+	p := Parallel{PP: 8, DP: 4, CP: 1, SPP: 1, VP: 1}
+	if p.TPSize() != 1 {
+		t.Errorf("zero TP should mean 1, got %d", p.TPSize())
+	}
+	p.TP = 4
+	if p.TPSize() != 4 || p.Devices() != 128 {
+		t.Errorf("TPSize/Devices wrong: %d / %d", p.TPSize(), p.Devices())
+	}
+	if s := p.String(); !containsAll(s, "TP=4") {
+		t.Errorf("String() missing TP: %s", s)
+	}
+	p.TP = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative TP accepted")
+	}
+}
+
+func TestRecomputeModeString(t *testing.T) {
+	want := map[RecomputeMode]string{
+		RecomputeNone: "none", RecomputeSelective: "selective", RecomputeFull: "full",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if RecomputeMode(9).String() != "RecomputeMode(9)" {
+		t.Error("unknown mode string")
+	}
+	// String renders the recompute letter.
+	p := Parallel{PP: 4, DP: 16, CP: 1, SPP: 1, VP: 2, Recompute: RecomputeSelective}
+	if s := p.String(); !containsAll(s, "recompute=s") {
+		t.Errorf("String() = %s, want recompute=s", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+// Package config defines model, training, and parallelism configurations
+// used throughout MEPipe. The model presets follow Table 4 of the paper:
+// Llama 2 variants with two transformer layers removed so the embedding and
+// head layers can be balanced against transformer layers when partitioning
+// the computation graph across pipeline stages.
+package config
+
+import "fmt"
+
+// Model describes a decoder-only transformer in enough detail to account
+// for its parameters, FLOPs, and activation memory.
+type Model struct {
+	Name string
+
+	HiddenSize int // model dimension (d_model)
+	NumLayers  int // number of transformer layers
+	NumHeads   int // attention heads
+	// NumKVHeads supports grouped-query attention; equal to NumHeads for
+	// the Llama 2 sizes evaluated in the paper (7B/13B use MHA; 34B uses
+	// GQA in the original release, but the paper's FLOP accounting treats
+	// all sizes uniformly, so presets keep NumKVHeads == NumHeads).
+	NumKVHeads int
+	FFNHidden  int // MLP intermediate size (SwiGLU: two up projections + one down)
+	VocabSize  int
+	SeqLen     int // context length (4096 throughout the evaluation)
+}
+
+// Validate reports an error if the model configuration is internally
+// inconsistent.
+func (m Model) Validate() error {
+	switch {
+	case m.HiddenSize <= 0:
+		return fmt.Errorf("config: model %q: hidden size %d must be positive", m.Name, m.HiddenSize)
+	case m.NumLayers <= 0:
+		return fmt.Errorf("config: model %q: layer count %d must be positive", m.Name, m.NumLayers)
+	case m.NumHeads <= 0:
+		return fmt.Errorf("config: model %q: head count %d must be positive", m.Name, m.NumHeads)
+	case m.NumKVHeads <= 0 || m.NumHeads%m.NumKVHeads != 0:
+		return fmt.Errorf("config: model %q: kv head count %d must divide head count %d", m.Name, m.NumKVHeads, m.NumHeads)
+	case m.HiddenSize%m.NumHeads != 0:
+		return fmt.Errorf("config: model %q: hidden size %d not divisible by %d heads", m.Name, m.HiddenSize, m.NumHeads)
+	case m.FFNHidden <= 0:
+		return fmt.Errorf("config: model %q: ffn hidden %d must be positive", m.Name, m.FFNHidden)
+	case m.VocabSize <= 0:
+		return fmt.Errorf("config: model %q: vocab size %d must be positive", m.Name, m.VocabSize)
+	case m.SeqLen <= 0:
+		return fmt.Errorf("config: model %q: sequence length %d must be positive", m.Name, m.SeqLen)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (m Model) HeadDim() int { return m.HiddenSize / m.NumHeads }
+
+// Llama 2 presets per Table 4 of the paper. Layer counts are the original
+// Llama 2 counts minus two (30/38/46 instead of 32/40/48), matching the
+// paper's balancing trick. FFN sizes follow the Llama 2 release.
+func Llama7B() Model {
+	return Model{
+		Name: "llama-7b", HiddenSize: 4096, NumLayers: 30, NumHeads: 32,
+		NumKVHeads: 32, FFNHidden: 11008, VocabSize: 32000, SeqLen: 4096,
+	}
+}
+
+func Llama13B() Model {
+	return Model{
+		Name: "llama-13b", HiddenSize: 5120, NumLayers: 38, NumHeads: 40,
+		NumKVHeads: 40, FFNHidden: 13824, VocabSize: 32000, SeqLen: 4096,
+	}
+}
+
+func Llama34B() Model {
+	return Model{
+		Name: "llama-34b", HiddenSize: 8192, NumLayers: 46, NumHeads: 64,
+		NumKVHeads: 8, FFNHidden: 22016, VocabSize: 32000, SeqLen: 4096,
+	}
+}
+
+// ModelByName returns the preset with the given name.
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "llama-7b", "7b", "7B":
+		return Llama7B(), nil
+	case "llama-13b", "13b", "13B":
+		return Llama13B(), nil
+	case "llama-34b", "34b", "34B":
+		return Llama34B(), nil
+	}
+	return Model{}, fmt.Errorf("config: unknown model %q (want llama-7b, llama-13b, or llama-34b)", name)
+}

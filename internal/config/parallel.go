@@ -1,0 +1,146 @@
+package config
+
+import "fmt"
+
+// Parallel describes a full parallelisation strategy for one training job.
+//
+// The device count consumed by a strategy is PP × DP × CP: context
+// parallelism spreads a single sample across CP devices, while sequence
+// pipeline parallelism (SPP) slices a sample in *time* on the same devices
+// and therefore consumes no extra hardware — the distinction at the heart of
+// the paper (Table 2).
+type Parallel struct {
+	PP  int // pipeline stages
+	DP  int // data-parallel replicas (ZeRO-1 optimizer sharding assumed)
+	CP  int // context-parallel group size (devices per sample)
+	SPP int // sequence pipeline size: slices per sample (temporal, no devices)
+	VP  int // virtual pipeline size: model chunks per stage
+	// TP is the tensor-parallel group size (Megatron-style column/row
+	// splits with two all-reduces per layer per direction). Zero means 1.
+	// The paper excludes TP on the RTX 4090 cluster because the required
+	// per-layer activation synchronisation overwhelms PCIe (§2.2, §7.1);
+	// modelling it lets the search demonstrate that, and lets the A100
+	// cluster use its NVLink.
+	TP int
+	// Recompute selects the activation-recomputation strategy (§2's
+	// recomputation technique; the selective variant follows Korthikanti
+	// et al., the paper's reference [16]).
+	Recompute RecomputeMode
+}
+
+// RecomputeMode enumerates recomputation strategies.
+type RecomputeMode int
+
+const (
+	// RecomputeNone keeps every backward-needed activation.
+	RecomputeNone RecomputeMode = iota
+	// RecomputeSelective drops only the memory-heavy MLP intermediates
+	// and rebuilds them in the backward pass (two extra GEMMs per layer)
+	// — roughly half the activation memory for ~15% extra backward time.
+	RecomputeSelective
+	// RecomputeFull keeps only each layer's input and re-runs the whole
+	// forward in the backward pass (§7.3: ~90% memory reduction for 33%
+	// more computation).
+	RecomputeFull
+)
+
+func (m RecomputeMode) String() string {
+	switch m {
+	case RecomputeNone:
+		return "none"
+	case RecomputeSelective:
+		return "selective"
+	case RecomputeFull:
+		return "full"
+	}
+	return fmt.Sprintf("RecomputeMode(%d)", int(m))
+}
+
+// TPSize returns the effective tensor-parallel size (the zero value means
+// disabled).
+func (p Parallel) TPSize() int {
+	if p.TP <= 0 {
+		return 1
+	}
+	return p.TP
+}
+
+// Devices returns the number of accelerators the strategy occupies.
+func (p Parallel) Devices() int { return p.PP * p.DP * p.CP * p.TPSize() }
+
+// Validate reports an error for degenerate or contradictory settings.
+func (p Parallel) Validate() error {
+	switch {
+	case p.PP <= 0:
+		return fmt.Errorf("config: pipeline size %d must be positive", p.PP)
+	case p.DP <= 0:
+		return fmt.Errorf("config: data-parallel size %d must be positive", p.DP)
+	case p.CP <= 0:
+		return fmt.Errorf("config: context-parallel size %d must be positive", p.CP)
+	case p.SPP <= 0:
+		return fmt.Errorf("config: sequence-pipeline size %d must be positive", p.SPP)
+	case p.VP <= 0:
+		return fmt.Errorf("config: virtual-pipeline size %d must be positive", p.VP)
+	case p.TP < 0:
+		return fmt.Errorf("config: tensor-parallel size %d must be non-negative", p.TP)
+	case p.CP > 1 && p.SPP > 1:
+		return fmt.Errorf("config: context parallelism (CP=%d) and sequence pipeline parallelism (SPP=%d) both slice the sample and cannot be combined", p.CP, p.SPP)
+	}
+	return nil
+}
+
+// String renders the strategy as the (PP, CP/SPP, VP, recompute) tuples used
+// in the paper's tables, extended with DP.
+func (p Parallel) String() string {
+	slice := p.CP
+	if p.SPP > 1 {
+		slice = p.SPP
+	}
+	r := "x"
+	switch p.Recompute {
+	case RecomputeSelective:
+		r = "s"
+	case RecomputeFull:
+		r = "r"
+	}
+	if p.TPSize() > 1 {
+		return fmt.Sprintf("(PP=%d, DP=%d, TP=%d, CP/SPP=%d, VP=%d, recompute=%s)", p.PP, p.DP, p.TPSize(), slice, p.VP, r)
+	}
+	return fmt.Sprintf("(PP=%d, DP=%d, CP/SPP=%d, VP=%d, recompute=%s)", p.PP, p.DP, slice, p.VP, r)
+}
+
+// Training holds the job-level hyperparameters that, combined with a
+// Parallel strategy, fully determine the per-iteration workload.
+type Training struct {
+	GlobalBatch int // samples per optimizer step across the whole cluster
+	MicroBatch  int // samples per micro-batch (1 throughout the paper)
+}
+
+// Validate reports an error for unusable settings.
+func (t Training) Validate() error {
+	switch {
+	case t.GlobalBatch <= 0:
+		return fmt.Errorf("config: global batch %d must be positive", t.GlobalBatch)
+	case t.MicroBatch <= 0:
+		return fmt.Errorf("config: micro batch %d must be positive", t.MicroBatch)
+	}
+	return nil
+}
+
+// MicroBatches returns n, the number of micro-batches each data-parallel
+// group processes per iteration, or an error when the batch does not divide
+// evenly.
+func (t Training) MicroBatches(p Parallel) (int, error) {
+	perDP := t.GlobalBatch / p.DP
+	if perDP*p.DP != t.GlobalBatch {
+		return 0, fmt.Errorf("config: global batch %d not divisible by DP=%d", t.GlobalBatch, p.DP)
+	}
+	n := perDP / t.MicroBatch
+	if n*t.MicroBatch != perDP {
+		return 0, fmt.Errorf("config: per-replica batch %d not divisible by micro batch %d", perDP, t.MicroBatch)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("config: global batch %d too small for DP=%d micro batch %d", t.GlobalBatch, p.DP, t.MicroBatch)
+	}
+	return n, nil
+}

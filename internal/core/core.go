@@ -1,0 +1,115 @@
+// Package core wires the substrates into the MEPipe system of §6: a
+// profiler (the perf cost model standing in for on-device measurement), the
+// SVPP scheduler with its memory-model-driven variant selection, and the
+// execution engine (the discrete-event simulator with the dynamic
+// fine-grained weight-gradient queue, or the real goroutine runtime for
+// numeric validation).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/memplan"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/strategy"
+	"mepipe/internal/timeline"
+)
+
+// Job is one training job to plan.
+type Job struct {
+	Model   config.Model
+	Cluster cluster.Cluster
+	Train   config.Training
+}
+
+// Plan is a fully resolved MEPipe configuration: the strategy, the chosen
+// SVPP variant, the generated schedule, and the models behind them.
+type Plan struct {
+	Job      Job
+	Par      config.Parallel
+	N        int // micro-batches per pipeline
+	F        int // SVPP variant (§4.2)
+	Schedule *sched.Schedule
+	Costs    *perf.Costs
+	Memory   *memplan.Plan
+}
+
+// PlanMEPipe grid-searches the strategy space (§7.3) and materialises the
+// best MEPipe plan for the job.
+func PlanMEPipe(job Job) (*Plan, error) {
+	res, err := strategy.Search(strategy.MEPipe, job.Model, job.Cluster, job.Train, strategy.DefaultSpace())
+	if err != nil {
+		return nil, err
+	}
+	best := res.Best()
+	if best == nil {
+		return nil, fmt.Errorf("core: no MEPipe configuration fits %s on %s", job.Model.Name, job.Cluster.GPU.Name)
+	}
+	return PlanMEPipeAt(job, best.Par)
+}
+
+// PlanMEPipeAt materialises the MEPipe plan for a specific strategy
+// (useful to pin the paper's Table 5 configurations).
+func PlanMEPipeAt(job Job, par config.Parallel) (*Plan, error) {
+	mesh, err := cluster.NewMesh(job.Cluster, par)
+	if err != nil {
+		return nil, err
+	}
+	n, err := job.Train.MicroBatches(par)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := perf.New(job.Model, mesh)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := memplan.New(job.Model, mesh)
+	if err != nil {
+		return nil, err
+	}
+	if !mem.Feasible() {
+		return nil, fmt.Errorf("core: static memory of %s at %v exceeds %s", job.Model.Name, par, job.Cluster.GPU.Name)
+	}
+	f, err := memplan.ChooseF(par,
+		costs.ActBytes(0, sched.Op{Kind: sched.F}),
+		costs.GradBytes(0, sched.Op{Kind: sched.BAct}),
+		mem.ActBudget[0])
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.SVPP(sched.SVPPOptions{
+		P: par.PP, V: par.VP, S: par.SPP, N: n, F: f,
+		Reschedule: true, Split: true, FineGrainedW: costs.WPieces(),
+		Est: costs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Job: job, Par: par, N: n, F: f, Schedule: s, Costs: costs, Memory: mem}, nil
+}
+
+// Simulate executes the plan on the modelled cluster with the dynamic
+// fine-grained weight-gradient engine.
+func (p *Plan) Simulate() (*sim.Result, error) {
+	return sim.Run(sim.Options{
+		Sched: p.Schedule, Costs: p.Costs,
+		ActBudget: p.Memory.ActBudget,
+		DynamicW:  true,
+		TailTime:  p.Costs.TailTime,
+	})
+}
+
+// RenderTimeline simulates and writes the ASCII Gantt chart.
+func (p *Plan) RenderTimeline(w io.Writer) error {
+	res, err := p.Simulate()
+	if err != nil {
+		return err
+	}
+	timeline.Render(w, res, 0)
+	return nil
+}

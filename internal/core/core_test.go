@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+)
+
+func job13B(gbs int) Job {
+	return Job{
+		Model:   config.Llama13B(),
+		Cluster: cluster.RTX4090Cluster(8),
+		Train:   config.Training{GlobalBatch: gbs, MicroBatch: 1},
+	}
+}
+
+func TestPlanMEPipeAtPaperConfig(t *testing.T) {
+	plan, err := PlanMEPipeAt(job13B(64), config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != 8 {
+		t.Errorf("n = %d, want 8", plan.N)
+	}
+	if plan.F < 4 || plan.F > 11 {
+		t.Errorf("f = %d, want within [v·s, v·p+s−1] = [4, 11]", plan.F)
+	}
+	if plan.Schedule == nil || !plan.Schedule.SplitBW || plan.Schedule.WPieces == 0 {
+		t.Error("plan schedule must be the full split + fine-grained MEPipe schedule")
+	}
+	res, err := plan.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("paper configuration should fit in 24 GB")
+	}
+	if res.IterTime < 2 || res.IterTime > 6 {
+		t.Errorf("iteration %.2f s outside the plausible band", res.IterTime)
+	}
+	var sb strings.Builder
+	if err := plan.RenderTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stage  0") {
+		t.Error("timeline rendering incomplete")
+	}
+}
+
+func TestPlanMEPipeSearches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search is slow")
+	}
+	plan, err := PlanMEPipe(job13B(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 5: the search should land on PP=8, SPP=4, VP=1.
+	if plan.Par.PP != 8 || plan.Par.SPP != 4 || plan.Par.VP != 1 {
+		t.Errorf("planned %v, paper reports (PP=8, SPP=4, VP=1)", plan.Par)
+	}
+}
+
+func TestPlanMEPipeAtErrors(t *testing.T) {
+	// 34B at PP=4 cannot hold its own parameters.
+	job := Job{
+		Model:   config.Llama34B(),
+		Cluster: cluster.RTX4090Cluster(8),
+		Train:   config.Training{GlobalBatch: 128, MicroBatch: 1},
+	}
+	if _, err := PlanMEPipeAt(job, config.Parallel{PP: 4, DP: 16, CP: 1, SPP: 4, VP: 1}); err == nil {
+		t.Error("34B at PP=4 should be rejected (static memory)")
+	}
+	// Wrong device count.
+	if _, err := PlanMEPipeAt(job13B(64), config.Parallel{PP: 8, DP: 4, CP: 1, SPP: 4, VP: 1}); err == nil {
+		t.Error("32-GPU strategy on 64-GPU cluster accepted")
+	}
+	// Indivisible batch.
+	if _, err := PlanMEPipeAt(job13B(63), config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}); err == nil {
+		t.Error("indivisible global batch accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaperClaim reproduces §9: failure overhead under 5% for a thousand
+// RTX 4090s with few-minute in-memory recovery.
+func TestPaperClaim(t *testing.T) {
+	o, err := Default4090(1000).Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o >= 0.05 {
+		t.Errorf("1000-GPU overhead %.1f%%, paper claims < 5%%", 100*o)
+	}
+	if o < 0.01 {
+		t.Errorf("1000-GPU overhead %.2f%% implausibly low", 100*o)
+	}
+}
+
+func TestOverheadGrowsWithScale(t *testing.T) {
+	prev := 0.0
+	for _, gpus := range []int{64, 256, 1024, 4096} {
+		o, err := Default4090(gpus).Overhead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o <= prev {
+			t.Fatalf("overhead not increasing with cluster size at %d GPUs", gpus)
+		}
+		prev = o
+	}
+}
+
+func TestClusterMTBF(t *testing.T) {
+	r := Default4090(1000)
+	mtbf, err := r.ClusterMTBF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §9 / OPT logbook: ~12 hours for a thousand GPUs.
+	if mtbf < 10*time.Hour || mtbf > 14*time.Hour {
+		t.Errorf("cluster MTBF %v, want ≈ 12 h", mtbf)
+	}
+}
+
+func TestYoungDalyShape(t *testing.T) {
+	r := Default4090(1000)
+	tau, err := r.OptimalInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturbing the interval must not beat the Young–Daly optimum.
+	waste := func(tauS float64) float64 {
+		mtbf, _ := r.ClusterMTBF()
+		return r.CheckpointCost.Seconds()/tauS + (tauS/2+r.RecoveryCost.Seconds())/mtbf.Seconds()
+	}
+	opt := waste(tau.Seconds())
+	for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+		if waste(tau.Seconds()*f) < opt-1e-12 {
+			t.Errorf("interval %.0fs beats the Young–Daly choice %.0fs", tau.Seconds()*f, tau.Seconds())
+		}
+	}
+}
+
+func TestCheaperCheckpointsHelp(t *testing.T) {
+	slow := Default4090(1000)
+	slow.CheckpointCost = 10 * time.Minute // disk-based checkpointing
+	fast := Default4090(1000)              // in-memory, 30 s
+	so, _ := slow.Overhead()
+	fo, _ := fast.Overhead()
+	if fo >= so {
+		t.Errorf("in-memory checkpointing (%.1f%%) should beat disk (%.1f%%)", 100*fo, 100*so)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Reliability{GPUs: 0, PerGPUMTBF: time.Hour}).ClusterMTBF(); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	bad := Default4090(8)
+	bad.CheckpointCost = 0
+	if _, err := bad.OptimalInterval(); err == nil {
+		t.Error("zero checkpoint cost accepted")
+	}
+	if _, err := bad.Overhead(); err == nil {
+		t.Error("overhead with zero checkpoint cost accepted")
+	}
+	g, err := Default4090(64).Goodput()
+	if err != nil || g <= 0.95 || g >= 1 {
+		t.Errorf("64-GPU goodput %v, want just under 1", g)
+	}
+}

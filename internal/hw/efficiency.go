@@ -1,0 +1,33 @@
+package hw
+
+// EffCurve models how achievable GEMM/attention throughput degrades as the
+// per-kernel token count shrinks — the effect Fig 9 of the paper measures
+// when CP or SPP slices samples finer. The saturating form
+//
+//	e(t) = t / (t + Tau)
+//
+// multiplies the accelerator's MatmulFLOPS. Tau is calibrated from the
+// paper's data point that a Llama 13B transformer layer loses 12.6% of its
+// throughput when SPP grows from 1 to 8 (4096 → 512 tokens per call):
+// solving e(512)/e(4096) = 0.874 gives Tau ≈ 86 tokens.
+type EffCurve struct {
+	Tau float64
+}
+
+// DefaultEff returns the calibrated curve.
+func DefaultEff() EffCurve { return EffCurve{Tau: 86} }
+
+// At returns the efficiency multiplier for t tokens per kernel call.
+func (c EffCurve) At(t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	ft := float64(t)
+	return ft / (ft + c.Tau)
+}
+
+// Relative returns the throughput at t tokens relative to full-sequence
+// calls of tFull tokens (the quantity Fig 9 plots).
+func (c EffCurve) Relative(t, tFull int) float64 {
+	return c.At(t) / c.At(tFull)
+}

@@ -1,0 +1,116 @@
+// Package hw catalogs the accelerators and interconnects the paper
+// evaluates on, together with the empirical operator-efficiency curves that
+// stand in for real CUDA kernels. Peak numbers follow Table 9; efficiency
+// curves are calibrated so that end-to-end simulations land on the paper's
+// measured anchors (116 TFLOPS / 35 % MFU for Llama 13B on RTX 4090, −12.6 %
+// per-layer throughput at SPP = 8, Figure 9's CP-vs-SPP gap).
+package hw
+
+import "fmt"
+
+// GPU describes one accelerator model.
+type GPU struct {
+	Name string
+	// MemoryBytes is the usable HBM/GDDR capacity.
+	MemoryBytes int64
+	// PeakFLOPS is the advertised dense FP16 tensor throughput (FLOP/s).
+	PeakFLOPS float64
+	// MatmulFLOPS is the *achievable* large-GEMM throughput given the
+	// numerics the paper uses. On RTX 4090 the paper accumulates GEMMs in
+	// FP32 to preserve convergence, which halves tensor-core throughput
+	// (§7.6: "a single RTX 4090 achieves approximately half the
+	// performance of a single A100"). On A100 FP32 accumulation is free.
+	MatmulFLOPS float64
+	// ServerPriceUSD is the price of one 8-GPU server (Table 9).
+	ServerPriceUSD float64
+	// PowerWatts is the board power (§9).
+	PowerWatts float64
+	// KernelOverhead is the fixed per-kernel-launch cost folded into every
+	// scheduled compute op. PCIe-attached consumer parts see slightly
+	// higher launch overhead than SXM parts.
+	KernelOverhead float64 // seconds
+}
+
+const (
+	gb = int64(1) << 30
+)
+
+// RTX4090 returns the consumer accelerator the paper targets.
+// 24 GB GDDR6X; 330 TFLOPS FP16 peak (Table 9); roughly half of that
+// attainable with FP32 accumulation.
+func RTX4090() GPU {
+	return GPU{
+		Name:           "RTX 4090",
+		MemoryBytes:    24 * gb,
+		PeakFLOPS:      330e12,
+		MatmulFLOPS:    135e12,
+		ServerPriceUSD: 30000,
+		PowerWatts:     450,
+		KernelOverhead: 12e-6,
+	}
+}
+
+// A100 returns the 80 GB SXM A100 used for the cost comparison.
+func A100() GPU {
+	return GPU{
+		Name:           "A100 80GB",
+		MemoryBytes:    80 * gb,
+		PeakFLOPS:      312e12,
+		MatmulFLOPS:    265e12,
+		ServerPriceUSD: 150000,
+		PowerWatts:     400,
+		KernelOverhead: 8e-6,
+	}
+}
+
+// GPUByName looks up a catalog entry.
+func GPUByName(name string) (GPU, error) {
+	switch name {
+	case "4090", "rtx4090", "RTX 4090":
+		return RTX4090(), nil
+	case "a100", "A100", "A100 80GB":
+		return A100(), nil
+	}
+	return GPU{}, fmt.Errorf("hw: unknown GPU %q (want rtx4090 or a100)", name)
+}
+
+// Link describes a point-to-point or shared interconnect.
+type Link struct {
+	Name string
+	// BandwidthBytes is the attainable unidirectional bandwidth in B/s.
+	BandwidthBytes float64
+	// Latency is the per-message latency in seconds.
+	Latency float64
+}
+
+// PCIe4 returns a PCIe 4.0 x16 device-to-device path. Consumer boards have
+// no P2P DMA, so transfers stage through host memory; Table 9 quotes
+// 64 GB/s *bidirectional intra-node aggregate* for the whole 8-GPU server,
+// which works out to ~11 GB/s attainable per direction per pair.
+func PCIe4() Link {
+	return Link{Name: "PCIe 4.0 x16", BandwidthBytes: 11e9, Latency: 8e-6}
+}
+
+// NVLink3 returns an A100 NVLink path (600 GB/s bidirectional per Table 9,
+// ~250 GB/s attainable per direction).
+func NVLink3() Link {
+	return Link{Name: "NVLink 3", BandwidthBytes: 250e9, Latency: 3e-6}
+}
+
+// IB100 returns a 100 Gb/s InfiniBand NIC path (4090 cluster, §7.1).
+func IB100() Link {
+	return Link{Name: "InfiniBand 100Gbps", BandwidthBytes: 11e9, Latency: 5e-6}
+}
+
+// IB800 returns an 800 Gb/s InfiniBand NIC path (A100 cluster, §7.6).
+func IB800() Link {
+	return Link{Name: "InfiniBand 800Gbps", BandwidthBytes: 88e9, Latency: 5e-6}
+}
+
+// TransferTime returns the time to move n bytes across the link.
+func (l Link) TransferTime(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return l.Latency + float64(n)/l.BandwidthBytes
+}

@@ -1,0 +1,85 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogLookup(t *testing.T) {
+	for _, name := range []string{"4090", "rtx4090", "RTX 4090", "a100", "A100"} {
+		if _, err := GPUByName(name); err != nil {
+			t.Errorf("GPUByName(%q): %v", name, err)
+		}
+	}
+	if _, err := GPUByName("h100"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+}
+
+func TestTable9Anchors(t *testing.T) {
+	g4090, a100 := RTX4090(), A100()
+	// Table 9: comparable FP16 peaks, 5× server price gap, 24 vs 80 GB.
+	if g4090.PeakFLOPS < a100.PeakFLOPS {
+		t.Error("4090 FP16 peak should be at or above A100's (Table 9)")
+	}
+	if r := a100.ServerPriceUSD / g4090.ServerPriceUSD; math.Abs(r-5) > 0.01 {
+		t.Errorf("server price ratio %.1f, want 5 (Table 9)", r)
+	}
+	if g4090.MemoryBytes >= a100.MemoryBytes {
+		t.Error("4090 must have less memory than A100")
+	}
+	// §7.6: one 4090 achieves roughly half an A100 with FP32 accumulation.
+	if r := a100.MatmulFLOPS / g4090.MatmulFLOPS; r < 1.7 || r > 2.3 {
+		t.Errorf("A100/4090 achievable ratio %.2f, want ~2", r)
+	}
+	// §9: 4090 draws more power.
+	if g4090.PowerWatts <= a100.PowerWatts {
+		t.Error("4090 board power should exceed A100's")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := PCIe4()
+	if got := l.TransferTime(0); got != 0 {
+		t.Errorf("zero bytes cost %v, want 0", got)
+	}
+	small := l.TransferTime(1)
+	if small < l.Latency {
+		t.Error("transfer cannot beat latency")
+	}
+	big := l.TransferTime(1 << 30)
+	if big <= small {
+		t.Error("more bytes must take longer")
+	}
+	// Bandwidth ordering across the catalog.
+	if !(IB100().BandwidthBytes < IB800().BandwidthBytes) {
+		t.Error("IB100 must be slower than IB800")
+	}
+	if !(PCIe4().BandwidthBytes < NVLink3().BandwidthBytes) {
+		t.Error("PCIe must be slower than NVLink")
+	}
+}
+
+func TestEffCurveCalibration(t *testing.T) {
+	c := DefaultEff()
+	// Calibration anchor: −12.6% per-layer throughput going from 4096 to
+	// 512 tokens per call (Fig 9, SPP 1 → 8). The curve carries most of
+	// it; kernel overheads in perf carry the rest, so the raw curve
+	// should sit within a couple of points of the anchor.
+	rel := c.Relative(512, 4096)
+	if rel < 0.85 || rel > 0.92 {
+		t.Errorf("eff(512)/eff(4096) = %.4f, want ≈ 0.874 ± 0.05", rel)
+	}
+	// Monotonicity and bounds.
+	prev := 0.0
+	for _, tok := range []int{1, 64, 256, 1024, 4096, 1 << 20} {
+		e := c.At(tok)
+		if e <= prev || e >= 1 {
+			t.Fatalf("At(%d) = %v, want strictly increasing in (0,1)", tok, e)
+		}
+		prev = e
+	}
+	if c.At(0) != 0 {
+		t.Error("At(0) must be 0")
+	}
+}

@@ -1,0 +1,132 @@
+package memplan
+
+import (
+	"testing"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+)
+
+func plan(t *testing.T, m config.Model, par config.Parallel) *Plan {
+	t.Helper()
+	cl := cluster.RTX4090Cluster(par.Devices() / 8)
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(m, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanShape(t *testing.T) {
+	p := plan(t, config.Llama13B(), config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1})
+	if len(p.Static) != 8 || len(p.Temp) != 8 || len(p.ActBudget) != 8 {
+		t.Fatal("plan must have one entry per stage")
+	}
+	for k := range p.Static {
+		if p.Static[k] <= 0 || p.Temp[k] <= 0 {
+			t.Fatalf("stage %d: non-positive components", k)
+		}
+		if p.ActBudget[k] > p.Capacity {
+			t.Fatalf("stage %d: budget exceeds capacity", k)
+		}
+	}
+	// The last stage carries the loss logits, so its temp is the largest.
+	if p.Temp[7] <= p.Temp[3] {
+		t.Error("last stage should have the largest temporary memory (loss logits)")
+	}
+	if !p.Feasible() {
+		t.Error("13B at PP=8 must be feasible on 24 GB")
+	}
+}
+
+// TestStaticMatchesPaperFormula pins §4.5: static ≈ 4m/p + 8m/(d·p).
+func TestStaticMatchesPaperFormula(t *testing.T) {
+	m := config.Llama13B()
+	p := plan(t, m, config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1})
+	// Mid stages hold ~5 layers = m/8 of the model.
+	var total int64
+	for _, s := range p.Static {
+		total += s
+	}
+	// Summed over stages: 4m (FP16 params+grads) plus p workers each
+	// holding a 12m/64 optimizer shard.
+	mParams := float64(13e9) * 0.955 // preset is ~12.4B
+	want := 4*mParams + 8*12*mParams/64
+	got := float64(total)
+	if r := got / want; r < 0.9 || r > 1.1 {
+		t.Errorf("summed static %.2fGB vs paper formula %.2fGB (ratio %.2f)", got/1e9, want/1e9, r)
+	}
+}
+
+// Test34BStaticGate reproduces §7.4: at PP=4/8 the static memory of Llama
+// 34B exceeds 24 GB cards entirely; PP=16 leaves room.
+func Test34BStaticGate(t *testing.T) {
+	m := config.Llama34B()
+	if p := plan(t, m, config.Parallel{PP: 4, DP: 16, CP: 1, SPP: 1, VP: 1}); p.Feasible() {
+		t.Error("34B at PP=4 should be infeasible on 24 GB")
+	}
+	// §7.4: "the static memory exceeds the capacity of the GPU" at the
+	// maximum VPP/ZBV pipeline size of 8 — no practical activation room.
+	if p := plan(t, m, config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 1, VP: 1}); p.ActBudget[3] > 2<<30 {
+		t.Errorf("34B at PP=8 leaves %.1f GiB for activations, want < 2 GiB", float64(p.ActBudget[3])/(1<<30))
+	}
+	p := plan(t, m, config.Parallel{PP: 16, DP: 4, CP: 1, SPP: 16, VP: 1})
+	if !p.Feasible() {
+		t.Fatal("34B at PP=16 must be feasible")
+	}
+	// §7.4: "the left memory for activations is around 5GB".
+	if b := float64(p.ActBudget[1]) / (1 << 30); b < 3 || b > 10 {
+		t.Errorf("34B PP=16 activation budget %.1f GiB, want ≈ 5 GiB", b)
+	}
+}
+
+func TestSplitReserveShrinksBudget(t *testing.T) {
+	m := config.Llama13B()
+	par := config.Parallel{PP: 8, DP: 4, CP: 2, SPP: 1, VP: 1}
+	cl := cluster.RTX4090Cluster(8)
+	mesh, _ := cluster.NewMesh(cl, par)
+	base, err := New(m, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := NewWithReserve(m, mesh, SplitReserve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range base.ActBudget {
+		if tight.ActBudget[k] >= base.ActBudget[k] {
+			t.Fatalf("stage %d: reserve did not shrink the budget", k)
+		}
+	}
+}
+
+func TestChooseF(t *testing.T) {
+	par := config.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}
+	fam := int64(1 << 30)
+	// Plenty of budget: f caps at the bubble-optimal v·max+min−1 = 11.
+	f, err := ChooseF(par, fam, 0, 100<<30)
+	if err != nil || f != 11 {
+		t.Errorf("ChooseF(rich) = %d, %v; want 11", f, err)
+	}
+	// Tight: 6 families fit.
+	f, err = ChooseF(par, fam, 0, 6<<30)
+	if err != nil || f != 6 {
+		t.Errorf("ChooseF(6GB) = %d, %v; want 6", f, err)
+	}
+	// Gradient retention reserves two families' worth off the top.
+	f, err = ChooseF(par, fam, 1<<29, 7<<30)
+	if err != nil || f != 6 {
+		t.Errorf("ChooseF(grad reserve) = %d, %v; want 6", f, err)
+	}
+	// Below the v·s = 4 minimum: no variant exists (§4.2).
+	if _, err := ChooseF(par, fam, 0, 3<<30); err == nil {
+		t.Error("ChooseF below the v·s minimum must fail")
+	}
+	if _, err := ChooseF(par, 0, 0, 1<<30); err == nil {
+		t.Error("zero family footprint must fail")
+	}
+}

@@ -1,0 +1,103 @@
+package model
+
+import "mepipe/internal/config"
+
+// FLOP accounting at slice granularity.
+//
+// A slice is a contiguous run of tokens within one sample. Because the
+// decoder is causal, the attention-score work of a slice grows with the
+// number of tokens that precede it: slice i of width t attends to i*t earlier
+// tokens plus (on average) half of itself. Projection and MLP GEMMs, in
+// contrast, depend only on the slice width. This is exactly the imbalance
+// §5 of the paper sets out to absorb with fine-grained weight-gradient
+// computation.
+
+// LayerProjFlops returns the forward FLOPs of the four attention projections
+// for t tokens (2 FLOPs per multiply-accumulate).
+func LayerProjFlops(m config.Model, t int) float64 {
+	h := float64(m.HiddenSize)
+	kv := float64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	return 2 * float64(t) * (h*h + 2*h*kv + h*h)
+}
+
+// LayerMLPFlops returns the forward FLOPs of the SwiGLU MLP for t tokens.
+func LayerMLPFlops(m config.Model, t int) float64 {
+	return 2 * float64(t) * 3 * float64(m.HiddenSize) * float64(m.FFNHidden)
+}
+
+// LayerAttnScoreFlops returns the forward FLOPs of the attention-score part
+// (Q·Kᵀ and P·V) for a slice of t query tokens whose first token sits at
+// absolute position start. Causality makes the average attended length
+// start + (t+1)/2.
+func LayerAttnScoreFlops(m config.Model, t, start int) float64 {
+	attended := float64(start) + (float64(t)+1)/2
+	// Two GEMMs (scores and weighted values), 2 FLOPs per MAC, over the
+	// full hidden dimension (queries use all heads).
+	return 2 * 2 * float64(t) * attended * float64(m.HiddenSize)
+}
+
+// LayerForwardFlops returns the total forward FLOPs of one transformer layer
+// for the given slice.
+func LayerForwardFlops(m config.Model, t, start int) float64 {
+	return LayerProjFlops(m, t) + LayerMLPFlops(m, t) + LayerAttnScoreFlops(m, t, start)
+}
+
+// LayerActGradFlops returns the FLOPs of the activation-gradient half of the
+// backward pass (dX through every GEMM, plus the attention backward, which
+// costs roughly twice its forward because both dQ/dK and dV paths traverse
+// the score matrix).
+func LayerActGradFlops(m config.Model, t, start int) float64 {
+	return LayerProjFlops(m, t) + LayerMLPFlops(m, t) + 2*LayerAttnScoreFlops(m, t, start)
+}
+
+// LayerWeightGradFlops returns the FLOPs of the weight-gradient half of the
+// backward pass (dW = Xᵀ·dY for every GEMM). It has no attention-score
+// component, which is why it is balanced across slices — the property §5
+// exploits.
+func LayerWeightGradFlops(m config.Model, t int) float64 {
+	return LayerProjFlops(m, t) + LayerMLPFlops(m, t)
+}
+
+// WeightGradGEMMsPerLayer is the number of independent weight-gradient GEMMs
+// in one layer (Wq, Wk, Wv, Wo, gate, up, down): the granularity at which §5
+// enqueues work.
+const WeightGradGEMMsPerLayer = 7
+
+// EmbeddingForwardFlops returns the forward FLOPs of the embedding lookup
+// (treated as negligible compute, returned for completeness).
+func EmbeddingForwardFlops(m config.Model, t int) float64 { return 0 }
+
+// HeadForwardFlops returns the forward FLOPs of the LM head projection and
+// softmax for t tokens.
+func HeadForwardFlops(m config.Model, t int) float64 {
+	return 2 * float64(t) * float64(m.HiddenSize) * float64(m.VocabSize)
+}
+
+// HeadBackwardFlops returns the combined backward FLOPs of the LM head
+// (activation plus weight gradients).
+func HeadBackwardFlops(m config.Model, t int) float64 {
+	return 2 * HeadForwardFlops(m, t)
+}
+
+// SampleForwardFlops returns the forward FLOPs of one full sample through
+// the whole model (all layers plus head), used for MFU accounting.
+func SampleForwardFlops(m config.Model) float64 {
+	t := m.SeqLen
+	perLayer := LayerForwardFlops(m, t, 0)
+	return float64(m.NumLayers)*perLayer + HeadForwardFlops(m, t)
+}
+
+// SampleTotalFlops returns forward + backward FLOPs of one sample (the
+// standard ~3× forward multiplier, with the attention imbalance accounted
+// exactly).
+func SampleTotalFlops(m config.Model) float64 {
+	t := m.SeqLen
+	perLayer := LayerForwardFlops(m, t, 0) + LayerActGradFlops(m, t, 0) + LayerWeightGradFlops(m, t)
+	return float64(m.NumLayers)*perLayer + HeadForwardFlops(m, t) + HeadBackwardFlops(m, t)
+}
+
+// ModelFlopsPerToken returns the conventional 6·params estimate used for MFU
+// reporting in the paper (FLOPs per trained token).
+func ModelFlopsPerToken(m config.Model) float64 {
+	return 6 * float64(TotalParams(m))
+}

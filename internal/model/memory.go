@@ -1,0 +1,245 @@
+package model
+
+import "mepipe/internal/config"
+
+// Activation accounting. The forward pass must retain, for each layer, the
+// tensors its backward pass consumes. With FlashAttention (which the paper's
+// artifact uses) the O(t·ctx) score matrix is never materialised; the
+// retained set per token is the enumeration below. The total comes out near
+// the classic 34·h bytes/token of Korthikanti et al. for Llama shapes.
+//
+//	rmsnorm1 input          h        (norm backward)
+//	normed attention input  h        (Wq/Wk/Wv weight grads)
+//	Q, K, V                 3h       (flash-attention backward)
+//	attention output O      h        (Wo weight grad + flash bwd)
+//	rmsnorm2 input          h        (norm backward)
+//	normed MLP input        h        (gate/up weight grads)
+//	gate, up outputs        2·ffn    (SiLU backward, product grads)
+//	silu(gate)*up product   ffn      (down-projection weight grad)
+//
+// All FP16. Dropout is disabled in Llama 2 pre-training, so no masks.
+
+// LayerActivationBytesPerToken returns the retained activation bytes per
+// token per transformer layer.
+func LayerActivationBytesPerToken(m config.Model) int64 {
+	h := int64(m.HiddenSize)
+	kvh := int64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	ffn := int64(m.FFNHidden)
+	elems := h + h + (h + 2*kvh) + h + h + h + 2*ffn + ffn
+	return BytesFP16 * elems
+}
+
+// LayerActivationBytesPerTokenTP returns the per-worker retained activation
+// bytes per token per layer under Megatron tensor parallelism (without
+// sequence parallelism): the norm inputs/outputs and the post-all-reduce
+// attention output stay replicated; Q/K/V and the MLP intermediates shard
+// across the tp workers.
+func LayerActivationBytesPerTokenTP(m config.Model, tp int) int64 {
+	if tp <= 1 {
+		return LayerActivationBytesPerToken(m)
+	}
+	h := int64(m.HiddenSize)
+	kvh := int64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	ffn := int64(m.FFNHidden)
+	full := 5 * h                            // rms inputs/outputs, attention output
+	split := (h + 2*kvh + 3*ffn) / int64(tp) // Q, K, V, gate, up, product
+	return BytesFP16 * (full + split)
+}
+
+// SampleActivationBytes returns A — the activation memory of one full sample
+// across all layers (the unit of Table 3 and Figure 1).
+func SampleActivationBytes(m config.Model) int64 {
+	return int64(m.SeqLen) * int64(m.NumLayers) * LayerActivationBytesPerToken(m)
+}
+
+// RecomputeActivationBytesPerToken returns the retained bytes per token per
+// layer under full recomputation: only the layer input survives the forward
+// pass (§2, Megatron-style full recompute).
+func RecomputeActivationBytesPerToken(m config.Model) int64 {
+	return BytesFP16 * int64(m.HiddenSize)
+}
+
+// SelectiveActivationBytesPerToken returns the per-token retention under
+// selective recomputation (the paper's reference [16]): the three MLP
+// intermediates — by far the largest tensors with FlashAttention — are
+// dropped and rebuilt in the backward pass; everything else stays.
+func SelectiveActivationBytesPerToken(m config.Model, tp int) int64 {
+	full := LayerActivationBytesPerTokenTP(m, tp)
+	ffn := int64(m.FFNHidden) / int64(tp)
+	return full - BytesFP16*3*ffn
+}
+
+// ActGradBytesPerToken returns the bytes of activation gradients that must be
+// retained per token per layer while weight-gradient computation is deferred
+// (§5: postponing W requires keeping both activations and their gradients
+// for every GEMM input). The gradient set mirrors the GEMM outputs: dY for
+// each of the 7 GEMMs.
+func ActGradBytesPerToken(m config.Model) int64 {
+	h := int64(m.HiddenSize)
+	kvh := int64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	ffn := int64(m.FFNHidden)
+	// dQKV (h+2kvh), dO (h), d(gate)+d(up) (2ffn), d(down-out) (h).
+	return BytesFP16 * (h + 2*kvh + h + 2*ffn + h)
+}
+
+// ActGradBytesPerTokenTP is ActGradBytesPerToken under tensor parallelism:
+// the sharded GEMM outputs' gradients split across the tp workers while the
+// replicated residual-path gradients do not.
+func ActGradBytesPerTokenTP(m config.Model, tp int) int64 {
+	if tp <= 1 {
+		return ActGradBytesPerToken(m)
+	}
+	h := int64(m.HiddenSize)
+	kvh := int64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	ffn := int64(m.FFNHidden)
+	full := 2 * h                            // dO (post all-reduce), d(down output)
+	split := (h + 2*kvh + 2*ffn) / int64(tp) // dQKV, d(gate), d(up)
+	return BytesFP16 * (full + split)
+}
+
+// StaticBytesPerWorker returns the static memory of one worker: FP16
+// parameters and gradients for its pipeline stage plus its ZeRO-1 optimizer
+// shard (§4.5's first component, the 4m/p + 8m/(d·p) formula, applied to the
+// exact per-stage parameter count rather than the uniform approximation).
+func StaticBytesPerWorker(m config.Model, par config.Parallel) int64 {
+	perStage := StageParams(m, par.PP)
+	maxParams := perStage[0]
+	for _, p := range perStage[1:] {
+		if p > maxParams {
+			maxParams = p
+		}
+	}
+	// CP workers replicate the stage's FP16 parameters and gradients;
+	// the optimizer state is ZeRO-sharded over every device in the job
+	// (§7.2: "optimizer states are evenly distributed across all devices
+	// with the ZeRO technique"; §7.4 quotes the resulting 34B shard as
+	// 12·m/64 ≈ 6.375 GB).
+	devices := int64(par.Devices())
+	shard := (TotalParams(m) + devices - 1) / devices
+	return maxParams/int64(par.TPSize())*BytesPerParamStatic + shard*BytesPerParamOptimizer
+}
+
+// StageParams returns the parameter count of each pipeline stage when the
+// model is partitioned into pp stages: the embedding joins the first stage,
+// the head the last, and transformer layers are spread as evenly as
+// possible (the paper removes two layers from each Llama size precisely so
+// embedding+head can be balanced against layers; we mirror that by treating
+// embedding and head each as one layer-equivalent when splitting).
+func StageParams(m config.Model, pp int) []int64 {
+	layers := LayersPerStage(m.NumLayers, pp)
+	out := make([]int64, pp)
+	for s, l := range layers {
+		out[s] = int64(l) * LayerParams(m)
+	}
+	out[0] += EmbeddingParams(m)
+	out[pp-1] += HeadParams(m)
+	return out
+}
+
+// LayersPerStage splits nLayers transformer layers across pp stages,
+// reserving one layer-equivalent slot on the first and last stages for the
+// embedding and head (when pp > 1 and the split allows). The returned slice
+// sums to nLayers.
+func LayersPerStage(nLayers, pp int) []int {
+	out := make([]int, pp)
+	if pp == 1 {
+		out[0] = nLayers
+		return out
+	}
+	// Distribute nLayers+2 "units" (layers + embedding + head) evenly,
+	// then take back the embedding/head units from the end stages.
+	units := nLayers + 2
+	base := units / pp
+	rem := units % pp
+	for s := range out {
+		out[s] = base
+		// Spread the remainder over the middle stages first, so the
+		// end stages (already carrying embedding/head) stay light.
+		if rem > 0 && s != 0 && s != pp-1 {
+			out[s]++
+			rem--
+		}
+	}
+	for s := 0; rem > 0 && s < pp; s++ {
+		out[s]++
+		rem--
+	}
+	out[0]--    // embedding occupies one unit on stage 0
+	out[pp-1]-- // head occupies one unit on the last stage
+	// Extremely deep pipelines can leave an end stage negative; steal a
+	// layer from the heaviest stage so the result is a valid partition.
+	for _, end := range []int{0, pp - 1} {
+		for out[end] < 0 {
+			max := 0
+			for s := range out {
+				if out[s] > out[max] {
+					max = s
+				}
+			}
+			out[max]--
+			out[end]++
+		}
+	}
+	return out
+}
+
+// EvenPartition reports whether pp stages with vp chunks each split the
+// model's nLayers+2 layer-equivalent units evenly — the paper's requirement
+// ("the computation graph should be partitioned evenly for all approaches")
+// that caps VPP at 4 stages for Llama 13B's 40 units.
+func EvenPartition(nLayers, pp, vp int) bool {
+	units := nLayers + 2
+	chunks := pp * vp
+	return chunks <= units && units%chunks == 0
+}
+
+// LayersPerGlobalChunk returns the transformer-layer count of each global
+// chunk when the model is split into `chunks` sequential chunks. Chunk 0
+// hosts the embedding and the last chunk hosts the head; each displaces one
+// layer-equivalent unit.
+func LayersPerGlobalChunk(nLayers, chunks int) []int {
+	units := nLayers + 2
+	per := units / chunks
+	extra := units % chunks
+	out := make([]int, chunks)
+	for c := 0; c < chunks; c++ {
+		n := per
+		if c < extra {
+			n++
+		}
+		if c == 0 {
+			n-- // embedding
+		}
+		if c == chunks-1 {
+			n-- // head
+		}
+		out[c] = n
+	}
+	return out
+}
+
+// LayersPerChunk returns the transformer-layer count of each (stage, local
+// chunk) under the round-robin placement: global chunk c lives on stage
+// c%pp as that stage's chunk c/pp.
+func LayersPerChunk(nLayers, pp, vp int) [][]int {
+	global := LayersPerGlobalChunk(nLayers, pp*vp)
+	out := make([][]int, pp)
+	for s := range out {
+		out[s] = make([]int, vp)
+	}
+	for c, n := range global {
+		out[c%pp][c/pp] = n
+	}
+	return out
+}
+
+// TemporaryBytes returns the transient workspace high-water mark (§4.5's
+// second component): dominated by the cross-entropy loss over the vocabulary
+// on the last stage (logits in FP32 for numerical stability) plus
+// communication buffers. t is the largest number of tokens processed in one
+// compute call.
+func TemporaryBytes(m config.Model, t int) int64 {
+	logits := int64(t) * int64(m.VocabSize) * BytesFP32
+	commBuffers := int64(4) * int64(t) * int64(m.HiddenSize) * BytesFP16
+	return logits + commBuffers
+}

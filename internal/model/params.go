@@ -1,0 +1,59 @@
+// Package model provides the analytic cost accounting for decoder-only
+// transformers: parameter counts, FLOPs per forward / activation-gradient /
+// weight-gradient pass at slice granularity (including the causal-attention
+// workload growth across slices that motivates §5 of the paper), activation
+// memory per token, and the static/temporary memory components of the §4.5
+// memory model.
+package model
+
+import "mepipe/internal/config"
+
+// Bytes-per-element constants for the mixed-precision recipe the paper uses
+// (§4.5): FP16 parameters, gradients and activations; FP32 master weights and
+// Adam moments held by the (ZeRO-sharded) optimizer.
+const (
+	BytesFP16 = 2
+	BytesFP32 = 4
+
+	// BytesPerParamStatic covers the FP16 parameter + FP16 gradient copy
+	// each pipeline stage holds (the 4m/p term of §4.5).
+	BytesPerParamStatic = 2 * BytesFP16
+	// BytesPerParamOptimizer covers the FP32 master weights plus Adam
+	// first and second moments held by the ZeRO-sharded optimizer. §7.4
+	// quotes the shard at 6.375 GB/worker for Llama 34B on 64 devices —
+	// exactly 12 bytes per parameter spread over the whole cluster
+	// ("optimizer states are evenly distributed across all devices",
+	// §7.2).
+	BytesPerParamOptimizer = 12
+)
+
+// LayerParams returns the parameter count of one transformer layer:
+// attention Q/K/V/O projections, the SwiGLU MLP (gate, up, down), and the
+// two RMSNorm scale vectors.
+func LayerParams(m config.Model) int64 {
+	h := int64(m.HiddenSize)
+	kv := int64(m.HiddenSize / m.NumHeads * m.NumKVHeads)
+	ffn := int64(m.FFNHidden)
+	attn := h*h + 2*h*kv + h*h // Wq, Wk, Wv, Wo
+	mlp := 3 * h * ffn         // gate, up, down
+	norms := 2 * h
+	return attn + mlp + norms
+}
+
+// EmbeddingParams returns the token-embedding parameter count. Llama 2 does
+// not tie the output head to the embedding, so the head is counted
+// separately by HeadParams.
+func EmbeddingParams(m config.Model) int64 {
+	return int64(m.VocabSize) * int64(m.HiddenSize)
+}
+
+// HeadParams returns the parameter count of the output projection (LM head)
+// plus the final RMSNorm.
+func HeadParams(m config.Model) int64 {
+	return int64(m.VocabSize)*int64(m.HiddenSize) + int64(m.HiddenSize)
+}
+
+// TotalParams returns the full model parameter count.
+func TotalParams(m config.Model) int64 {
+	return int64(m.NumLayers)*LayerParams(m) + EmbeddingParams(m) + HeadParams(m)
+}

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mepipe/internal/tensor"
+)
+
+// Embedding maps token ids to hidden vectors.
+type Embedding struct {
+	Table, DTable *tensor.Matrix // [vocab × hidden]
+}
+
+func newEmbedding(rng *rand.Rand, cfg Config) *Embedding {
+	e := &Embedding{Table: tensor.New(cfg.Vocab, cfg.Hidden), DTable: tensor.New(cfg.Vocab, cfg.Hidden)}
+	e.Table.RandInit(rng, 0.1)
+	return e
+}
+
+// Forward gathers the rows for the given tokens.
+func (e *Embedding) Forward(tokens []int) *tensor.Matrix {
+	out := tensor.New(len(tokens), e.Table.Cols)
+	for i, t := range tokens {
+		copy(out.Row(i), e.Table.Row(t))
+	}
+	return out
+}
+
+// Backward scatter-adds dX into the token rows.
+func (e *Embedding) Backward(tokens []int, dx *tensor.Matrix) {
+	for i, t := range tokens {
+		row := e.DTable.Row(t)
+		for j, v := range dx.Row(i) {
+			row[j] += v
+		}
+	}
+}
+
+// Head is the final RMSNorm plus LM projection and loss.
+type Head struct {
+	Norm, DNorm []float32
+	W           Linear
+}
+
+func newHead(rng *rand.Rand, cfg Config) *Head {
+	return &Head{Norm: ones(cfg.Hidden), DNorm: make([]float32, cfg.Hidden), W: newLinear(rng, cfg.Hidden, cfg.Vocab)}
+}
+
+// headSave retains the head's forward tensors for one slice.
+type headSave struct {
+	x, xn *tensor.Matrix
+	inv   []float32
+}
+
+// HeadState is the per-micro-batch bookkeeping of the head (one save per
+// slice start position).
+type HeadState struct {
+	saves map[int]*headSave
+}
+
+// NewHeadState returns an empty head state.
+func NewHeadState() *HeadState { return &HeadState{saves: map[int]*headSave{}} }
+
+// Forward computes logits and retains state under the given key (the
+// slice's start position).
+func (h *Head) Forward(x *tensor.Matrix, st *HeadState, key int) *tensor.Matrix {
+	sv := &headSave{x: x.Clone(), xn: tensor.New(x.Rows, x.Cols)}
+	sv.inv = tensor.RMSNorm(sv.xn, x, h.Norm)
+	st.saves[key] = sv
+	return h.W.Forward(sv.xn)
+}
+
+// Backward consumes dLogits for the slice saved under key, returning dX and
+// the head's deferred weight-gradient task.
+func (h *Head) Backward(dLogits *tensor.Matrix, st *HeadState, key int, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
+	sv := st.saves[key]
+	delete(st.saves, key)
+	dXn := tensor.New(sv.xn.Rows, sv.xn.Cols)
+	h.W.BackwardAct(dXn, dLogits)
+	tasks = append(tasks, WeightTask{&h.W, sv.xn, dLogits.Clone()})
+	dX := tensor.New(sv.x.Rows, sv.x.Cols)
+	tensor.RMSNormBackward(dX, h.DNorm, dXn, sv.x, h.Norm, sv.inv)
+	return dX, tasks
+}
+
+// Model is the full decoder.
+type Model struct {
+	Cfg    Config
+	Embed  *Embedding
+	Layers []*Layer
+	Head   *Head
+	// LeanActivations enables the recomputation technique (§2): forward
+	// passes retain only each layer's slice input, and backward passes
+	// replay the forward math to rebuild the rest. Gradients are
+	// identical; memory drops to roughly the layer inputs plus KV cache.
+	LeanActivations bool
+}
+
+// NewModel builds a model with deterministic weights from the seed.
+func NewModel(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Cfg: cfg, Embed: newEmbedding(rng, cfg)}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Layers = append(m.Layers, newLayer(rng, cfg))
+	}
+	m.Head = newHead(rng, cfg)
+	return m, nil
+}
+
+// ZeroGrads clears every gradient buffer.
+func (m *Model) ZeroGrads() {
+	m.Embed.DTable.Zero()
+	for _, l := range m.Layers {
+		for _, lin := range []*Linear{&l.Wq, &l.Wk, &l.Wv, &l.Wo, &l.Wg, &l.Wu, &l.Wd} {
+			lin.DW.Zero()
+		}
+		for i := range l.DAttnNorm {
+			l.DAttnNorm[i] = 0
+			l.DMLPNorm[i] = 0
+		}
+	}
+	m.Head.W.DW.Zero()
+	for i := range m.Head.DNorm {
+		m.Head.DNorm[i] = 0
+	}
+}
+
+// Grads returns every gradient matrix with a stable name, for comparisons.
+func (m *Model) Grads() map[string]*tensor.Matrix {
+	out := map[string]*tensor.Matrix{"embed": m.Embed.DTable, "head.W": m.Head.W.DW}
+	for i, l := range m.Layers {
+		out[fmt.Sprintf("l%d.Wq", i)] = l.Wq.DW
+		out[fmt.Sprintf("l%d.Wk", i)] = l.Wk.DW
+		out[fmt.Sprintf("l%d.Wv", i)] = l.Wv.DW
+		out[fmt.Sprintf("l%d.Wo", i)] = l.Wo.DW
+		out[fmt.Sprintf("l%d.Wg", i)] = l.Wg.DW
+		out[fmt.Sprintf("l%d.Wu", i)] = l.Wu.DW
+		out[fmt.Sprintf("l%d.Wd", i)] = l.Wd.DW
+	}
+	return out
+}
+
+// SGDStep applies a plain gradient step to every parameter.
+func (m *Model) SGDStep(lr float32) {
+	step := func(w, dw *tensor.Matrix) {
+		for i := range w.Data {
+			w.Data[i] -= lr * dw.Data[i]
+		}
+	}
+	stepVec := func(w, dw []float32) {
+		for i := range w {
+			w[i] -= lr * dw[i]
+		}
+	}
+	step(m.Embed.Table, m.Embed.DTable)
+	for _, l := range m.Layers {
+		for _, lin := range []*Linear{&l.Wq, &l.Wk, &l.Wv, &l.Wo, &l.Wg, &l.Wu, &l.Wd} {
+			step(lin.W, lin.DW)
+		}
+		stepVec(l.AttnNorm, l.DAttnNorm)
+		stepVec(l.MLPNorm, l.DMLPNorm)
+	}
+	step(m.Head.W.W, m.Head.W.DW)
+	stepVec(m.Head.Norm, m.Head.DNorm)
+}
+
+// GradClip returns the global L2 norm of all gradients (diagnostics).
+func (m *Model) GradNorm() float64 {
+	var ss float64
+	for _, g := range m.Grads() {
+		for _, v := range g.Data {
+			ss += float64(v) * float64(v)
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// TrainSequential runs one full iteration — forward and backward over every
+// micro-batch, slice by slice, weight gradients computed inline — and
+// returns the mean loss. It is the single-device reference the pipeline
+// runtime is validated against. batch[i] is one sample of SeqLen+1 tokens
+// (inputs plus next-token targets); slices is the sequence pipeline size.
+func (m *Model) TrainSequential(batch [][]int, slices int) (float64, error) {
+	if m.Cfg.SeqLen%slices != 0 {
+		return 0, fmt.Errorf("nn: seq len %d not divisible by %d slices", m.Cfg.SeqLen, slices)
+	}
+	t := m.Cfg.SeqLen / slices
+	var total float64
+	for _, sample := range batch {
+		if len(sample) != m.Cfg.SeqLen+1 {
+			return 0, fmt.Errorf("nn: sample has %d tokens, want %d", len(sample), m.Cfg.SeqLen+1)
+		}
+		states := make([]*LayerState, len(m.Layers))
+		for i := range states {
+			states[i] = NewLayerState(m.Cfg)
+		}
+		headSaves := NewHeadState()
+		logits := make([]*tensor.Matrix, slices)
+		// Forward, slice by slice.
+		for s := 0; s < slices; s++ {
+			start := s * t
+			x := m.Embed.Forward(sample[start : start+t])
+			for li, l := range m.Layers {
+				if m.LeanActivations {
+					x = l.ForwardSliceLean(states[li], x, start)
+				} else {
+					x = l.ForwardSlice(states[li], x, start)
+				}
+			}
+			logits[s] = m.Head.Forward(x, headSaves, start)
+		}
+		// Loss per slice (targets are the next tokens). The reported
+		// loss is the mean over samples and slices; the gradient is
+		// scaled to match it exactly, so finite-difference checks and
+		// pipelined replays agree with the sequential reference.
+		dLogits := make([]*tensor.Matrix, slices)
+		norm := float64(slices * len(batch))
+		for s := 0; s < slices; s++ {
+			start := s * t
+			dLogits[s] = tensor.New(t, m.Cfg.Vocab)
+			total += tensor.CrossEntropy(dLogits[s], logits[s], sample[start+1:start+t+1]) / norm
+			dLogits[s].Scale(float32(1 / norm))
+		}
+		// Backward, slices in reverse; weight gradients inline.
+		var tasks []WeightTask
+		for s := slices - 1; s >= 0; s-- {
+			start := s * t
+			dx, tasks2 := m.Head.Backward(dLogits[s], headSaves, start, nil)
+			tasks = tasks2
+			for li := len(m.Layers) - 1; li >= 0; li-- {
+				dx, tasks = m.Layers[li].BackwardSlice(states[li], start, dx, tasks)
+			}
+			m.Embed.Backward(sample[start:start+t], dx)
+			for _, task := range tasks {
+				task.Run()
+			}
+			tasks = tasks[:0]
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,375 @@
+// Package nn implements a real (tiny) Llama-style decoder with manual
+// forward and backward passes at slice granularity — the numeric substrate
+// behind the executable pipeline runtime. It mirrors the structure the
+// paper's scheduler exploits:
+//
+//   - forward processes a sample slice by slice, each slice appending its
+//     keys/values to a per-micro-batch cache that later slices attend to
+//     (Fig 3's dependency);
+//   - backward runs slices in reverse, accumulating dK/dV contributions
+//     from later slices into earlier ones;
+//   - activation-gradient and weight-gradient computation are separable:
+//     BackwardSlice produces dX and *stashes* the seven per-layer GEMMs
+//     (Wq, Wk, Wv, Wo, gate, up, down) as WeightTasks that can run at any
+//     later time, in any order — exactly the §5 decomposition.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mepipe/internal/tensor"
+)
+
+// Config sizes the decoder.
+type Config struct {
+	Hidden, Heads, FFN, Vocab, Layers, SeqLen int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Hidden <= 0 || c.Heads <= 0 || c.FFN <= 0 || c.Vocab <= 0 || c.Layers <= 0 || c.SeqLen <= 0:
+		return fmt.Errorf("nn: non-positive field in %+v", c)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("nn: hidden %d not divisible by %d heads", c.Hidden, c.Heads)
+	}
+	return nil
+}
+
+// Linear is a bias-free projection with separable weight gradients.
+type Linear struct {
+	W, DW *tensor.Matrix // [in×out]
+}
+
+func newLinear(rng *rand.Rand, in, out int) Linear {
+	l := Linear{W: tensor.New(in, out), DW: tensor.New(in, out)}
+	l.W.RandInit(rng, float32(1/math.Sqrt(float64(in))))
+	return l
+}
+
+// Forward computes y = x·W.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.New(x.Rows, l.W.Cols)
+	tensor.MatMul(y, x, l.W)
+	return y
+}
+
+// BackwardAct accumulates dx += dy·Wᵀ.
+func (l *Linear) BackwardAct(dx, dy *tensor.Matrix) {
+	tensor.MatMulBT(dx, dy, l.W)
+}
+
+// BackwardWeight accumulates DW += xᵀ·dy — the §5-deferrable GEMM.
+func (l *Linear) BackwardWeight(x, dy *tensor.Matrix) {
+	tensor.MatMulAT(l.DW, x, dy)
+}
+
+// WeightTask is one deferred weight-gradient GEMM.
+type WeightTask struct {
+	lin   *Linear
+	x, dy *tensor.Matrix
+}
+
+// Run executes the deferred GEMM.
+func (t WeightTask) Run() { t.lin.BackwardWeight(t.x, t.dy) }
+
+// Layer is one transformer block.
+type Layer struct {
+	cfg Config
+
+	AttnNorm, MLPNorm   []float32
+	DAttnNorm, DMLPNorm []float32
+
+	Wq, Wk, Wv, Wo Linear
+	Wg, Wu, Wd     Linear
+}
+
+func newLayer(rng *rand.Rand, cfg Config) *Layer {
+	h, f := cfg.Hidden, cfg.FFN
+	l := &Layer{
+		cfg:       cfg,
+		AttnNorm:  ones(h),
+		MLPNorm:   ones(h),
+		DAttnNorm: make([]float32, h),
+		DMLPNorm:  make([]float32, h),
+		Wq:        newLinear(rng, h, h),
+		Wk:        newLinear(rng, h, h),
+		Wv:        newLinear(rng, h, h),
+		Wo:        newLinear(rng, h, h),
+		Wg:        newLinear(rng, h, f),
+		Wu:        newLinear(rng, h, f),
+		Wd:        newLinear(rng, f, h),
+	}
+	return l
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// sliceSave holds everything a slice's backward needs.
+type sliceSave struct {
+	start      int // absolute position of the slice's first token
+	xIn        *tensor.Matrix
+	inv1, inv2 []float32
+	xn1        *tensor.Matrix
+	q          *tensor.Matrix
+	probs      []*tensor.Matrix // per head, [t × cachedLen]
+	ctx        *tensor.Matrix   // pre-Wo attention output
+	xMid       *tensor.Matrix
+	xn2        *tensor.Matrix
+	g, u, act  *tensor.Matrix
+}
+
+// LayerState is the per-micro-batch runtime state of one layer: the KV
+// cache grown by forward slices and the dK/dV accumulators filled by
+// backward slices in reverse order.
+type LayerState struct {
+	K, V   *tensor.Matrix // [cachedTokens × hidden]
+	dK, dV *tensor.Matrix
+	saves  map[int]*sliceSave // by slice start position
+}
+
+// NewLayerState returns an empty state for one micro-batch.
+func NewLayerState(cfg Config) *LayerState {
+	return &LayerState{
+		K: tensor.New(0, cfg.Hidden), V: tensor.New(0, cfg.Hidden),
+		saves: map[int]*sliceSave{},
+	}
+}
+
+func appendRows(dst, rows *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(dst.Rows+rows.Rows, rows.Cols)
+	copy(out.Data, dst.Data)
+	copy(out.Data[len(dst.Data):], rows.Data)
+	return out
+}
+
+// ForwardSlice runs one slice of tokens (x: [t×hidden], first token at
+// absolute position start) through the layer, growing the KV cache. With
+// lean set, only the slice input is retained — the recomputation technique
+// (§2): the backward pass rebuilds the intermediates from xIn and the KV
+// cache at the cost of replaying the forward math.
+func (l *Layer) ForwardSlice(st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
+	return l.forwardSlice(st, x, start, false)
+}
+
+// ForwardSliceLean is ForwardSlice under activation recomputation.
+func (l *Layer) ForwardSliceLean(st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
+	return l.forwardSlice(st, x, start, true)
+}
+
+func (l *Layer) forwardSlice(st *LayerState, x *tensor.Matrix, start int, lean bool) *tensor.Matrix {
+	if st.K.Rows != start {
+		panic(fmt.Sprintf("nn: slice at %d but cache holds %d tokens (slices must arrive in order)", start, st.K.Rows))
+	}
+	sv := &sliceSave{start: start, xIn: x.Clone()}
+	// Project and append this slice's keys/values; later slices need them
+	// regardless of recomputation.
+	xn1 := tensor.New(x.Rows, l.cfg.Hidden)
+	inv1 := tensor.RMSNorm(xn1, x, l.AttnNorm)
+	st.K = appendRows(st.K, l.Wk.Forward(xn1))
+	st.V = appendRows(st.V, l.Wv.Forward(xn1))
+	y := l.computeSlice(st, sv, xn1, inv1)
+	if lean {
+		// Drop everything but the input; BackwardSlice rebuilds it.
+		*sv = sliceSave{start: start, xIn: sv.xIn}
+	}
+	st.saves[start] = sv
+	return y
+}
+
+// computeSlice runs attention and the MLP for the slice described by sv
+// (whose xIn is set and whose K/V rows are already in the cache up to
+// start+t), filling the save and returning the layer output.
+func (l *Layer) computeSlice(st *LayerState, sv *sliceSave, xn1 *tensor.Matrix, inv1 []float32) *tensor.Matrix {
+	h := l.cfg.Hidden
+	nh := l.cfg.Heads
+	hd := h / nh
+	t := sv.xIn.Rows
+	cached := sv.start + t
+
+	sv.xn1, sv.inv1 = xn1, inv1
+	sv.q = l.Wq.Forward(sv.xn1)
+	kAll := rowsView(st.K, 0, cached)
+	vAll := rowsView(st.V, 0, cached)
+
+	// Per-head causal attention against the cache as of this slice.
+	sv.ctx = tensor.New(t, h)
+	sv.probs = make([]*tensor.Matrix, nh)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for hI := 0; hI < nh; hI++ {
+		qh := headView(sv.q, hI, hd)
+		kh := headView(kAll, hI, hd)
+		vh := headView(vAll, hI, hd)
+		scores := tensor.New(t, cached)
+		tensor.MatMulBT(scores, qh, kh)
+		scores.Scale(scale)
+		tensor.SoftmaxRowsCausal(scores, sv.start)
+		sv.probs[hI] = scores
+		ctxh := tensor.New(t, hd)
+		tensor.MatMul(ctxh, scores, vh)
+		writeHead(sv.ctx, ctxh, hI, hd)
+	}
+	attnOut := l.Wo.Forward(sv.ctx)
+
+	sv.xMid = sv.xIn.Clone()
+	sv.xMid.Add(attnOut)
+
+	sv.xn2 = tensor.New(t, h)
+	sv.inv2 = tensor.RMSNorm(sv.xn2, sv.xMid, l.MLPNorm)
+	sv.g = l.Wg.Forward(sv.xn2)
+	sv.u = l.Wu.Forward(sv.xn2)
+	sv.act = tensor.New(t, l.cfg.FFN)
+	tensor.SiLU(sv.act, sv.g)
+	tensor.Mul(sv.act, sv.act, sv.u)
+	mlpOut := l.Wd.Forward(sv.act)
+
+	y := sv.xMid.Clone()
+	y.Add(mlpOut)
+	return y
+}
+
+// headView copies head hI's columns out of a [rows×hidden] matrix.
+func headView(m *tensor.Matrix, hI, hd int) *tensor.Matrix {
+	out := tensor.New(m.Rows, hd)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[hI*hd:(hI+1)*hd])
+	}
+	return out
+}
+
+// writeHead copies a [rows×hd] block into head hI's columns (overwriting).
+func writeHead(dst, src *tensor.Matrix, hI, hd int) {
+	for r := 0; r < src.Rows; r++ {
+		copy(dst.Row(r)[hI*hd:(hI+1)*hd], src.Row(r))
+	}
+}
+
+// addHead accumulates a [rows×hd] block into head hI's columns of dst,
+// starting at dst row rowOff.
+func addHead(dst, src *tensor.Matrix, rowOff, hI, hd int) {
+	for r := 0; r < src.Rows; r++ {
+		drow := dst.Row(rowOff + r)[hI*hd : (hI+1)*hd]
+		srow := src.Row(r)
+		for c := range srow {
+			drow[c] += srow[c]
+		}
+	}
+}
+
+// BackwardSlice consumes dY for the slice that starts at `start`, returning
+// dX and appending the layer's seven deferred weight-gradient GEMMs to
+// tasks. Slices MUST be processed in reverse order: the dK/dV contributions
+// of later slices land in the state's accumulators before earlier slices
+// read their own rows.
+func (l *Layer) BackwardSlice(st *LayerState, start int, dy *tensor.Matrix, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
+	sv, ok := st.saves[start]
+	if !ok {
+		panic(fmt.Sprintf("nn: backward for unseen slice at %d", start))
+	}
+	delete(st.saves, start)
+	if sv.q == nil {
+		// Lean forward: replay the forward math to rebuild the
+		// intermediates (identical inputs, identical results).
+		xn1 := tensor.New(sv.xIn.Rows, l.cfg.Hidden)
+		inv1 := tensor.RMSNorm(xn1, sv.xIn, l.AttnNorm)
+		l.computeSlice(st, sv, xn1, inv1)
+	}
+	h, nh := l.cfg.Hidden, l.cfg.Heads
+	hd := h / nh
+	t := dy.Rows
+	if st.dK == nil {
+		st.dK = tensor.New(st.K.Rows, h)
+		st.dV = tensor.New(st.V.Rows, h)
+	}
+
+	// MLP backward. y = xMid + Wd(silu(Wg xn2) ⊙ Wu xn2).
+	dXmid := dy.Clone()
+	dAct := tensor.New(t, l.cfg.FFN)
+	l.Wd.BackwardAct(dAct, dy)
+	tasks = append(tasks, WeightTask{&l.Wd, sv.act, dy.Clone()})
+	// act = silu(g) ⊙ u
+	dG := tensor.New(t, l.cfg.FFN)
+	siluG := tensor.New(t, l.cfg.FFN)
+	tensor.SiLU(siluG, sv.g)
+	dU := tensor.New(t, l.cfg.FFN)
+	tensor.MulAdd(dU, dAct, siluG)
+	dActSilu := tensor.New(t, l.cfg.FFN)
+	tensor.Mul(dActSilu, dAct, sv.u)
+	tensor.SiLUBackward(dG, dActSilu, sv.g)
+	dXn2 := tensor.New(t, h)
+	l.Wg.BackwardAct(dXn2, dG)
+	l.Wu.BackwardAct(dXn2, dU)
+	tasks = append(tasks, WeightTask{&l.Wg, sv.xn2, dG})
+	tasks = append(tasks, WeightTask{&l.Wu, sv.xn2, dU})
+	tensor.RMSNormBackward(dXmid, l.DMLPNorm, dXn2, sv.xMid, l.MLPNorm, sv.inv2)
+
+	// Attention backward. xMid = xIn + Wo·ctx.
+	dCtx := tensor.New(t, h)
+	l.Wo.BackwardAct(dCtx, dXmid)
+	tasks = append(tasks, WeightTask{&l.Wo, sv.ctx, dXmid.Clone()})
+	dQ := tensor.New(t, h)
+	// The slice attended to the cache as it stood at its forward pass —
+	// exactly `cached` tokens — so the K/V views must be truncated even
+	// though later slices have grown the cache since.
+	cached := sv.probs[0].Cols
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for hI := 0; hI < nh; hI++ {
+		dCtxh := headView(dCtx, hI, hd)
+		probs := sv.probs[hI]
+		kh := headView(rowsView(st.K, 0, cached), hI, hd)
+		vh := headView(rowsView(st.V, 0, cached), hI, hd)
+		// dV_cache += probsᵀ · dCtxh
+		dVh := tensor.New(cached, hd)
+		tensor.MatMulAT(dVh, probs, dCtxh)
+		addHead(st.dV, dVh, 0, hI, hd)
+		// dProbs = dCtxh · Vᵀ, then softmax backward in place.
+		dProbs := tensor.New(t, cached)
+		tensor.MatMulBT(dProbs, dCtxh, vh)
+		tensor.SoftmaxBackwardCausal(dProbs, probs, sv.start)
+		// dQ_h += dScores · K · scale; dK_cache += dScoresᵀ · Q · scale.
+		dQh := tensor.New(t, hd)
+		tensor.MatMul(dQh, dProbs, kh)
+		dQh.Scale(scale)
+		writeHead(dQ, dQh, hI, hd)
+		qh := headView(sv.q, hI, hd)
+		dKh := tensor.New(cached, hd)
+		tensor.MatMulAT(dKh, dProbs, qh)
+		dKh.Scale(scale)
+		addHead(st.dK, dKh, 0, hI, hd)
+	}
+
+	// The slice's own K/V rows now hold every contribution (this slice's
+	// plus all later slices'); project them back.
+	dKslice := rowsView(st.dK, sv.start, t)
+	dVslice := rowsView(st.dV, sv.start, t)
+	dXn1 := tensor.New(t, h)
+	l.Wq.BackwardAct(dXn1, dQ)
+	l.Wk.BackwardAct(dXn1, dKslice)
+	l.Wv.BackwardAct(dXn1, dVslice)
+	tasks = append(tasks, WeightTask{&l.Wq, sv.xn1, dQ})
+	tasks = append(tasks, WeightTask{&l.Wk, sv.xn1, dKslice})
+	tasks = append(tasks, WeightTask{&l.Wv, sv.xn1, dVslice})
+
+	dX := dXmid.Clone()
+	tensor.RMSNormBackward(dX, l.DAttnNorm, dXn1, sv.xIn, l.AttnNorm, sv.inv1)
+	return dX, tasks
+}
+
+// rowsView copies rows [off, off+n) into a fresh matrix.
+func rowsView(m *tensor.Matrix, off, n int) *tensor.Matrix {
+	out := tensor.New(n, m.Cols)
+	copy(out.Data, m.Data[off*m.Cols:(off+n)*m.Cols])
+	return out
+}
+
+// WeightGradGEMMs is the per-layer fine-grained decomposition width
+// (matching model.WeightGradGEMMsPerLayer).
+const WeightGradGEMMs = 7

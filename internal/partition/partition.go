@@ -1,0 +1,112 @@
+// Package partition implements sequence-slice partitioning strategies.
+//
+// MEPipe slices samples uniformly and absorbs the causal-attention
+// imbalance with fine-grained weight-gradient scheduling (§5), arguing that
+// non-uniform slices hurt GEMM/FlashAttention efficiency. TeraPipe instead
+// balances slice *times* with a dynamic-programming partitioner. The paper
+// concedes (§5, last paragraph) that beyond ~128k tokens of context the
+// attention imbalance grows so large that the non-uniform strategy wins.
+// This package provides both, so the crossover can be measured
+// (bench experiment "longctx").
+package partition
+
+import "fmt"
+
+// Uniform splits seq tokens into s equal slices (seq must divide evenly).
+func Uniform(seq, s int) ([]int, error) {
+	if s <= 0 || seq <= 0 || seq%s != 0 {
+		return nil, fmt.Errorf("partition: %d tokens do not split into %d uniform slices", seq, s)
+	}
+	widths := make([]int, s)
+	for i := range widths {
+		widths[i] = seq / s
+	}
+	return widths, nil
+}
+
+// CostFunc returns the processing time of a slice of `width` tokens whose
+// first token sits at absolute position `start`.
+type CostFunc func(width, start int) float64
+
+// Optimal computes the slice widths minimising the *maximum* slice time —
+// TeraPipe's balance objective, which minimises the pipeline's critical
+// path when every stage processes the slices back to back. Boundaries are
+// restricted to multiples of quantum (operators want aligned shapes; the
+// paper notes powers of two perform best). Dynamic programming over
+// (boundary, slices-used) in O((seq/quantum)²·s).
+func Optimal(seq, s, quantum int, cost CostFunc) ([]int, error) {
+	switch {
+	case seq <= 0 || s <= 0 || quantum <= 0:
+		return nil, fmt.Errorf("partition: non-positive inputs seq=%d s=%d quantum=%d", seq, s, quantum)
+	case seq%quantum != 0:
+		return nil, fmt.Errorf("partition: %d tokens not a multiple of quantum %d", seq, quantum)
+	case seq/quantum < s:
+		return nil, fmt.Errorf("partition: %d quanta cannot fill %d slices", seq/quantum, s)
+	}
+	g := seq / quantum // grid points
+	const inf = 1e300
+	// best[j][i]: minimal max-slice-time covering the first i quanta with
+	// j slices; choice[j][i]: the previous boundary achieving it.
+	best := make([][]float64, s+1)
+	choice := make([][]int, s+1)
+	for j := range best {
+		best[j] = make([]float64, g+1)
+		choice[j] = make([]int, g+1)
+		for i := range best[j] {
+			best[j][i] = inf
+		}
+	}
+	best[0][0] = 0
+	for j := 1; j <= s; j++ {
+		for i := j; i <= g; i++ {
+			for k := j - 1; k < i; k++ {
+				if best[j-1][k] >= inf {
+					continue
+				}
+				c := cost((i-k)*quantum, k*quantum)
+				m := best[j-1][k]
+				if c > m {
+					m = c
+				}
+				if m < best[j][i] {
+					best[j][i] = m
+					choice[j][i] = k
+				}
+			}
+		}
+	}
+	if best[s][g] >= inf {
+		return nil, fmt.Errorf("partition: no feasible partition of %d quanta into %d slices", g, s)
+	}
+	widths := make([]int, s)
+	i := g
+	for j := s; j >= 1; j-- {
+		k := choice[j][i]
+		widths[j-1] = (i - k) * quantum
+		i = k
+	}
+	return widths, nil
+}
+
+// MaxSliceTime evaluates the balance objective for a partition.
+func MaxSliceTime(widths []int, cost CostFunc) float64 {
+	start, max := 0, 0.0
+	for _, w := range widths {
+		if c := cost(w, start); c > max {
+			max = c
+		}
+		start += w
+	}
+	return max
+}
+
+// TotalTime sums the slice times (the serial workload; partition-invariant
+// when cost is linear, larger under imbalance-sensitive costs).
+func TotalTime(widths []int, cost CostFunc) float64 {
+	start, sum := 0, 0.0
+	for _, w := range widths {
+		sum += cost(w, start)
+		start += w
+	}
+	return sum
+}

@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// causalCost mimics a transformer slice: linear in width plus a causal
+// attention term that grows with the attended prefix.
+func causalCost(width, start int) float64 {
+	return float64(width) + 0.002*float64(width)*(float64(start)+float64(width)/2)
+}
+
+func TestUniform(t *testing.T) {
+	w, err := Uniform(4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w {
+		if v != 1024 {
+			t.Fatalf("uniform widths %v", w)
+		}
+	}
+	if _, err := Uniform(4096, 3); err == nil {
+		t.Error("indivisible uniform split accepted")
+	}
+	if _, err := Uniform(0, 2); err == nil {
+		t.Error("zero tokens accepted")
+	}
+}
+
+func TestOptimalValidPartition(t *testing.T) {
+	widths, err := Optimal(4096, 4, 128, causalCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 4 {
+		t.Fatalf("%d widths, want 4", len(widths))
+	}
+	total := 0
+	for _, w := range widths {
+		if w <= 0 || w%128 != 0 {
+			t.Fatalf("invalid width %d in %v", w, widths)
+		}
+		total += w
+	}
+	if total != 4096 {
+		t.Fatalf("widths sum to %d", total)
+	}
+	// Under causal costs the optimal partition front-loads tokens.
+	for i := 1; i < len(widths); i++ {
+		if widths[i] > widths[i-1] {
+			t.Errorf("widths %v not non-increasing under causal costs", widths)
+		}
+	}
+}
+
+// TestOptimalBeatsUniform: the DP must never balance worse than uniform,
+// and under causal imbalance it must balance strictly better.
+func TestOptimalBeatsUniform(t *testing.T) {
+	uni, _ := Uniform(4096, 8)
+	opt, err := Optimal(4096, 8, 128, causalCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, o := MaxSliceTime(uni, causalCost), MaxSliceTime(opt, causalCost)
+	if o > u {
+		t.Fatalf("DP (%.1f) worse than uniform (%.1f)", o, u)
+	}
+	if o >= 0.95*u {
+		t.Errorf("DP (%.1f) should beat uniform (%.1f) clearly under causal imbalance", o, u)
+	}
+}
+
+// TestOptimalMatchesBruteForce on small grids.
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	const seq, s, q = 12, 3, 1
+	cost := func(w, st int) float64 { return causalCost(w*97, st*97) }
+	got, err := Optimal(seq, s, q, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	// Enumerate all (a, b, c) with a+b+c = 12, a,b,c >= 1.
+	for a := 1; a <= seq-2; a++ {
+		for b := 1; a+b <= seq-1; b++ {
+			c := seq - a - b
+			m := MaxSliceTime([]int{a, b, c}, cost)
+			if m < best {
+				best = m
+			}
+		}
+	}
+	if gotMax := MaxSliceTime(got, cost); math.Abs(gotMax-best) > 1e-9 {
+		t.Errorf("DP max %.4f != brute-force optimum %.4f (widths %v)", gotMax, best, got)
+	}
+}
+
+// TestOptimalProperty: random cost shapes, the partition is always valid
+// and never worse than uniform.
+func TestOptimalProperty(t *testing.T) {
+	check := func(seedA, seedB uint8) bool {
+		alpha := float64(seedA%50) / 1e3
+		beta := 1 + float64(seedB%5)
+		cost := func(w, st int) float64 {
+			return beta*float64(w) + alpha*float64(w)*float64(st+w/2)
+		}
+		widths, err := Optimal(2048, 4, 128, cost)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, w := range widths {
+			if w <= 0 || w%128 != 0 {
+				return false
+			}
+			sum += w
+		}
+		if sum != 2048 {
+			return false
+		}
+		uni, _ := Uniform(2048, 4)
+		return MaxSliceTime(widths, cost) <= MaxSliceTime(uni, cost)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	if _, err := Optimal(100, 2, 3, causalCost); err == nil {
+		t.Error("non-multiple quantum accepted")
+	}
+	if _, err := Optimal(256, 5, 128, causalCost); err == nil {
+		t.Error("too few quanta accepted")
+	}
+	if _, err := Optimal(0, 1, 1, causalCost); err == nil {
+		t.Error("zero sequence accepted")
+	}
+}
+
+func TestTotalTime(t *testing.T) {
+	uni, _ := Uniform(1024, 4)
+	linear := func(w, st int) float64 { return float64(w) }
+	if got := TotalTime(uni, linear); got != 1024 {
+		t.Errorf("TotalTime = %v, want 1024", got)
+	}
+}

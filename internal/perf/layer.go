@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"fmt"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/model"
+	"mepipe/internal/sched"
+)
+
+// TransformerLayerTime returns the time one worker spends on a single
+// transformer layer per micro-batch (forward + full backward) when the
+// sample is split `factor` ways by CP (useCP) or SPP (!useCP) — the
+// quantity Figure 9 profiles. With CP the worker owns seq/factor tokens;
+// with SPP the worker processes all `factor` slices sequentially, so the
+// time is normalised to the per-worker token share (seq/factor) to make the
+// two directly comparable.
+func TransformerLayerTime(m config.Model, cl cluster.Cluster, factor int, useCP bool) (float64, error) {
+	if factor < 1 {
+		return 0, fmt.Errorf("perf: factor %d must be >= 1", factor)
+	}
+	par := config.Parallel{PP: 1, DP: cl.GPUs(), CP: 1, SPP: factor, VP: 1}
+	if useCP {
+		par = config.Parallel{PP: 1, DP: cl.GPUs() / factor, CP: factor, SPP: 1, VP: 1}
+	}
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return 0, err
+	}
+	c, err := New(m, mesh)
+	if err != nil {
+		return 0, err
+	}
+	if useCP || factor == 1 {
+		op := sched.Op{Kind: sched.F}
+		return c.layerForward(op) + c.layerActGrad(op) + c.layerWeightGrad(op) +
+			c.cpRingTime(false) + c.cpRingTime(true), nil
+	}
+	var total float64
+	for i := 0; i < factor; i++ {
+		op := sched.Op{Kind: sched.F, Slice: i}
+		total += c.layerForward(op) + c.layerActGrad(op) + c.layerWeightGrad(op)
+	}
+	return total / float64(factor), nil
+}
+
+// TransformerLayerTFLOPS returns the achieved per-GPU TFLOPS of one
+// transformer layer under the given slicing — Figure 9's y-axis.
+func TransformerLayerTFLOPS(m config.Model, cl cluster.Cluster, factor int, useCP bool) (float64, error) {
+	t, err := TransformerLayerTime(m, cl, factor, useCP)
+	if err != nil {
+		return 0, err
+	}
+	seq := m.SeqLen
+	flops := model.LayerForwardFlops(m, seq, 0) + model.LayerActGradFlops(m, seq, 0) + model.LayerWeightGradFlops(m, seq)
+	perWorker := flops / float64(factor)
+	return perWorker / t / 1e12, nil
+}
+
+// SliceCost returns a cost function over (width, start) token spans: the
+// full processing time (forward + activation-gradient + weight-gradient) of
+// one transformer layer for such a slice. It feeds partition.Optimal when
+// exploring TeraPipe-style non-uniform slicing (§5's long-context
+// discussion).
+func (c *Costs) SliceCost() func(width, start int) float64 {
+	return func(width, start int) float64 {
+		// GEMMs appear three times (forward, dX, dW); the attention
+		// score work appears once forward and twice backward.
+		gemms := model.LayerProjFlops(c.M, width) + model.LayerMLPFlops(c.M, width)
+		t := c.dense(3*gemms, width)
+		t += c.dense(3*model.LayerAttnScoreFlops(c.M, width, start), width)
+		t += float64(c.K.KernelsPerLayerF+c.K.KernelsPerLayerB) * c.Mesh.C.GPU.KernelOverhead
+		return t
+	}
+}

@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"mepipe/internal/nn"
+	"mepipe/internal/sched"
+	"mepipe/internal/tensor"
+)
+
+// DataParallel composes data parallelism with the pipelined runtime: each
+// replica runs the same schedule over its shard of the micro-batches on its
+// own weight copy, and the gradients are all-reduced (averaged) afterwards
+// — the ZeRO-1-style DP dimension of the paper's strategies, realised with
+// goroutine pipelines instead of GPU ranks.
+type DataParallel struct {
+	replicas []*nn.Model
+}
+
+// NewDataParallel clones the reference model dp times. The clones share the
+// seed-derived weights of ref (exact copies), so training stays
+// deterministic.
+func NewDataParallel(ref *nn.Model, dp int) (*DataParallel, error) {
+	if dp < 1 {
+		return nil, fmt.Errorf("pipeline: dp %d must be >= 1", dp)
+	}
+	d := &DataParallel{}
+	for i := 0; i < dp; i++ {
+		clone, err := nn.NewModel(ref.Cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		copyWeights(clone, ref)
+		d.replicas = append(d.replicas, clone)
+	}
+	return d, nil
+}
+
+// Replicas exposes the per-replica models (after Run every replica holds
+// the averaged gradients).
+func (d *DataParallel) Replicas() []*nn.Model { return d.replicas }
+
+// StepAll applies the same SGD step to every replica; because the gradients
+// were averaged, the replicas stay weight-identical.
+func (d *DataParallel) StepAll(lr float32) {
+	for _, m := range d.replicas {
+		m.SGDStep(lr)
+	}
+}
+
+// Run executes one iteration: the batch is split evenly across replicas
+// (len(batch) must be dp × schedule n), each replica runs the schedule
+// concurrently, and gradients are averaged into every replica. Returns the
+// mean loss across replicas.
+func (d *DataParallel) Run(s *sched.Schedule, batch [][]int) (float64, error) {
+	dp := len(d.replicas)
+	if len(batch)%dp != 0 {
+		return 0, fmt.Errorf("pipeline: %d samples do not shard across dp=%d", len(batch), dp)
+	}
+	per := len(batch) / dp
+	losses := make([]float64, dp)
+	errs := make([]error, dp)
+	var wg sync.WaitGroup
+	for i := range d.replicas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.replicas[i].ZeroGrads()
+			r, err := New(d.replicas[i], s, batch[i*per:(i+1)*per])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			losses[i], errs[i] = r.Run()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	d.allReduceGrads()
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(dp), nil
+}
+
+// allReduceGrads averages every gradient across replicas and writes the
+// result back to all of them (a ring all-reduce's outcome, computed
+// centrally).
+func (d *DataParallel) allReduceGrads() {
+	if len(d.replicas) == 1 {
+		return
+	}
+	grads := make([]map[string]*tensor.Matrix, len(d.replicas))
+	for i, m := range d.replicas {
+		grads[i] = m.Grads()
+	}
+	inv := float32(1.0 / float64(len(d.replicas)))
+	for name, g0 := range grads[0] {
+		for i := 1; i < len(d.replicas); i++ {
+			g0.Add(grads[i][name])
+		}
+		g0.Scale(inv)
+		for i := 1; i < len(d.replicas); i++ {
+			grads[i][name].CopyFrom(g0)
+		}
+	}
+	// Norm-scale gradients travel outside Grads(); average them too.
+	for li := range d.replicas[0].Layers {
+		avgVec(d.replicas, func(m *nn.Model) []float32 { return m.Layers[li].DAttnNorm })
+		avgVec(d.replicas, func(m *nn.Model) []float32 { return m.Layers[li].DMLPNorm })
+	}
+	avgVec(d.replicas, func(m *nn.Model) []float32 { return m.Head.DNorm })
+}
+
+func avgVec(models []*nn.Model, sel func(*nn.Model) []float32) {
+	base := sel(models[0])
+	for i := 1; i < len(models); i++ {
+		for j, v := range sel(models[i]) {
+			base[j] += v
+		}
+	}
+	inv := float32(1.0 / float64(len(models)))
+	for j := range base {
+		base[j] *= inv
+	}
+	for i := 1; i < len(models); i++ {
+		copy(sel(models[i]), base)
+	}
+}
+
+// copyWeights copies all parameters from src into dst.
+func copyWeights(dst, src *nn.Model) {
+	dst.Embed.Table.CopyFrom(src.Embed.Table)
+	for i := range src.Layers {
+		s, t := src.Layers[i], dst.Layers[i]
+		t.Wq.W.CopyFrom(s.Wq.W)
+		t.Wk.W.CopyFrom(s.Wk.W)
+		t.Wv.W.CopyFrom(s.Wv.W)
+		t.Wo.W.CopyFrom(s.Wo.W)
+		t.Wg.W.CopyFrom(s.Wg.W)
+		t.Wu.W.CopyFrom(s.Wu.W)
+		t.Wd.W.CopyFrom(s.Wd.W)
+		copy(t.AttnNorm, s.AttnNorm)
+		copy(t.MLPNorm, s.MLPNorm)
+	}
+	dst.Head.W.W.CopyFrom(src.Head.W.W)
+	copy(dst.Head.Norm, src.Head.Norm)
+}

@@ -1,0 +1,354 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"mepipe/internal/nn"
+	"mepipe/internal/sched"
+	"mepipe/internal/tensor"
+)
+
+// TestDataParallelMatchesSequential: DP replicas of the goroutine pipeline,
+// gradients averaged, must equal sequential training over the whole batch
+// (whose gradient is already the per-shard mean of means, since shards are
+// equal-sized).
+func TestDataParallelMatchesSequential(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(123))
+	const dp, nPerReplica = 2, 3
+	b := batch(rng, c, dp*nPerReplica)
+
+	ref, err := nn.NewModel(c, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss, err := ref.TrainSequential(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proto, err := nn.NewModel(c, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDataParallel(proto, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.MEPipe(4, 1, 2, nPerReplica, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := d.Run(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-refLoss) > 1e-5 {
+		t.Errorf("DP loss %.8f != sequential %.8f", loss, refLoss)
+	}
+	rg := ref.Grads()
+	for i, rep := range d.Replicas() {
+		for name, g := range rep.Grads() {
+			if diff := tensor.MaxAbsDiff(rg[name], g); diff > 1e-4 {
+				t.Errorf("replica %d grad %s differs by %g", i, name, diff)
+			}
+		}
+	}
+}
+
+// TestDataParallelStaysInSync: after StepAll the replicas remain
+// weight-identical across several iterations.
+func TestDataParallelStaysInSync(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(321))
+	proto, _ := nn.NewModel(c, 9)
+	d, err := NewDataParallel(proto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.DAPPLE(4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		if _, err := d.Run(s, batch(rng, c, 4)); err != nil {
+			t.Fatal(err)
+		}
+		d.StepAll(0.05)
+	}
+	a, b2 := d.Replicas()[0], d.Replicas()[1]
+	if diff := tensor.MaxAbsDiff(a.Embed.Table, b2.Embed.Table); diff != 0 {
+		t.Errorf("replicas drifted: embedding diff %g", diff)
+	}
+	if diff := tensor.MaxAbsDiff(a.Layers[3].Wq.W, b2.Layers[3].Wq.W); diff != 0 {
+		t.Errorf("replicas drifted: Wq diff %g", diff)
+	}
+}
+
+func TestDataParallelValidation(t *testing.T) {
+	proto, _ := nn.NewModel(cfg(), 1)
+	if _, err := NewDataParallel(proto, 0); err == nil {
+		t.Error("dp=0 accepted")
+	}
+	d, _ := NewDataParallel(proto, 2)
+	s, _ := sched.DAPPLE(4, 2, nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := d.Run(s, batch(rng, cfg(), 3)); err == nil {
+		t.Error("unshardable batch accepted")
+	}
+}
+
+// TestAdamConvergesFasterThanSGDFlat: Adam must reduce the loss on the tiny
+// task (and, as a sanity check on the moment bookkeeping, behave
+// deterministically across identical runs).
+func TestAdamTraining(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(77))
+	b := batch(rng, c, 3)
+	run := func() []float64 {
+		m, _ := nn.NewModel(c, 4)
+		opt := nn.NewAdam(0.01)
+		var losses []float64
+		for step := 0; step < 10; step++ {
+			m.ZeroGrads()
+			loss, err := m.TrainSequential(b, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+			opt.Step(m)
+		}
+		return losses
+	}
+	l1, l2 := run(), run()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("Adam nondeterministic at step %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	if l1[len(l1)-1] >= l1[0] {
+		t.Errorf("Adam did not reduce loss: %.4f -> %.4f", l1[0], l1[len(l1)-1])
+	}
+}
+
+// TestStageWorkersMatchSequential runs each stage as an isolated worker
+// with its OWN model copy (as separate processes would), connected by
+// net.Pipe links — and verifies every worker's owned-layer gradients match
+// sequential training. This is the multi-process deployment shape.
+func TestStageWorkersMatchSequential(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(808))
+	s, err := sched.MEPipe(4, 1, 2, 3, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := batch(rng, c, s.N)
+
+	// Independent model replicas, one per "process", same seed.
+	workers := make([]*StageWorker, s.P)
+	models := make([]*nn.Model, s.P)
+	for k := 0; k < s.P; k++ {
+		models[k], err = nn.NewModel(c, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[k], err = NewStageWorker(models[k], s, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full mesh of pipes between peers.
+	conns := make([]map[int]net.Conn, s.P)
+	for k := range conns {
+		conns[k] = map[int]net.Conn{}
+	}
+	for a := 0; a < s.P; a++ {
+		for _, peer := range workers[a].Peers() {
+			if peer < a {
+				continue
+			}
+			ca, cb := net.Pipe()
+			conns[a][peer] = ca
+			conns[peer][a] = cb
+		}
+	}
+	losses := make([]float64, s.P)
+	errs := make([]error, s.P)
+	var wg sync.WaitGroup
+	for k := 0; k < s.P; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			losses[k], errs[k] = workers[k].Run(conns[k])
+		}(k)
+	}
+	wg.Wait()
+	for k := range conns {
+		for _, cn := range conns[k] {
+			cn.Close()
+		}
+	}
+	total := 0.0
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", k, err)
+		}
+		total += losses[k]
+	}
+
+	ref, _ := nn.NewModel(c, 77)
+	refLoss, err := ref.TrainSequential(b, s.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-refLoss) > 1e-6 {
+		t.Errorf("workers' loss %v != sequential %v", total, refLoss)
+	}
+	rg := ref.Grads()
+	for k, w := range workers {
+		for _, li := range w.OwnedLayers() {
+			for _, name := range []string{"Wq", "Wk", "Wv", "Wo", "Wg", "Wu", "Wd"} {
+				key := fmt.Sprintf("l%d.%s", li, name)
+				got := models[k].Grads()[key]
+				if d := tensor.MaxAbsDiff(rg[key], got); d > 1e-4 {
+					t.Errorf("worker %d layer %d %s: grad differs by %g", k, li, name, d)
+				}
+			}
+		}
+	}
+	// The first worker also owns the embedding gradient; the last the head.
+	if d := tensor.MaxAbsDiff(rg["embed"], models[0].Grads()["embed"]); d > 1e-4 {
+		t.Errorf("embedding grad differs by %g", d)
+	}
+	if d := tensor.MaxAbsDiff(rg["head.W"], models[s.P-1].Grads()["head.W"]); d > 1e-4 {
+		t.Errorf("head grad differs by %g", d)
+	}
+}
+
+// TestStageLoopMultiStep: multi-step distributed training (each stage its
+// own model replica, stepping only its own layers) tracks single-process
+// training exactly — including weight evolution.
+func TestStageLoopMultiStep(t *testing.T) {
+	c := cfg()
+	rng := rand.New(rand.NewSource(909))
+	s, err := sched.MEPipe(4, 1, 2, 3, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 4
+	const lr = 0.05
+	batches := make([][][]int, steps)
+	for i := range batches {
+		batches[i] = batch(rng, c, s.N)
+	}
+
+	// Reference: single-process sequential training.
+	ref, _ := nn.NewModel(c, 31)
+	refLosses := make([]float64, steps)
+	for i := range batches {
+		ref.ZeroGrads()
+		loss, err := ref.TrainSequential(batches[i], s.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLosses[i] = loss
+		ref.SGDStep(lr)
+	}
+
+	// Distributed: one loop per stage, independent model replicas.
+	loops := make([]*StageLoop, s.P)
+	models := make([]*nn.Model, s.P)
+	for k := 0; k < s.P; k++ {
+		models[k], _ = nn.NewModel(c, 31)
+		loops[k], err = NewStageLoop(models[k], s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	conns := make([]map[int]net.Conn, s.P)
+	for k := range conns {
+		conns[k] = map[int]net.Conn{}
+	}
+	for a := 0; a < s.P; a++ {
+		for b := a + 1; b < s.P; b++ {
+			ca, cb := net.Pipe()
+			conns[a][b] = ca
+			conns[b][a] = cb
+		}
+	}
+	lossesPer := make([][]float64, s.P)
+	errs := make([]error, s.P)
+	var wg sync.WaitGroup
+	for k := 0; k < s.P; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			lossesPer[k], errs[k] = loops[k].RunSteps(conns[k], batches, lr)
+		}(k)
+	}
+	wg.Wait()
+	for k := range conns {
+		for _, cn := range conns[k] {
+			cn.Close()
+		}
+	}
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("stage %d: %v", k, err)
+		}
+	}
+	for i := 0; i < steps; i++ {
+		total := 0.0
+		for k := 0; k < s.P; k++ {
+			total += lossesPer[k][i]
+		}
+		if math.Abs(total-refLosses[i]) > 1e-5 {
+			t.Errorf("step %d: distributed loss %.8f != sequential %.8f", i, total, refLosses[i])
+		}
+	}
+	// Owned weights must match the reference after all steps.
+	for k := 0; k < s.P; k++ {
+		w, _ := NewStageWorker(models[k], s, batches[0], k)
+		for _, li := range w.OwnedLayers() {
+			if d := tensor.MaxAbsDiff(ref.Layers[li].Wq.W, models[k].Layers[li].Wq.W); d > 1e-5 {
+				t.Errorf("stage %d layer %d Wq weights diverged by %g", k, li, d)
+			}
+		}
+	}
+}
+
+func TestStageWorkerValidation(t *testing.T) {
+	c := cfg()
+	m, _ := nn.NewModel(c, 1)
+	s, _ := sched.DAPPLE(4, 2, nil)
+	b := batch(rand.New(rand.NewSource(1)), c, 2)
+	if _, err := NewStageWorker(m, s, b, 4); err == nil {
+		t.Error("out-of-range stage accepted")
+	}
+	if _, err := NewStageLoop(m, s, -1); err == nil {
+		t.Error("negative stage accepted")
+	}
+	w, err := NewStageWorker(m, s, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1 of a 4-deep DAPPLE pipeline talks to stages 0 and 2.
+	peers := w.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("stage 1 peers = %v, want 2 of them", peers)
+	}
+	if _, err := w.Run(map[int]net.Conn{}); err == nil {
+		t.Error("missing connections accepted")
+	}
+	if got := w.Stage(); got != 1 {
+		t.Errorf("Stage() = %d", got)
+	}
+	if layers := w.OwnedLayers(); len(layers) != 2 { // 8 layers / 4 stages
+		t.Errorf("stage 1 owns %v, want 2 layers", layers)
+	}
+}

@@ -1,0 +1,323 @@
+// Package pipeline executes generated schedules on a real (tiny) decoder:
+// one goroutine per pipeline stage, channels as inter-stage links, actual
+// float32 tensors as payloads. It is the correctness half of the
+// reproduction — a schedule is right iff pipelined execution produces the
+// same loss and gradients as sequential execution, for every scheduler
+// (GPipe, DAPPLE, VPP, TeraPipe, ZB, SVPP/MEPipe) including fine-grained
+// weight-gradient pieces executed out of order in bubbles.
+//
+// Each stage owns the layers of its model chunks; tensors cross stages over
+// buffered channels created one-per-dependency-edge, so the blocking
+// receive IS the dependency wait. Schedule validation (deadlock freedom)
+// guarantees the goroutines always drain.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"mepipe/internal/nn"
+	"mepipe/internal/sched"
+	"mepipe/internal/tensor"
+)
+
+// famKey identifies an activation family.
+type famKey struct{ micro, slice, chunk int }
+
+// edgeKey identifies the consumer endpoint of a cross-stage tensor.
+type edgeKey struct {
+	stage int
+	op    sched.Op
+}
+
+// Runner executes one iteration of a schedule over a model and batch.
+type Runner struct {
+	model *nn.Model
+	s     *sched.Schedule
+	batch [][]int
+
+	chunkLayers [][]int // global chunk -> layer indices
+	sliceTokens int
+
+	recv  map[edgeKey]chan *tensor.Matrix
+	sends map[edgeKey][]chan *tensor.Matrix
+	// wires, when non-nil, routes cross-stage traffic over net.Conn links
+	// instead of the in-process channels (see RunOverLinks).
+	wires []wire
+	// iter tags outgoing frames in multi-step runs (see StageLoop).
+	iter int
+}
+
+// New validates shapes and wires the channel fabric.
+func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(batch) != s.N {
+		return nil, fmt.Errorf("pipeline: %d micro-batches for schedule with n=%d", len(batch), s.N)
+	}
+	if m.Cfg.SeqLen%s.S != 0 {
+		return nil, fmt.Errorf("pipeline: seq len %d not divisible by %d slices", m.Cfg.SeqLen, s.S)
+	}
+	for i, sample := range batch {
+		if len(sample) != m.Cfg.SeqLen+1 {
+			return nil, fmt.Errorf("pipeline: sample %d has %d tokens, want %d", i, len(sample), m.Cfg.SeqLen+1)
+		}
+	}
+	chunks := s.TotalChunks()
+	if m.Cfg.Layers < chunks {
+		return nil, fmt.Errorf("pipeline: %d layers cannot fill %d chunks", m.Cfg.Layers, chunks)
+	}
+	r := &Runner{
+		model: m, s: s, batch: batch,
+		sliceTokens: m.Cfg.SeqLen / s.S,
+		recv:        map[edgeKey]chan *tensor.Matrix{},
+		sends:       map[edgeKey][]chan *tensor.Matrix{},
+	}
+	// Spread layers over global chunks as evenly as possible.
+	r.chunkLayers = make([][]int, chunks)
+	base, rem := m.Cfg.Layers/chunks, m.Cfg.Layers%chunks
+	next := 0
+	for c := 0; c < chunks; c++ {
+		n := base
+		if c < rem {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			r.chunkLayers[c] = append(r.chunkLayers[c], next)
+			next++
+		}
+	}
+	// One channel per cross-stage data edge; W ops never cross stages.
+	var deps []sched.Dep
+	for k, ops := range s.Stages {
+		for _, op := range ops {
+			deps = s.Deps(deps[:0], k, op)
+			for _, d := range deps {
+				if d.Stage == k {
+					continue
+				}
+				ch := make(chan *tensor.Matrix, 1)
+				r.recv[edgeKey{k, op}] = ch
+				prod := edgeKey{d.Stage, d.Op}
+				r.sends[prod] = append(r.sends[prod], ch)
+			}
+		}
+	}
+	return r, nil
+}
+
+// stage is the per-goroutine execution state.
+type stage struct {
+	k int
+	// layer states per (layer index, micro).
+	layers map[int][]*nn.LayerState
+	heads  []*nn.HeadState
+	logits map[famKey]*tensor.Matrix
+	tasks  map[famKey][]nn.WeightTask
+	// stash holds tensors handed between chunks that live on the same
+	// stage (e.g. single-stage pipelines with several chunks), keyed by
+	// the consumer op. Program order guarantees the producer ran first.
+	stash map[edgeKey]*tensor.Matrix
+	loss  float64
+	err   error
+}
+
+// Run executes the schedule and returns the mean loss. Gradients accumulate
+// into the model with the same normalisation as nn.Model.TrainSequential.
+func (r *Runner) Run() (float64, error) {
+	stages := make([]*stage, r.s.P)
+	for k := range stages {
+		stages[k] = r.newStage(k)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < r.s.P; k++ {
+		wg.Add(1)
+		go func(st *stage) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					st.err = fmt.Errorf("pipeline: stage %d panicked: %v", st.k, p)
+				}
+			}()
+			r.runStage(st)
+		}(stages[k])
+	}
+	wg.Wait()
+	total := 0.0
+	for _, st := range stages {
+		if st.err != nil {
+			return 0, st.err
+		}
+		total += st.loss
+	}
+	return total, nil
+}
+
+// newStage allocates the mutable execution state of one stage.
+func (r *Runner) newStage(k int) *stage {
+	st := &stage{
+		k:      k,
+		layers: map[int][]*nn.LayerState{},
+		heads:  make([]*nn.HeadState, r.s.N),
+		logits: map[famKey]*tensor.Matrix{},
+		tasks:  map[famKey][]nn.WeightTask{},
+		stash:  map[edgeKey]*tensor.Matrix{},
+	}
+	for c := 0; c < r.s.V; c++ {
+		g := r.s.Place.Global(k, c)
+		for _, li := range r.chunkLayers[g] {
+			states := make([]*nn.LayerState, r.s.N)
+			for m := range states {
+				states[m] = nn.NewLayerState(r.model.Cfg)
+			}
+			st.layers[li] = states
+		}
+	}
+	for m := range st.heads {
+		st.heads[m] = nn.NewHeadState()
+	}
+	return st
+}
+
+func (r *Runner) runStage(st *stage) {
+	for _, op := range r.s.Stages[st.k] {
+		switch op.Kind {
+		case sched.F:
+			r.forward(st, op)
+		case sched.B:
+			r.backward(st, op, true)
+		case sched.BAct:
+			r.backward(st, op, false)
+		case sched.W:
+			r.weight(st, op, 0, 1)
+		case sched.WPiece:
+			r.weight(st, op, op.Piece, r.s.WPieces)
+		}
+	}
+}
+
+// isFirst / isHead classify the op's global chunk.
+func (r *Runner) global(st *stage, op sched.Op) int { return r.s.Place.Global(st.k, op.Chunk) }
+
+func (r *Runner) forward(st *stage, op sched.Op) {
+	g := r.global(st, op)
+	start := op.Slice * r.sliceTokens
+	var x *tensor.Matrix
+	if g == 0 {
+		tokens := r.batch[op.Micro][start : start+r.sliceTokens]
+		x = r.model.Embed.Forward(tokens)
+	} else {
+		x = r.receive(st, op)
+	}
+	for _, li := range r.chunkLayers[g] {
+		if r.model.LeanActivations {
+			x = r.model.Layers[li].ForwardSliceLean(st.layers[li][op.Micro], x, start)
+		} else {
+			x = r.model.Layers[li].ForwardSlice(st.layers[li][op.Micro], x, start)
+		}
+	}
+	if g == r.s.TotalChunks()-1 {
+		logits := r.model.Head.Forward(x, st.heads[op.Micro], start)
+		st.logits[famKey{op.Micro, op.Slice, op.Chunk}] = logits
+		return
+	}
+	ns, nl := r.s.Place.Host(g + 1)
+	consumer := sched.Op{Kind: sched.F, Micro: op.Micro, Slice: op.Slice, Chunk: nl}
+	r.deliver(st, ns, consumer, op, x)
+}
+
+// receive obtains the op's cross-chunk input: a channel for cross-stage
+// edges, the local stash otherwise.
+func (r *Runner) receive(st *stage, op sched.Op) *tensor.Matrix {
+	key := edgeKey{st.k, op}
+	if ch, ok := r.recv[key]; ok {
+		return <-ch
+	}
+	x, ok := st.stash[key]
+	if !ok {
+		panic(fmt.Sprintf("pipeline: stage %d: no input for %v", st.k, op))
+	}
+	delete(st.stash, key)
+	return x
+}
+
+// deliver hands x to the consumer op on stage ns.
+func (r *Runner) deliver(st *stage, ns int, consumer, producer sched.Op, x *tensor.Matrix) {
+	if ns == st.k {
+		st.stash[edgeKey{ns, consumer}] = x
+		return
+	}
+	if r.wires != nil {
+		r.sendWire(st.k, edgeKey{ns, consumer}, x)
+		return
+	}
+	for _, ch := range r.sends[edgeKey{st.k, producer}] {
+		ch <- x
+	}
+}
+
+func (r *Runner) backward(st *stage, op sched.Op, fused bool) {
+	g := r.global(st, op)
+	start := op.Slice * r.sliceTokens
+	fam := famKey{op.Micro, op.Slice, op.Chunk}
+	var dy *tensor.Matrix
+	var tasks []nn.WeightTask
+	if g == r.s.TotalChunks()-1 {
+		// Loss gradient: mean over slices and micro-batches, matching
+		// the sequential reference.
+		logits := st.logits[fam]
+		delete(st.logits, fam)
+		targets := r.batch[op.Micro][start+1 : start+r.sliceTokens+1]
+		dLogits := tensor.New(r.sliceTokens, r.model.Cfg.Vocab)
+		norm := float64(r.s.S * r.s.N)
+		st.loss += tensor.CrossEntropy(dLogits, logits, targets) / norm
+		dLogits.Scale(float32(1 / norm))
+		dy, tasks = r.model.Head.Backward(dLogits, st.heads[op.Micro], start, nil)
+	} else {
+		dy = r.receive(st, op)
+	}
+	layers := r.chunkLayers[g]
+	for i := len(layers) - 1; i >= 0; i-- {
+		li := layers[i]
+		dy, tasks = r.model.Layers[li].BackwardSlice(st.layers[li][op.Micro], start, dy, tasks)
+	}
+	if g == 0 {
+		tokens := r.batch[op.Micro][start : start+r.sliceTokens]
+		r.model.Embed.Backward(tokens, dy)
+	} else {
+		ps, pl := r.s.Place.Host(g - 1)
+		kind := sched.B
+		if r.s.SplitBW {
+			kind = sched.BAct
+		}
+		consumer := sched.Op{Kind: kind, Micro: op.Micro, Slice: op.Slice, Chunk: pl}
+		r.deliver(st, ps, consumer, op, dy)
+	}
+	if fused {
+		for _, t := range tasks {
+			t.Run()
+		}
+		return
+	}
+	st.tasks[fam] = tasks
+}
+
+// weight executes piece `p` of `of` of the family's deferred GEMMs (whole W
+// runs all of them).
+func (r *Runner) weight(st *stage, op sched.Op, p, of int) {
+	fam := famKey{op.Micro, op.Slice, op.Chunk}
+	tasks := st.tasks[fam]
+	if tasks == nil {
+		st.err = fmt.Errorf("pipeline: stage %d: weight op %v before its backward", st.k, op)
+		return
+	}
+	lo := len(tasks) * p / of
+	hi := len(tasks) * (p + 1) / of
+	for _, t := range tasks[lo:hi] {
+		t.Run()
+	}
+	if p == of-1 {
+		delete(st.tasks, fam)
+	}
+}

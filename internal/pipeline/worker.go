@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"mepipe/internal/nn"
+	"mepipe/internal/sched"
+)
+
+// StageWorker executes exactly one pipeline stage the way a separate
+// process (or host) would: it holds its own model replica — every worker
+// builds the model from the same seed, so weights agree without any
+// transfer — but computes only its stage's layers, exchanging activation
+// and gradient tensors with peer stages over net.Conn links. Gradients for
+// the worker's own layers accumulate into its local model, exactly like a
+// GPU rank.
+type StageWorker struct {
+	r     *Runner
+	stage int
+}
+
+// NewStageWorker validates and prepares one stage's worker.
+func NewStageWorker(m *nn.Model, s *sched.Schedule, batch [][]int, stage int) (*StageWorker, error) {
+	if stage < 0 || stage >= s.P {
+		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d)", stage, s.P)
+	}
+	r, err := New(m, s, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &StageWorker{r: r, stage: stage}, nil
+}
+
+// Stage returns the stage index this worker executes.
+func (w *StageWorker) Stage() int { return w.stage }
+
+// OwnedLayers returns the model layers this stage computes (and therefore
+// the only layers whose gradients this worker produces).
+func (w *StageWorker) OwnedLayers() []int {
+	var out []int
+	for c := 0; c < w.r.s.V; c++ {
+		g := w.r.s.Place.Global(w.stage, c)
+		out = append(out, w.r.chunkLayers[g]...)
+	}
+	return out
+}
+
+// Peers returns the stages this worker must be connected to.
+func (w *StageWorker) Peers() []int {
+	set := map[int]bool{}
+	for pair := range w.r.stagePairs() {
+		if pair[0] == w.stage {
+			set[pair[1]] = true
+		}
+		if pair[1] == w.stage {
+			set[pair[0]] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Run executes the stage over the given peer connections (keyed by peer
+// stage). It returns this stage's share of the loss (non-zero only on the
+// stage hosting the final chunk). The connections are not closed.
+func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
+	for _, peer := range w.Peers() {
+		if conns[peer] == nil {
+			return 0, fmt.Errorf("pipeline: stage %d missing connection to peer %d", w.stage, peer)
+		}
+	}
+	wires := make([]wire, w.r.s.P)
+	wires[w.stage].out = map[int]*bufio.Writer{}
+	var demux sync.WaitGroup
+	for peer, conn := range conns {
+		wires[w.stage].out[peer] = bufio.NewWriter(conn)
+		demux.Add(1)
+		go func(c net.Conn) {
+			defer demux.Done()
+			br := bufio.NewReader(c)
+			for {
+				_, e, m, err := readFrame(br)
+				if err != nil {
+					return // peer closed after the iteration
+				}
+				if e.stage != w.stage {
+					continue // not addressed to this stage
+				}
+				w.r.recv[e] <- m
+			}
+		}(conn)
+	}
+	w.r.wires = wires
+	defer func() { w.r.wires = nil }()
+
+	st := w.r.newStage(w.stage)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				st.err = fmt.Errorf("pipeline: stage %d panicked: %v", w.stage, p)
+			}
+		}()
+		w.r.runStage(st)
+	}()
+	// The demux goroutines drain until the caller closes the conns; they
+	// hold no state this iteration needs, so we do not wait on them.
+	if st.err != nil {
+		return 0, st.err
+	}
+	return st.loss, nil
+}
+
+// StageLoop drives multi-step distributed training of one stage: a fresh
+// Runner per step over shared connections, frames routed by their iteration
+// tag, and an SGD step over the stage's own layers between iterations.
+// Because every worker steps only the layers it computes with gradients it
+// produced locally, the fleet's weights evolve exactly like single-process
+// training — no parameter synchronisation needed.
+type StageLoop struct {
+	model *nn.Model
+	s     *sched.Schedule
+	stage int
+}
+
+// NewStageLoop prepares a multi-step worker for one stage.
+func NewStageLoop(m *nn.Model, s *sched.Schedule, stage int) (*StageLoop, error) {
+	if stage < 0 || stage >= s.P {
+		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d)", stage, s.P)
+	}
+	return &StageLoop{model: m, s: s, stage: stage}, nil
+}
+
+// RunSteps executes len(batches) iterations over the given peer
+// connections, applying lr-scaled SGD to the stage's layers after each.
+// It returns the per-step losses of this stage (non-zero only on the stage
+// hosting the final chunk).
+func (l *StageLoop) RunSteps(conns map[int]net.Conn, batches [][][]int, lr float32) ([]float64, error) {
+	// Pre-build one runner (and worker) per step so the demultiplexer can
+	// route any iteration's frames the moment they arrive — a fast
+	// upstream stage may already be sending step i+1 while this stage
+	// still drains step i.
+	workers := make([]*StageWorker, len(batches))
+	for i, b := range batches {
+		w, err := NewStageWorker(l.model, l.s, b, l.stage)
+		if err != nil {
+			return nil, err
+		}
+		w.r.iter = i
+		workers[i] = w
+	}
+	// One demux per conn, shared across steps.
+	var demux sync.WaitGroup
+	for _, conn := range conns {
+		demux.Add(1)
+		go func(c net.Conn) {
+			defer demux.Done()
+			br := bufio.NewReader(c)
+			for {
+				iter, e, m, err := readFrame(br)
+				if err != nil {
+					return
+				}
+				if iter < 0 || iter >= len(workers) || e.stage != l.stage {
+					continue
+				}
+				workers[iter].r.recv[e] <- m
+			}
+		}(conn)
+	}
+	losses := make([]float64, len(batches))
+	for i, w := range workers {
+		// Route this step's outgoing frames through the shared conns.
+		wires := make([]wire, l.s.P)
+		wires[l.stage].out = map[int]*bufio.Writer{}
+		for peer, conn := range conns {
+			wires[l.stage].out[peer] = bufio.NewWriter(conn)
+		}
+		w.r.wires = wires
+
+		l.model.ZeroGrads()
+		st := w.r.newStage(l.stage)
+		var runErr error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					runErr = fmt.Errorf("pipeline: stage %d step %d panicked: %v", l.stage, i, p)
+				}
+			}()
+			w.r.runStage(st)
+		}()
+		w.r.wires = nil
+		if runErr != nil {
+			return nil, runErr
+		}
+		if st.err != nil {
+			return nil, st.err
+		}
+		losses[i] = st.loss
+		l.stepOwnLayers(w, lr)
+	}
+	return losses, nil
+}
+
+// stepOwnLayers applies SGD only to the parameters this stage computes.
+func (l *StageLoop) stepOwnLayers(w *StageWorker, lr float32) {
+	step := func(wt, dw []float32) {
+		for i := range wt {
+			wt[i] -= lr * dw[i]
+		}
+	}
+	for _, li := range w.OwnedLayers() {
+		layer := l.model.Layers[li]
+		for _, lin := range []*nn.Linear{&layer.Wq, &layer.Wk, &layer.Wv, &layer.Wo, &layer.Wg, &layer.Wu, &layer.Wd} {
+			step(lin.W.Data, lin.DW.Data)
+		}
+		step(layer.AttnNorm, layer.DAttnNorm)
+		step(layer.MLPNorm, layer.DMLPNorm)
+	}
+	if l.stage == 0 {
+		step(l.model.Embed.Table.Data, l.model.Embed.DTable.Data)
+	}
+	if last, _ := l.s.Place.Host(l.s.TotalChunks() - 1); last == l.stage {
+		step(l.model.Head.W.W.Data, l.model.Head.W.DW.Data)
+		step(l.model.Head.Norm, l.model.Head.DNorm)
+	}
+}

@@ -1,0 +1,263 @@
+// Package profile implements MEPipe's profiler component (§6: "a profiler
+// that measures the computation time and memory consumption for each
+// forward and backward pass"). It times real operations — here the tiny
+// decoder's layers on the host CPU — and fits the same saturating
+// efficiency model the simulator uses, closing the measure → model →
+// schedule loop on actual hardware.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mepipe/internal/nn"
+	"mepipe/internal/sched"
+	"mepipe/internal/tensor"
+)
+
+// Sample is one timing observation: a kernel call over Tokens tokens took
+// Seconds.
+type Sample struct {
+	Tokens  int
+	Seconds float64
+}
+
+// FitThroughput fits the saturating throughput model
+//
+//	time(t) = work(t) / (peak · t/(t+tau))
+//
+// to samples whose work is proportional to the token count (GEMM-shaped):
+// time(t) = (c/peak)·(t + tau). A least-squares line through (t, time)
+// yields slope = c/peak and intercept = slope·tau.
+func FitThroughput(samples []Sample) (tauTokens float64, secPerToken float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("profile: need at least 2 samples, got %d", len(samples))
+	}
+	var n, sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		if s.Tokens <= 0 || s.Seconds <= 0 {
+			return 0, 0, fmt.Errorf("profile: non-positive sample %+v", s)
+		}
+		x, y := float64(s.Tokens), s.Seconds
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("profile: degenerate samples (all equal token counts)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	if slope <= 0 {
+		return 0, 0, fmt.Errorf("profile: non-increasing timings (slope %g)", slope)
+	}
+	tau := intercept / slope
+	if tau < 0 {
+		tau = 0
+	}
+	return tau, slope, nil
+}
+
+// LayerTimer measures the real forward and backward time of one decoder
+// layer at the given slice widths, with repetitions and median selection to
+// tame scheduler noise.
+type LayerTimer struct {
+	Model *nn.Model
+	Reps  int
+}
+
+// timeOnce measures one forward+backward of width tokens through layer 0.
+func (lt *LayerTimer) timeOnce(width int) (fwd, bwd float64) {
+	l := lt.Model.Layers[0]
+	st := nn.NewLayerState(lt.Model.Cfg)
+	x := tensor.New(width, lt.Model.Cfg.Hidden)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) * 0.01
+	}
+	t0 := time.Now()
+	y := l.ForwardSlice(st, x, 0)
+	fwd = time.Since(t0).Seconds()
+	dy := tensor.New(width, lt.Model.Cfg.Hidden)
+	copy(dy.Data, y.Data)
+	t1 := time.Now()
+	_, tasks := l.BackwardSlice(st, 0, dy, nil)
+	for _, task := range tasks {
+		task.Run()
+	}
+	bwd = time.Since(t1).Seconds()
+	return fwd, bwd
+}
+
+// Measure returns median forward and backward samples per width.
+func (lt *LayerTimer) Measure(widths []int) (fwd, bwd []Sample) {
+	reps := lt.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	for _, w := range widths {
+		fs := make([]float64, 0, reps)
+		bs := make([]float64, 0, reps)
+		for i := 0; i < reps; i++ {
+			f, b := lt.timeOnce(w)
+			fs = append(fs, f)
+			bs = append(bs, b)
+		}
+		sort.Float64s(fs)
+		sort.Float64s(bs)
+		fwd = append(fwd, Sample{w, fs[reps/2]})
+		bwd = append(bwd, Sample{w, bs[reps/2]})
+	}
+	return fwd, bwd
+}
+
+// MeasuredEstimator turns layer timings into a sched.Estimator for the tiny
+// runtime: per-op durations are the measured per-layer times scaled by the
+// chunk's layer count and the slice's causal-attention position factor.
+type MeasuredEstimator struct {
+	// FwdPerToken / BwdPerToken and Tau come from FitThroughput.
+	FwdPerToken, BwdPerToken, Tau float64
+	LayersPerChunk                int
+	SliceTokens                   int
+	Slices                        int
+	// WShare is the fraction of the backward that is weight-gradient
+	// work (deferrable); the rest is the activation-gradient half.
+	WShare float64
+	Pieces int
+}
+
+// opSeconds estimates one op's duration from the fitted line.
+func (e MeasuredEstimator) opSeconds(perToken float64, op sched.Op) float64 {
+	t := float64(e.SliceTokens)
+	base := perToken * (t + e.Tau) * float64(e.LayersPerChunk)
+	// Causal attention grows roughly linearly across slices; the tiny
+	// model's attention share is small, so a mild tilt suffices.
+	tilt := 1 + 0.1*float64(op.Slice)/float64(max(1, e.Slices-1))
+	return base * tilt
+}
+
+func (e MeasuredEstimator) OpTime(stage int, op sched.Op) float64 {
+	switch op.Kind {
+	case sched.F:
+		return e.opSeconds(e.FwdPerToken, op)
+	case sched.B:
+		return e.opSeconds(e.BwdPerToken, op)
+	case sched.BAct:
+		return e.opSeconds(e.BwdPerToken, op) * (1 - e.WShare)
+	case sched.W:
+		return e.opSeconds(e.BwdPerToken, op) * e.WShare
+	case sched.WPiece:
+		return e.opSeconds(e.BwdPerToken, op) * e.WShare / float64(max(1, e.Pieces))
+	}
+	return 0
+}
+
+func (e MeasuredEstimator) CommTime(from, to int, op sched.Op) float64 { return 0 }
+
+// RelativeError reports how well the fit explains the samples (max
+// fractional residual), a quality gate for the profiler.
+func RelativeError(samples []Sample, tau, perToken float64) float64 {
+	worst := 0.0
+	for _, s := range samples {
+		pred := perToken * (float64(s.Tokens) + tau)
+		if r := math.Abs(pred-s.Seconds) / s.Seconds; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OpTable is a table-driven estimator built from direct measurements of
+// every (slice, op-kind) at its true shape — what MEPipe's profiler
+// actually records (§6), with no curve fitting in between.
+type OpTable struct {
+	// F, BAct, W hold per-slice seconds for one chunk's worth of layers.
+	F, BAct, W []float64
+	Pieces     int
+}
+
+func (t *OpTable) OpTime(stage int, op sched.Op) float64 {
+	switch op.Kind {
+	case sched.F:
+		return t.F[op.Slice]
+	case sched.B:
+		return t.BAct[op.Slice] + t.W[op.Slice]
+	case sched.BAct:
+		return t.BAct[op.Slice]
+	case sched.W:
+		return t.W[op.Slice]
+	case sched.WPiece:
+		return t.W[op.Slice] / float64(max(1, t.Pieces))
+	}
+	return 0
+}
+
+func (t *OpTable) CommTime(from, to int, op sched.Op) float64 { return 0 }
+
+// MeasureSliceOps times each slice's forward, activation-gradient, and
+// weight-gradient work at its real shape: the forward runs with the KV
+// cache grown to the slice's start position, the backward in reverse slice
+// order with real gradient payloads. Times are medians over reps and are
+// scaled to layersPerChunk layers.
+func MeasureSliceOps(m *nn.Model, slices, layersPerChunk, reps int) (*OpTable, error) {
+	if m.Cfg.SeqLen%slices != 0 {
+		return nil, fmt.Errorf("profile: %d tokens not divisible by %d slices", m.Cfg.SeqLen, slices)
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	width := m.Cfg.SeqLen / slices
+	l := m.Layers[0]
+	scale := float64(layersPerChunk)
+
+	fs := make([][]float64, slices)
+	bs := make([][]float64, slices)
+	ws := make([][]float64, slices)
+	for rep := 0; rep < reps; rep++ {
+		st := nn.NewLayerState(m.Cfg)
+		outs := make([]*tensor.Matrix, slices)
+		for i := 0; i < slices; i++ {
+			x := tensor.New(width, m.Cfg.Hidden)
+			for j := range x.Data {
+				x.Data[j] = float32((j+i)%11) * 0.01
+			}
+			t0 := time.Now()
+			outs[i] = l.ForwardSlice(st, x, i*width)
+			fs[i] = append(fs[i], time.Since(t0).Seconds())
+		}
+		for i := slices - 1; i >= 0; i-- {
+			dy := tensor.New(width, m.Cfg.Hidden)
+			copy(dy.Data, outs[i].Data)
+			t0 := time.Now()
+			_, tasks := l.BackwardSlice(st, i*width, dy, nil)
+			bs[i] = append(bs[i], time.Since(t0).Seconds())
+			t1 := time.Now()
+			for _, task := range tasks {
+				task.Run()
+			}
+			ws[i] = append(ws[i], time.Since(t1).Seconds())
+		}
+	}
+	table := &OpTable{Pieces: nn.WeightGradGEMMs}
+	med := func(v []float64) float64 {
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	for i := 0; i < slices; i++ {
+		table.F = append(table.F, med(fs[i])*scale)
+		table.BAct = append(table.BAct, med(bs[i])*scale)
+		table.W = append(table.W, med(ws[i])*scale)
+	}
+	return table, nil
+}

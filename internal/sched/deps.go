@@ -1,0 +1,76 @@
+package sched
+
+// Dependency semantics. These rules are the single source of truth shared by
+// the validator, the discrete-event simulator, and the real goroutine
+// runtime.
+//
+// Forward F(m, i, j)@k — slice i of micro-batch m through local chunk j of
+// stage k, with g = Place.Global(k, j):
+//
+//  1. pipeline input: the same slice through the preceding global chunk
+//     (F(m, i, ·) on Host(g−1)); absent for g = 0.
+//  2. KV availability: causal attention of slice i reads the keys/values of
+//     every preceding slice at the same layers, so F(m, i−1, j)@k must have
+//     completed (Fig 3 of the paper); absent for i = 0.
+//
+// Backward B/BAct(m, i, j)@k:
+//
+//  1. gradient input: the same slice's backward on the succeeding global
+//     chunk (backward traverses chunks in reverse order); for the final
+//     chunk g = PV−1 the gradient originates at the loss, which requires
+//     the slice's own forward F(m, i, j)@k.
+//  2. KV gradients: d(K,V) of slice i accumulates contributions from every
+//     later slice's backward at the same layers, so B(m, i+1, j)@k must
+//     have completed; absent for i = S−1. (This is why the first backward
+//     of a sample requires all its forwards: B of slice S−1 needs F of
+//     slice S−1, which transitively needs all earlier slices.)
+//  3. retained activations: the slice's own forward at this (stage, chunk),
+//     F(m, i, j)@k. (Transitively implied by 1+2 but stated explicitly so
+//     validation does not depend on that reasoning.)
+//
+// Weight gradient W/WPiece(m, i, j)@k: requires BAct(m, i, j)@k — and
+// nothing else, which is what lets §5 defer and interleave them freely.
+
+// Dep is a dependency edge: the op that must complete, and the stage it
+// runs on. Cross-stage edges imply communication.
+type Dep struct {
+	Stage int
+	Op    Op
+}
+
+// Deps appends the dependencies of op (running on stage) to dst and returns
+// it. The caller chooses B vs BAct consistently with s.SplitBW.
+func (s *Schedule) Deps(dst []Dep, stage int, op Op) []Dep {
+	bKind := B
+	if s.SplitBW {
+		bKind = BAct
+	}
+	switch op.Kind {
+	case F:
+		g := s.Place.Global(stage, op.Chunk)
+		if g > 0 {
+			ps, pl := s.Place.Host(g - 1)
+			dst = append(dst, Dep{ps, Op{Kind: F, Micro: op.Micro, Slice: op.Slice, Chunk: pl}})
+		}
+		if op.Slice > 0 {
+			dst = append(dst, Dep{stage, Op{Kind: F, Micro: op.Micro, Slice: op.Slice - 1, Chunk: op.Chunk}})
+		}
+	case B, BAct:
+		g := s.Place.Global(stage, op.Chunk)
+		if g < s.TotalChunks()-1 {
+			ns, nl := s.Place.Host(g + 1)
+			dst = append(dst, Dep{ns, Op{Kind: bKind, Micro: op.Micro, Slice: op.Slice, Chunk: nl}})
+		}
+		if op.Slice < s.S-1 {
+			dst = append(dst, Dep{stage, Op{Kind: bKind, Micro: op.Micro, Slice: op.Slice + 1, Chunk: op.Chunk}})
+		}
+		dst = append(dst, Dep{stage, Op{Kind: F, Micro: op.Micro, Slice: op.Slice, Chunk: op.Chunk}})
+	case W, WPiece:
+		dst = append(dst, Dep{stage, Op{Kind: bKind, Micro: op.Micro, Slice: op.Slice, Chunk: op.Chunk}})
+	}
+	return dst
+}
+
+// CrossStage reports whether a dependency edge carries a tensor between two
+// different stages (and therefore costs communication).
+func (d Dep) CrossStage(stage int) bool { return d.Stage != stage }

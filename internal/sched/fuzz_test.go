@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the schedule decoder: arbitrary bytes must never panic,
+// and anything that loads must validate.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real schedule and some near-misses.
+	s, err := MEPipe(2, 1, 2, 2, 0, 2, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(buf.String()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"placement":"round-robin","p":1,"v":1,"s":1,"n":1,"stages":[[]]}`))
+	f.Add([]byte(strings.Replace(buf.String(), `"n":2`, `"n":99`, 1)))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Load returned an invalid schedule: %v", err)
+		}
+	})
+}
+
+// FuzzGenerateShapes drives the generator across arbitrary small shapes and
+// cap functions: it must either error cleanly or emit a valid schedule.
+func FuzzGenerateShapes(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(2), uint8(3), uint8(5), true, true, uint8(3))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(0), false, false, uint8(0))
+	f.Add(uint8(6), uint8(3), uint8(4), uint8(6), uint8(2), true, false, uint8(0))
+	f.Fuzz(func(t *testing.T, p, v, s, n, fcap uint8, split, resched bool, pieces uint8) {
+		opt := GenOptions{
+			Name: "fuzz",
+			P:    int(p%6) + 1, V: int(v%3) + 1, S: int(s%4) + 1, N: int(n%5) + 1,
+			SplitBW:    split,
+			Reschedule: resched,
+		}
+		if split {
+			opt.WPieces = int(pieces % 5)
+		}
+		cap := int(fcap)
+		opt.InFlightCap = func(k int) int { return cap - k }
+		opt.Place = RoundRobin{P: opt.P, V: opt.V}
+		sch, err := Generate(opt)
+		if err != nil {
+			t.Fatalf("generator failed on p=%d v=%d s=%d n=%d cap=%d: %v", opt.P, opt.V, opt.S, opt.N, cap, err)
+		}
+		if err := sch.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

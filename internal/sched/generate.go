@@ -1,0 +1,589 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator supplies the relative durations the generator uses to order
+// operations. Generation needs only *relative* costs (which op finishes
+// first); the simulator later replays the order against exact costs.
+type Estimator interface {
+	// OpTime returns the duration of op on stage.
+	OpTime(stage int, op Op) float64
+	// CommTime returns the delay for op's output to become usable by a
+	// dependent on another stage.
+	CommTime(from, to int, op Op) float64
+}
+
+// UniformEst is the unit-cost estimator used for analytic comparisons:
+// every forward costs F, every fused backward B, and so on, regardless of
+// slice (no attention imbalance) with a fixed per-hop communication delay.
+type UniformEst struct {
+	F, BFused, BAct, W, WPiece, Comm float64
+}
+
+// Unit returns the conventional unit-cost estimator (B = 2F, split halves
+// B into equal act/weight parts).
+func Unit() UniformEst {
+	return UniformEst{F: 1, BFused: 2, BAct: 1, W: 1, WPiece: 0, Comm: 0}
+}
+
+func (u UniformEst) OpTime(stage int, op Op) float64 {
+	switch op.Kind {
+	case F:
+		return u.F
+	case B:
+		return u.BFused
+	case BAct:
+		return u.BAct
+	case W:
+		return u.W
+	case WPiece:
+		return u.WPiece
+	}
+	return 0
+}
+
+func (u UniformEst) CommTime(from, to int, op Op) float64 { return u.Comm }
+
+// GenOptions parameterises the greedy event-driven generator. The same
+// machinery produces every schedule family:
+//
+//	GPipe     cap=∞, fused B
+//	TeraPipe  cap=∞, fused B, S>1
+//	DAPPLE    cap(k)=P−k, fused B
+//	VPP       cap(k)=VP+P−1−k, round-robin placement, fused B
+//	Hanayo    wave placement, fused B
+//	ZB-1P     DAPPLE caps, split B, whole W gap-filling
+//	ZBV       wave placement, split B
+//	SVPP      S>1, cap(k)=f−k with f the §4.2 memory knob
+//	MEPipe    SVPP + split B + WPiece gap-filling (§5)
+type GenOptions struct {
+	Name string
+
+	P, V, S, N int
+	Place      Placement
+
+	SplitBW bool
+	// WPieces decomposes each weight-gradient op into this many GEMM
+	// pieces (§5). 0 with SplitBW schedules whole W ops.
+	WPieces int
+
+	// InFlightCap bounds, per stage, the number of forward families whose
+	// backward has not yet been scheduled — the f knob of §4.2. The
+	// generator always reserves headroom for the oldest live micro-batch
+	// so the cap can never deadlock the pipeline; caps below V·S are
+	// raised to V·S (the theoretical minimum, §4.2).
+	InFlightCap func(stage int) int
+
+	// WDeferCap bounds, per stage, how many weight-gradient ops may be
+	// outstanding (BAct done, W not). Exceeding it forces the next op to
+	// be a W: this is how later stages are allowed to defer more W than
+	// stage 0 (§5). Negative means unlimited.
+	WDeferCap func(stage int) int
+
+	// Reschedule enables the Fig-6 backward rescheduling: among ready
+	// backwards, prefer the one with the most descendants.
+	Reschedule bool
+
+	Est Estimator
+}
+
+// node tracks generator state for one op on one stage.
+type node struct {
+	op        Op
+	dur       float64
+	remaining int     // unscheduled dependencies
+	ready     float64 // max(dep finish + comm) once remaining == 0
+	scheduled bool
+	outs      []int32 // dependents, as indices into the stage-local pool... (global ids)
+}
+
+type genStage struct {
+	free     float64
+	inflight int
+	deferred int // outstanding W families (split mode)
+	// ready op ids by class. readyF/readyB are scanned in full (their
+	// sizes are bounded by the in-flight caps or the pipeline width);
+	// readyW is kept sorted by fPriority with an advancing head, because
+	// a ready weight-gradient op's only dependency (its same-stage BAct)
+	// has always already executed — every entry starts at st.free, so
+	// the priority-sorted head IS the best candidate.
+	readyF, readyB []int32
+	readyW         []int32
+	wHead          int
+	// cached pick() result, recomputed only when the stage's state
+	// changed since the last decision (dirty).
+	cached candidate
+	dirty  bool
+	// bookkeeping for the oldest-micro headroom rule
+	unschedF []int // per micro: unscheduled F ops on this stage
+	unschedB []int // per micro: unscheduled B-class ops on this stage
+	oldest   int   // smallest micro with unscheduled B ops
+	pending  int
+	order    []Op
+}
+
+// Generate builds and validates a schedule per opt.
+func Generate(opt GenOptions) (*Schedule, error) {
+	s := &Schedule{
+		Name: opt.Name, P: opt.P, V: opt.V, S: opt.S, N: opt.N,
+		SplitBW: opt.SplitBW, WPieces: opt.WPieces, Place: opt.Place,
+	}
+	if s.Place == nil {
+		s.Place = RoundRobin{P: opt.P, V: opt.V}
+	}
+	if opt.Est == nil {
+		opt.Est = Unit()
+	}
+	if opt.P <= 0 || opt.V <= 0 || opt.S <= 0 || opt.N <= 0 {
+		return nil, fmt.Errorf("sched: generate %s: non-positive shape p=%d v=%d s=%d n=%d", opt.Name, opt.P, opt.V, opt.S, opt.N)
+	}
+	g := newGenerator(s, opt)
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	for k := range g.stages {
+		s.Stages = append(s.Stages, g.stages[k].order)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: generator produced invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+type generator struct {
+	s      *Schedule
+	opt    GenOptions
+	nodes  []node
+	index  map[stageOp]int32
+	stages []genStage
+	finish []float64
+	total  int
+	done   int
+}
+
+func newGenerator(s *Schedule, opt GenOptions) *generator {
+	g := &generator{s: s, opt: opt, index: make(map[stageOp]int32)}
+	g.stages = make([]genStage, s.P)
+	// Build the op universe.
+	bKind := B
+	if s.SplitBW {
+		bKind = BAct
+	}
+	var all []stageOp
+	for k := 0; k < s.P; k++ {
+		st := &g.stages[k]
+		st.unschedF = make([]int, s.N)
+		st.unschedB = make([]int, s.N)
+		for m := 0; m < s.N; m++ {
+			for j := 0; j < s.V; j++ {
+				for i := 0; i < s.S; i++ {
+					fam := Op{Micro: m, Slice: i, Chunk: j}
+					ops := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}, {Kind: bKind, Micro: m, Slice: i, Chunk: j}}
+					if s.SplitBW {
+						if s.WPieces > 0 {
+							for p := 0; p < s.WPieces; p++ {
+								w := fam
+								w.Kind = WPiece
+								w.Piece = p
+								ops = append(ops, w)
+							}
+						} else {
+							w := fam
+							w.Kind = W
+							ops = append(ops, w)
+						}
+					}
+					for _, op := range ops {
+						g.index[stageOp{k, op}] = int32(len(all))
+						all = append(all, stageOp{k, op})
+					}
+					st.unschedF[m]++
+					st.unschedB[m]++
+				}
+			}
+		}
+		st.pending = 0
+	}
+	g.total = len(all)
+	g.nodes = make([]node, len(all))
+	g.finish = make([]float64, len(all))
+	var deps []Dep
+	for id, so := range all {
+		n := &g.nodes[id]
+		n.op = so.op
+		n.dur = opt.Est.OpTime(so.stage, so.op)
+		deps = s.Deps(deps[:0], so.stage, so.op)
+		n.remaining = len(deps)
+		for _, d := range deps {
+			from := g.index[stageOp{d.Stage, d.Op}]
+			g.nodes[from].outs = append(g.nodes[from].outs, int32(id))
+		}
+		g.stages[so.stage].pending++
+	}
+	// Seed ready lists.
+	for id := range g.nodes {
+		if g.nodes[id].remaining == 0 {
+			g.markReady(int32(id), all[id].stage)
+		}
+	}
+	return g
+}
+
+func (g *generator) markReady(id int32, stage int) {
+	st := &g.stages[stage]
+	st.dirty = true
+	switch g.nodes[id].op.Kind {
+	case F:
+		st.readyF = append(st.readyF, id)
+	case B, BAct:
+		st.readyB = append(st.readyB, id)
+	default:
+		g.insertW(st, id)
+	}
+}
+
+// insertW keeps readyW[wHead:] sorted by fPriority. Weight-gradient work is
+// enqueued in nearly increasing priority order (families complete their
+// BAct in roughly micro order), so the binary search almost always appends.
+func (g *generator) insertW(st *genStage, id int32) {
+	key := fPriority(g.nodes[id].op)
+	lo, hi := st.wHead, len(st.readyW)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less4(fPriority(g.nodes[st.readyW[mid]].op), key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	st.readyW = append(st.readyW, 0)
+	copy(st.readyW[lo+1:], st.readyW[lo:])
+	st.readyW[lo] = id
+}
+
+func (g *generator) cap(stage int) int {
+	c := math.MaxInt
+	if g.opt.InFlightCap != nil {
+		c = g.opt.InFlightCap(stage)
+	}
+	if min := g.s.V * g.s.S; c < min {
+		c = min
+	}
+	return c
+}
+
+func (g *generator) wCap(stage int) int {
+	if g.opt.WDeferCap == nil {
+		return math.MaxInt
+	}
+	c := g.opt.WDeferCap(stage)
+	if c < 0 {
+		return math.MaxInt
+	}
+	return c
+}
+
+// bPriority returns a sort key (smaller = preferred) among ready backwards.
+func (g *generator) bPriority(stage int, op Op) [4]int {
+	gl := g.s.Place.Global(stage, op.Chunk)
+	if g.opt.Reschedule {
+		// Fig 6: prefer the backward with the most descendants —
+		// (slice+1)·(globalChunk+1)−1 backwards transitively depend
+		// on it.
+		desc := (op.Slice + 1) * (gl + 1)
+		return [4]int{-desc, op.Micro, 0, 0}
+	}
+	return [4]int{op.Micro, -gl, -op.Slice, 0}
+}
+
+func fPriority(op Op) [4]int { return [4]int{op.Micro, op.Chunk, op.Slice, op.Piece} }
+
+func less4(a, b [4]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+type candidate struct {
+	id    int32
+	start float64
+	kind  Kind
+	ok    bool
+}
+
+const timeEps = 1e-9
+
+// chooseF picks the best eligible forward for a stage.
+//
+// Eligibility keeps the cap from starving the critical chain: a backward of
+// micro m runs only after ALL of m's forwards ran on this stage (each later
+// chunk transitively revisits the stage), so a forward of a younger micro is
+// admitted only if headroom remains for the oldest live micro's unscheduled
+// forwards. This matches the hand-written Megatron/MEPipe orders; the rare
+// shapes it cannot protect (deep virtual pipelines under aggressive memory
+// knobs, where the oldest micro changes while younger ones hold capacity)
+// are handled by the stall-recovery path in run.
+func (g *generator) chooseF(k int) candidate {
+	st := &g.stages[k]
+	limit := g.cap(k)
+	reserve := 0
+	if st.oldest < g.s.N {
+		reserve = st.unschedF[st.oldest]
+	}
+	best := candidate{}
+	for _, id := range st.readyF {
+		op := g.nodes[id].op
+		need := st.inflight
+		if op.Micro != st.oldest {
+			need += reserve
+		}
+		if need >= limit {
+			continue
+		}
+		start := math.Max(st.free, g.nodes[id].ready)
+		if !best.ok || start < best.start-timeEps ||
+			(start < best.start+timeEps && less4(fPriority(op), fPriority(g.nodes[best.id].op))) {
+			best = candidate{id: id, start: start, kind: F, ok: true}
+		}
+	}
+	return best
+}
+
+func (g *generator) chooseB(k int) candidate {
+	st := &g.stages[k]
+	best := candidate{}
+	for _, id := range st.readyB {
+		op := g.nodes[id].op
+		start := math.Max(st.free, g.nodes[id].ready)
+		if !best.ok || start < best.start-timeEps ||
+			(start < best.start+timeEps && less4(g.bPriority(k, op), g.bPriority(k, g.nodes[best.id].op))) {
+			best = candidate{id: id, start: start, kind: op.Kind, ok: true}
+		}
+	}
+	return best
+}
+
+func (g *generator) chooseW(k int) candidate {
+	st := &g.stages[k]
+	if st.wHead >= len(st.readyW) {
+		return candidate{}
+	}
+	id := st.readyW[st.wHead]
+	op := g.nodes[id].op
+	start := math.Max(st.free, g.nodes[id].ready)
+	return candidate{id: id, start: start, kind: op.Kind, ok: true}
+}
+
+func (g *generator) run() error {
+	stageIDs := g.rebuildStageIndex()
+	for k := range g.stages {
+		g.stages[k].dirty = true
+	}
+	for g.done < g.total {
+		bestStage := -1
+		var best candidate
+		for k := 0; k < g.s.P; k++ {
+			st := &g.stages[k]
+			if st.pending == 0 {
+				continue
+			}
+			if st.dirty {
+				st.cached = g.pick(k)
+				st.dirty = false
+			}
+			c := st.cached
+			if !c.ok {
+				continue
+			}
+			if bestStage < 0 || c.start < best.start-timeEps {
+				bestStage, best = k, c
+			}
+		}
+		if bestStage < 0 {
+			// Global stall: every stage is either empty, at its cap,
+			// or waiting on another stage. Force the critical chain
+			// through — run a ready forward of some stage's oldest
+			// live micro-batch even though the stage is at its cap.
+			// This momentarily exceeds the memory knob but is the
+			// only way the oldest micro's backward (which frees the
+			// capacity) can ever become runnable. It triggers only
+			// for deep virtual pipelines under aggressive memory
+			// limits, never for the paper's configurations.
+			bestStage, best = g.forceProgress()
+			if bestStage < 0 {
+				return fmt.Errorf("sched: generate %s: deadlocked with %d/%d ops scheduled\n%s", g.s, g.done, g.total, g.dumpStall())
+			}
+		}
+		g.commit(bestStage, best, stageIDs)
+	}
+	return nil
+}
+
+// forceProgress picks a cap-exempt forward for stall recovery: the ready
+// forward of a stage's oldest live micro with the earliest possible start
+// (preferring, among ties, the oldest micro globally).
+func (g *generator) forceProgress() (int, candidate) {
+	bestStage := -1
+	var best candidate
+	for k := 0; k < g.s.P; k++ {
+		st := &g.stages[k]
+		for _, id := range st.readyF {
+			op := g.nodes[id].op
+			if op.Micro != st.oldest {
+				continue
+			}
+			start := math.Max(st.free, g.nodes[id].ready)
+			c := candidate{id: id, start: start, kind: F, ok: true}
+			if bestStage < 0 || c.start < best.start-timeEps ||
+				(c.start < best.start+timeEps && op.Micro < g.nodes[best.id].op.Micro) {
+				bestStage, best = k, c
+			}
+		}
+	}
+	return bestStage, best
+}
+
+func (g *generator) dumpStall() string {
+	out := ""
+	for k := range g.stages {
+		st := &g.stages[k]
+		out += fmt.Sprintf("stage %d: pending=%d inflight=%d cap=%d oldest=m%d readyF=[", k, st.pending, st.inflight, g.cap(k), st.oldest)
+		for _, id := range st.readyF {
+			out += g.nodes[id].op.String() + " "
+		}
+		out += "] readyB=["
+		for _, id := range st.readyB {
+			out += g.nodes[id].op.String() + " "
+		}
+		out += fmt.Sprintf("] unschedF(oldest)=%d\n", st.unschedF[min(st.oldest, g.s.N-1)])
+	}
+	return out
+}
+
+func (g *generator) rebuildStageIndex() map[int32]int {
+	m := make(map[int32]int, g.total)
+	for so, id := range g.index {
+		m[id] = so.stage
+	}
+	return m
+}
+
+// pick selects the next op for stage k per the policy.
+func (g *generator) pick(k int) candidate {
+	st := &g.stages[k]
+	// Forced weight gradients: too many deferred.
+	if g.s.SplitBW && st.deferred >= g.wCap(k) {
+		if c := g.chooseW(k); c.ok {
+			return c
+		}
+	}
+	cf := g.chooseF(k)
+	cb := g.chooseB(k)
+	var main candidate
+	switch {
+	case cf.ok && cb.ok:
+		if cf.start <= cb.start+timeEps {
+			main = cf
+		} else {
+			main = cb
+		}
+	case cf.ok:
+		main = cf
+	case cb.ok:
+		main = cb
+	}
+	if !g.s.SplitBW {
+		return main
+	}
+	cw := g.chooseW(k)
+	if !cw.ok {
+		return main
+	}
+	if !main.ok {
+		return cw
+	}
+	// Gap filling (§5 / zero-bubble): run a weight-gradient op only when
+	// it completes before the main candidate could start anyway.
+	if cw.start+g.nodes[cw.id].dur <= main.start+timeEps {
+		return cw
+	}
+	return main
+}
+
+func (g *generator) commit(k int, c candidate, stageIDs map[int32]int) {
+	st := &g.stages[k]
+	st.dirty = true
+	n := &g.nodes[c.id]
+	n.scheduled = true
+	fin := c.start + n.dur
+	g.finish[c.id] = fin
+	st.free = fin
+	st.order = append(st.order, n.op)
+	st.pending--
+	g.done++
+	switch n.op.Kind {
+	case F:
+		st.inflight++
+		st.unschedF[n.op.Micro]--
+		st.readyF = removeID(st.readyF, c.id)
+	case B, BAct:
+		st.inflight--
+		st.unschedB[n.op.Micro]--
+		if g.s.SplitBW {
+			if g.s.WPieces > 0 {
+				st.deferred += g.s.WPieces
+			} else {
+				st.deferred++
+			}
+		}
+		if n.op.Micro == st.oldest && st.unschedB[n.op.Micro] == 0 {
+			for st.oldest < g.s.N && st.unschedB[st.oldest] == 0 {
+				st.oldest++
+			}
+		}
+		st.readyB = removeID(st.readyB, c.id)
+	case W, WPiece:
+		st.deferred--
+		// chooseW only ever proposes the head.
+		if st.wHead >= len(st.readyW) || st.readyW[st.wHead] != c.id {
+			panic("sched: generator committed a non-head weight-gradient op")
+		}
+		st.wHead++
+		if st.wHead == len(st.readyW) {
+			st.readyW = st.readyW[:0]
+			st.wHead = 0
+		}
+	}
+	// Wake dependents.
+	for _, dep := range n.outs {
+		d := &g.nodes[dep]
+		ds := stageIDs[dep]
+		t := fin
+		if ds != k {
+			t += g.opt.Est.CommTime(k, ds, n.op)
+		}
+		if t > d.ready {
+			d.ready = t
+		}
+		d.remaining--
+		if d.remaining == 0 {
+			g.markReady(dep, ds)
+		}
+	}
+}
+
+func removeID(s []int32, id int32) []int32 {
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

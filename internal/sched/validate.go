@@ -1,0 +1,185 @@
+package sched
+
+import "fmt"
+
+// Validate checks that the schedule is complete and executable:
+//
+//   - every stage contains exactly the required op multiset — one forward
+//     and one backward (fused, or BAct plus W or WPieces) per
+//     (micro-batch, slice, local chunk);
+//   - the global graph formed by per-stage program order plus data
+//     dependencies is acyclic, i.e. sequential workers executing their
+//     lists in order can never deadlock.
+//
+// A nil error means any dependency-respecting executor can run the schedule
+// to completion.
+func (s *Schedule) Validate() error {
+	if s.P <= 0 || s.V <= 0 || s.S <= 0 || s.N <= 0 {
+		return fmt.Errorf("sched: %s has non-positive shape", s)
+	}
+	if len(s.Stages) != s.P {
+		return fmt.Errorf("sched: %s has %d stage lists, want %d", s, len(s.Stages), s.P)
+	}
+	if s.Place == nil {
+		return fmt.Errorf("sched: %s has no chunk placement", s)
+	}
+	if err := s.checkComplete(); err != nil {
+		return err
+	}
+	return s.checkAcyclic()
+}
+
+type stageOp struct {
+	stage int
+	op    Op
+}
+
+func (s *Schedule) checkComplete() error {
+	for k, ops := range s.Stages {
+		seen := make(map[Op]bool, len(ops))
+		for _, op := range ops {
+			if err := s.checkShape(k, op); err != nil {
+				return err
+			}
+			if seen[op] {
+				return fmt.Errorf("sched: %s stage %d: duplicate op %s", s, k, op)
+			}
+			seen[op] = true
+		}
+		want := s.OpsPerStage()
+		if len(ops) != want {
+			return fmt.Errorf("sched: %s stage %d: %d ops, want %d", s, k, len(ops), want)
+		}
+		// Completeness: every (kind, m, i, j[, piece]) present.
+		for m := 0; m < s.N; m++ {
+			for i := 0; i < s.S; i++ {
+				for j := 0; j < s.V; j++ {
+					if err := s.checkFamily(seen, k, m, i, j); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Schedule) checkShape(stage int, op Op) error {
+	if op.Micro < 0 || op.Micro >= s.N || op.Slice < 0 || op.Slice >= s.S || op.Chunk < 0 || op.Chunk >= s.V {
+		return fmt.Errorf("sched: %s stage %d: op %s out of range", s, stage, op)
+	}
+	switch op.Kind {
+	case F:
+	case B:
+		if s.SplitBW {
+			return fmt.Errorf("sched: %s stage %d: fused %s in split schedule", s, stage, op)
+		}
+	case BAct:
+		if !s.SplitBW {
+			return fmt.Errorf("sched: %s stage %d: %s in fused schedule", s, stage, op)
+		}
+	case W:
+		if !s.SplitBW || s.WPieces > 0 {
+			return fmt.Errorf("sched: %s stage %d: unexpected whole %s", s, stage, op)
+		}
+	case WPiece:
+		if !s.SplitBW || s.WPieces == 0 || op.Piece < 0 || op.Piece >= s.WPieces {
+			return fmt.Errorf("sched: %s stage %d: unexpected %s", s, stage, op)
+		}
+	default:
+		return fmt.Errorf("sched: %s stage %d: unknown kind in %s", s, stage, op)
+	}
+	return nil
+}
+
+func (s *Schedule) checkFamily(seen map[Op]bool, stage, m, i, j int) error {
+	need := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}}
+	switch {
+	case !s.SplitBW:
+		need = append(need, Op{Kind: B, Micro: m, Slice: i, Chunk: j})
+	case s.WPieces == 0:
+		need = append(need,
+			Op{Kind: BAct, Micro: m, Slice: i, Chunk: j},
+			Op{Kind: W, Micro: m, Slice: i, Chunk: j})
+	default:
+		need = append(need, Op{Kind: BAct, Micro: m, Slice: i, Chunk: j})
+		for p := 0; p < s.WPieces; p++ {
+			need = append(need, Op{Kind: WPiece, Micro: m, Slice: i, Chunk: j, Piece: p})
+		}
+	}
+	for _, op := range need {
+		if !seen[op] {
+			return fmt.Errorf("sched: %s stage %d: missing op %s", s, stage, op)
+		}
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm over program-order and data edges.
+func (s *Schedule) checkAcyclic() error {
+	index := make(map[stageOp]int) // node id
+	var nodes []stageOp
+	id := func(k int, op Op) int {
+		so := stageOp{k, op}
+		if i, ok := index[so]; ok {
+			return i
+		}
+		index[so] = len(nodes)
+		nodes = append(nodes, so)
+		return len(nodes) - 1
+	}
+	for k, ops := range s.Stages {
+		for _, op := range ops {
+			id(k, op)
+		}
+	}
+	adj := make([][]int32, len(nodes))
+	indeg := make([]int32, len(nodes))
+	addEdge := func(from, to int) {
+		adj[from] = append(adj[from], int32(to))
+		indeg[to]++
+	}
+	var deps []Dep
+	for k, ops := range s.Stages {
+		for idx, op := range ops {
+			to := id(k, op)
+			if idx > 0 {
+				addEdge(id(k, ops[idx-1]), to) // program order
+			}
+			deps = s.Deps(deps[:0], k, op)
+			for _, d := range deps {
+				from, ok := index[stageOp{d.Stage, d.Op}]
+				if !ok {
+					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d", s, k, op, d.Op, d.Stage)
+				}
+				addEdge(from, to)
+			}
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, t := range adj[n] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, int(t))
+			}
+		}
+	}
+	if done != len(nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle", s, nodes[i].op, nodes[i].stage)
+			}
+		}
+	}
+	return nil
+}

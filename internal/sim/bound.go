@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"mepipe/internal/sched"
+)
+
+// Lower bounds on the iteration makespan, independent of op ordering. They
+// quantify how much a *better schedule* could still buy: the simulated
+// makespan can never beat max(CriticalPath, BusiestStage), so the gap
+// between the two is the true remaining bubble.
+
+// CriticalPathBound returns the longest dependency chain through the
+// schedule's op DAG (durations plus cross-stage communication), ignoring
+// resource (stage) contention. No executor — however cleverly ordered — can
+// finish faster.
+func CriticalPathBound(s *sched.Schedule, costs Costs) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	type node struct {
+		stage int
+		op    sched.Op
+	}
+	index := map[node]int{}
+	var nodes []node
+	for k, ops := range s.Stages {
+		for _, op := range ops {
+			index[node{k, op}] = len(nodes)
+			nodes = append(nodes, node{k, op})
+		}
+	}
+	// Longest path via reverse topological order (Kahn).
+	adj := make([][]int32, len(nodes))
+	indeg := make([]int, len(nodes))
+	var deps []sched.Dep
+	for id, n := range nodes {
+		deps = s.Deps(deps[:0], n.stage, n.op)
+		for _, d := range deps {
+			from, ok := index[node{d.Stage, d.Op}]
+			if !ok {
+				return 0, fmt.Errorf("sim: dangling dependency %v@%d", d.Op, d.Stage)
+			}
+			adj[from] = append(adj[from], int32(id))
+			indeg[id]++
+		}
+	}
+	finish := make([]float64, len(nodes))
+	queue := make([]int, 0, len(nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+			finish[id] = costs.OpTime(nodes[id].stage, nodes[id].op)
+		}
+	}
+	best := 0.0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if finish[id] > best {
+			best = finish[id]
+		}
+		for _, t := range adj[id] {
+			n := nodes[t]
+			ready := finish[id]
+			if nodes[id].stage != n.stage {
+				ready += costs.CommTime(nodes[id].stage, n.stage, nodes[id].op)
+			}
+			start := ready + costs.OpTime(n.stage, n.op)
+			if start > finish[t] {
+				finish[t] = start
+			}
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, int(t))
+			}
+		}
+	}
+	return best, nil
+}
+
+// BusiestStageBound returns the largest per-stage total compute — the
+// resource floor no schedule can beat.
+func BusiestStageBound(s *sched.Schedule, costs Costs) float64 {
+	best := 0.0
+	for k, ops := range s.Stages {
+		var sum float64
+		for _, op := range ops {
+			sum += costs.OpTime(k, op)
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// MakespanBound returns max(CriticalPathBound, BusiestStageBound).
+func MakespanBound(s *sched.Schedule, costs Costs) (float64, error) {
+	cp, err := CriticalPathBound(s, costs)
+	if err != nil {
+		return 0, err
+	}
+	if b := BusiestStageBound(s, costs); b > cp {
+		return b, nil
+	}
+	return cp, nil
+}

@@ -1,0 +1,22 @@
+package sim
+
+import "mepipe/internal/sched"
+
+// UniformCosts pairs the unit-cost estimator with uniform memory
+// footprints: every forward retains Act bytes, every split backward retains
+// Grad bytes until its weight gradients finish. Setting Act to the
+// schedule's per-family activation share (e.g. A/(v·s·p) units) reproduces
+// the paper's analytic memory accounting exactly.
+type UniformCosts struct {
+	Est  sched.UniformEst
+	Act  int64
+	Grad int64
+}
+
+func (u UniformCosts) OpTime(stage int, op sched.Op) float64  { return u.Est.OpTime(stage, op) }
+func (u UniformCosts) CommTime(f, t int, op sched.Op) float64 { return u.Est.CommTime(f, t, op) }
+func (u UniformCosts) ActBytes(stage int, f sched.Op) int64   { return u.Act }
+func (u UniformCosts) GradBytes(stage int, b sched.Op) int64  { return u.Grad }
+
+// Unit returns uniform costs with unit durations and unit activation size.
+func Unit() UniformCosts { return UniformCosts{Est: sched.Unit(), Act: 1} }

@@ -1,0 +1,129 @@
+package sim
+
+import "mepipe/internal/sched"
+
+// Utilization breaks one stage's iteration down by op class — the numbers
+// behind the Fig 11/12 timelines: how much of the makespan went to
+// forwards, backward halves, weight-gradient work, and bubbles.
+type Utilization struct {
+	Forward  float64
+	Backward float64 // fused B or BAct
+	Weight   float64 // W and WPiece
+	Tail     float64 // optimizer step + gradient synchronisation
+	Idle     float64
+	// Sums to the iteration makespan.
+	Total float64
+}
+
+// Fractions returns the breakdown normalised by the makespan.
+func (u Utilization) Fractions() (f, b, w, tail, idle float64) {
+	if u.Total == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	return u.Forward / u.Total, u.Backward / u.Total, u.Weight / u.Total,
+		u.Tail / u.Total, u.Idle / u.Total
+}
+
+// StageUtilization computes the per-class busy time of stage k against the
+// whole-iteration makespan. The gap between the stage's last op and its
+// recorded finish is the tail (optimizer step plus gradient sync).
+func (r *Result) StageUtilization(k int) Utilization {
+	u := Utilization{Total: r.IterTime}
+	lastEnd := 0.0
+	for _, sp := range r.Stages[k].Spans {
+		d := sp.End - sp.Start
+		switch sp.Op.Kind {
+		case sched.F:
+			u.Forward += d
+		case sched.B, sched.BAct:
+			u.Backward += d
+		case sched.W, sched.WPiece:
+			u.Weight += d
+		}
+		if sp.End > lastEnd {
+			lastEnd = sp.End
+		}
+	}
+	u.Tail = r.Stages[k].Finish - lastEnd
+	if u.Tail < 0 {
+		u.Tail = 0
+	}
+	u.Idle = u.Total - u.Forward - u.Backward - u.Weight - u.Tail
+	if u.Idle < 0 {
+		u.Idle = 0
+	}
+	return u
+}
+
+// MeanUtilization averages the per-stage breakdowns.
+func (r *Result) MeanUtilization() Utilization {
+	var u Utilization
+	if len(r.Stages) == 0 {
+		return u
+	}
+	for k := range r.Stages {
+		s := r.StageUtilization(k)
+		u.Forward += s.Forward
+		u.Backward += s.Backward
+		u.Weight += s.Weight
+		u.Tail += s.Tail
+		u.Idle += s.Idle
+		u.Total = s.Total
+	}
+	n := float64(len(r.Stages))
+	u.Forward /= n
+	u.Backward /= n
+	u.Weight /= n
+	u.Tail /= n
+	u.Idle /= n
+	return u
+}
+
+// MemPoint is one step of a stage's retained-bytes curve.
+type MemPoint struct {
+	Time  float64
+	Bytes int64
+}
+
+// MemorySeries reconstructs stage k's retained activation bytes over time
+// from the executed spans — the per-stage curve behind Fig 1's peak values.
+// The same alloc/free rules as the live tracker apply: forwards allocate,
+// fused backwards free, split backwards retain gradients until the
+// family's weight gradients finish.
+func (r *Result) MemorySeries(s *sched.Schedule, costs Costs, k int) []MemPoint {
+	type fam struct{ act, grad int64 }
+	live := int64(0)
+	fams := map[sched.Op]fam{}
+	piecesDone := map[sched.Op]int{}
+	out := []MemPoint{{0, 0}}
+	for _, sp := range r.Stages[k].Spans {
+		switch sp.Op.Kind {
+		case sched.F:
+			b := costs.ActBytes(k, sp.Op)
+			fams[sp.Op.Key()] = fam{act: b}
+			live += b
+		case sched.B:
+			live -= fams[sp.Op.Key()].act
+			delete(fams, sp.Op.Key())
+		case sched.BAct:
+			g := costs.GradBytes(k, sp.Op)
+			f := fams[sp.Op.Key()]
+			f.grad = g
+			fams[sp.Op.Key()] = f
+			live += g
+		case sched.W:
+			f := fams[sp.Op.Key()]
+			live -= f.act + f.grad
+			delete(fams, sp.Op.Key())
+		case sched.WPiece:
+			piecesDone[sp.Op.Key()]++
+			if piecesDone[sp.Op.Key()] == s.WPieces {
+				f := fams[sp.Op.Key()]
+				live -= f.act + f.grad
+				delete(fams, sp.Op.Key())
+			}
+		}
+		out = append(out, MemPoint{sp.End, live})
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+// Package strategy evaluates complete training configurations — one
+// scheduling system plus one parallel strategy — on a modelled cluster, and
+// grid-searches the strategy space the way the paper does (§7.3: "we employ
+// the grid search method to determine the optimal parallel strategy").
+package strategy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mepipe/internal/analytic"
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/memplan"
+	"mepipe/internal/model"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+// System identifies a scheduling system under evaluation (the columns of
+// Fig 8 / Fig 10).
+type System int
+
+const (
+	DAPPLE System = iota
+	VPP
+	ZB
+	ZBV
+	MEPipe
+	TeraPipe
+	GPipe
+)
+
+func (s System) String() string {
+	switch s {
+	case DAPPLE:
+		return "DAPPLE"
+	case VPP:
+		return "VPP"
+	case ZB:
+		return "ZB"
+	case ZBV:
+		return "ZBV"
+	case MEPipe:
+		return "MEPipe"
+	case TeraPipe:
+		return "TeraPipe"
+	case GPipe:
+		return "GPipe"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Systems returns the evaluation set of Fig 8 / Fig 10.
+func Systems() []System { return []System{DAPPLE, VPP, ZB, ZBV, MEPipe} }
+
+// Eval is the outcome of evaluating one configuration.
+type Eval struct {
+	Sys System
+	Par config.Parallel
+	N   int // micro-batches per data-parallel group
+
+	OOM      bool
+	OOMWhy   string
+	IterTime float64 // seconds
+	Bubble   float64
+	PeakAct  int64
+	Budget   int64 // tightest per-stage activation budget
+	F        int   // chosen SVPP variant (MEPipe only)
+
+	Result *sim.Result
+}
+
+// TFLOPSPerGPU returns achieved model FLOPs per second per GPU, using the
+// paper's 6·params·tokens convention.
+func (e *Eval) TFLOPSPerGPU(m config.Model, tr config.Training, gpus int) float64 {
+	if e.OOM || e.IterTime <= 0 {
+		return 0
+	}
+	flops := 6 * float64(model.TotalParams(m)) * float64(tr.GlobalBatch) * float64(m.SeqLen)
+	return flops / e.IterTime / float64(gpus) / 1e12
+}
+
+// MFU returns the model FLOPS utilisation against the GPU's peak.
+func (e *Eval) MFU(m config.Model, tr config.Training, cl cluster.Cluster) float64 {
+	return e.TFLOPSPerGPU(m, tr, cl.GPUs()) * 1e12 / cl.GPU.PeakFLOPS
+}
+
+// Evaluate runs one configuration through the memory model, the schedule
+// generator, and the simulator.
+func Evaluate(sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training) (*Eval, error) {
+	if err := compatible(sys, par); err != nil {
+		return nil, err
+	}
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return nil, err
+	}
+	n, err := tr.MicroBatches(par)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Eval{Sys: sys, Par: par, N: n}
+	var reserve int64
+	if sys == ZB || sys == ZBV {
+		reserve = memplan.SplitReserve
+	}
+	plan, err := memplan.NewWithReserve(m, mesh, reserve)
+	if err != nil {
+		return nil, err
+	}
+	ev.Budget = minInt64(plan.ActBudget)
+	if !plan.Feasible() {
+		ev.OOM = true
+		ev.OOMWhy = "static memory exceeds device capacity"
+		return ev, nil
+	}
+	costs, err := perf.New(m, mesh)
+	if err != nil {
+		return nil, err
+	}
+	s, dynamicW, f, err := buildSchedule(sys, par, n, costs, plan)
+	if err != nil {
+		ev.OOM = true
+		ev.OOMWhy = err.Error()
+		return ev, nil
+	}
+	res, err := sim.Run(sim.Options{
+		Sched: s, Costs: costs,
+		ActBudget: plan.ActBudget,
+		DynamicW:  dynamicW,
+		TailTime:  costs.TailTime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("strategy: simulating %s %v: %w", sys, par, err)
+	}
+	ev.Result = res
+	ev.IterTime = res.IterTime
+	ev.Bubble = res.BubbleRatio
+	ev.PeakAct = res.PeakAct
+	ev.F = f
+	if res.OOM {
+		ev.OOM = true
+		ev.OOMWhy = fmt.Sprintf("activations exceed budget on stage %d", res.OOMStage)
+	}
+	return ev, nil
+}
+
+// compatible rejects strategy fields a system cannot express.
+func compatible(sys System, par config.Parallel) error {
+	switch sys {
+	case DAPPLE, GPipe:
+		if par.VP != 1 || par.SPP != 1 {
+			return fmt.Errorf("strategy: %s supports neither virtual pipelining nor slices", sys)
+		}
+	case VPP:
+		if par.VP < 2 || par.SPP != 1 {
+			return fmt.Errorf("strategy: VPP needs VP >= 2 and no slices")
+		}
+	case ZB:
+		if par.VP != 1 || par.SPP != 1 || par.Recompute != config.RecomputeNone {
+			return fmt.Errorf("strategy: ZB is incompatible with VP, SPP and recomputation")
+		}
+	case ZBV:
+		if par.VP != 2 || par.SPP != 1 || par.Recompute != config.RecomputeNone {
+			return fmt.Errorf("strategy: ZBV needs VP = 2 and is incompatible with SPP and recomputation")
+		}
+	case MEPipe:
+		if par.CP != 1 || par.Recompute != config.RecomputeNone {
+			return fmt.Errorf("strategy: MEPipe uses SPP instead of CP and never recomputes")
+		}
+	case TeraPipe:
+		if par.VP != 1 || par.CP != 1 {
+			return fmt.Errorf("strategy: TeraPipe supports neither virtual pipelining nor CP")
+		}
+	}
+	return nil
+}
+
+// buildSchedule constructs the system's schedule, choosing the MEPipe
+// memory variant from the plan. The returned bool selects the dynamic
+// weight-gradient engine.
+func buildSchedule(sys System, par config.Parallel, n int, costs *perf.Costs, plan *memplan.Plan) (s *sched.Schedule, dynamicW bool, f int, err error) {
+	p := par.PP
+	switch sys {
+	case DAPPLE:
+		s, err = sched.DAPPLE(p, n, costs)
+	case GPipe:
+		s, err = sched.GPipe(p, n, costs)
+	case VPP:
+		s, err = sched.VPP(p, par.VP, n, costs)
+	case ZB:
+		s, err = sched.ZB1P(p, n, costs)
+	case ZBV:
+		costs.WithPlacement(sched.Wave{P: p})
+		s, err = sched.ZBV(p, n, costs)
+	case TeraPipe:
+		s, err = sched.TeraPipe(p, par.SPP, n, costs)
+	case MEPipe:
+		fam := costs.ActBytes(0, sched.Op{Kind: sched.F})
+		grad := costs.GradBytes(0, sched.Op{Kind: sched.BAct})
+		f, err = memplan.ChooseF(par, fam, grad, plan.ActBudget[0])
+		if err != nil {
+			return nil, false, 0, err
+		}
+		s, err = sched.SVPP(sched.SVPPOptions{
+			P: p, V: par.VP, S: par.SPP, N: n, F: f,
+			Reschedule: true, Split: true,
+			FineGrainedW: costs.WPieces(),
+			Est:          costs,
+		})
+		dynamicW = true
+	default:
+		err = fmt.Errorf("strategy: unknown system %v", sys)
+	}
+	return s, dynamicW, f, err
+}
+
+// lowerBound returns a conservative (never over-estimating) iteration-time
+// floor for a candidate: the per-GPU compute floor at peak achievable
+// throughput, divided by one minus the Table 3 bubble ratio (itself a lower
+// bound on the simulated bubble). Returns ok=false when no analytic row
+// applies.
+func lowerBound(sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training) (float64, bool) {
+	n, err := tr.MicroBatches(par)
+	if err != nil {
+		return 0, false
+	}
+	compute := 6 * float64(model.TotalParams(m)) * float64(tr.GlobalBatch) * float64(m.SeqLen) /
+		(float64(cl.GPUs()) * cl.GPU.MatmulFLOPS)
+	switch par.Recompute {
+	case config.RecomputeFull:
+		// Full recomputation re-runs the forward pass: +1/3 of the
+		// fwd+bwd total.
+		compute *= 4.0 / 3.0
+	case config.RecomputeSelective:
+		compute *= 1.1
+	}
+	var meth analytic.Method
+	params := analytic.Params{P: par.PP, V: par.VP, S: 1, N: n}
+	switch sys {
+	case GPipe:
+		meth = analytic.GPipe
+	case DAPPLE:
+		meth = analytic.DAPPLE
+	case VPP:
+		meth = analytic.VPP
+	case TeraPipe:
+		meth = analytic.TeraPipe
+		params.S = par.SPP
+	case MEPipe:
+		meth = analytic.SVPP
+		params.S = par.SPP
+	default:
+		// Zero-bubble systems: no bubble floor, compute-only bound.
+		return compute, true
+	}
+	if !analytic.Supported(meth, params) {
+		return compute, true
+	}
+	bubble, err := analytic.BubbleRatio(meth, params)
+	if err != nil || bubble >= 1 {
+		return compute, true
+	}
+	return compute / (1 - bubble), true
+}
+
+func minInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// SearchSpace bounds the grid (§7.3).
+type SearchSpace struct {
+	PP  []int
+	CP  []int // context-parallel sizes for CP-capable systems
+	SPP []int // slice counts for MEPipe/TeraPipe
+	VP  []int // virtual pipeline sizes for VPP
+	// MinDP is the paper's "minimal data parallel size 2" constraint.
+	MinDP int
+	// Prune skips simulating candidates whose analytic lower bound on
+	// iteration time (compute floor divided by one minus the Table 3
+	// bubble ratio) already exceeds the best feasible time found. The
+	// bound is conservative, so the returned Best is unchanged — only
+	// cheaper to find. §9 calls for exactly this kind of cost-model
+	// assistance to tame the grid-search overhead.
+	Prune bool
+}
+
+// DefaultSpace returns the grid the paper's evaluation sweeps.
+func DefaultSpace() SearchSpace {
+	return SearchSpace{
+		PP:    []int{2, 4, 8, 16, 32},
+		CP:    []int{1, 2, 4, 8},
+		SPP:   []int{1, 2, 4, 8, 16, 32},
+		VP:    []int{2, 4},
+		MinDP: 2,
+	}
+}
+
+// Search evaluates every compatible candidate for a system and returns them
+// sorted by iteration time (feasible first). The best candidate is
+// Candidates[0] when Found.
+type SearchResult struct {
+	Sys        System
+	Candidates []*Eval
+	// Evaluated and Pruned count full simulations run vs candidates
+	// skipped by the analytic lower bound (SearchSpace.Prune).
+	Evaluated, Pruned int
+}
+
+// Found reports whether any candidate fits in memory.
+func (r *SearchResult) Found() bool {
+	return len(r.Candidates) > 0 && !r.Candidates[0].OOM
+}
+
+// Best returns the fastest feasible candidate, or nil.
+func (r *SearchResult) Best() *Eval {
+	if !r.Found() {
+		return nil
+	}
+	return r.Candidates[0]
+}
+
+// Search grid-searches one system.
+func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace) (*SearchResult, error) {
+	var cands []config.Parallel
+	add := func(par config.Parallel) {
+		if par.Validate() != nil {
+			return
+		}
+		if par.Devices() != cl.GPUs() {
+			return
+		}
+		if par.DP < sp.MinDP {
+			return
+		}
+		if tr.GlobalBatch%par.DP != 0 {
+			return
+		}
+		cands = append(cands, par)
+	}
+	gpus := cl.GPUs()
+	for _, pp := range sp.PP {
+		if gpus%pp != 0 {
+			continue
+		}
+		switch sys {
+		case DAPPLE, ZB, GPipe:
+			for _, cp := range sp.CP {
+				recs := []config.RecomputeMode{config.RecomputeNone, config.RecomputeSelective, config.RecomputeFull}
+				if sys == ZB || sys == GPipe {
+					recs = recs[:1] // zero-bubble retains activations for deferred W
+				}
+				for _, rec := range recs {
+					add(config.Parallel{PP: pp, DP: gpus / pp / cp, CP: cp, SPP: 1, VP: 1, Recompute: rec})
+				}
+			}
+		case VPP:
+			for _, vp := range sp.VP {
+				for _, cp := range sp.CP {
+					for _, rec := range []config.RecomputeMode{config.RecomputeNone, config.RecomputeSelective, config.RecomputeFull} {
+						add(config.Parallel{PP: pp, DP: gpus / pp / cp, CP: cp, SPP: 1, VP: vp, Recompute: rec})
+					}
+				}
+			}
+		case ZBV:
+			for _, cp := range sp.CP {
+				add(config.Parallel{PP: pp, DP: gpus / pp / cp, CP: cp, SPP: 1, VP: 2})
+			}
+		case MEPipe:
+			for _, spp := range sp.SPP {
+				for _, vp := range []int{1, 2} {
+					add(config.Parallel{PP: pp, DP: gpus / pp, CP: 1, SPP: spp, VP: vp})
+				}
+			}
+		case TeraPipe:
+			for _, spp := range sp.SPP {
+				add(config.Parallel{PP: pp, DP: gpus / pp, CP: 1, SPP: spp, VP: 1})
+			}
+		}
+	}
+	res := &SearchResult{Sys: sys}
+	if sp.Prune {
+		// Pruning is inherently sequential (each decision depends on
+		// the best seen so far).
+		bestTime := 0.0
+		for _, par := range cands {
+			if bestTime > 0 {
+				if lb, ok := lowerBound(sys, m, cl, par, tr); ok && lb > bestTime {
+					res.Pruned++
+					continue
+				}
+			}
+			ev, err := Evaluate(sys, m, cl, par, tr)
+			if err != nil {
+				continue // incompatible partition/sequence shapes
+			}
+			res.Evaluated++
+			res.Candidates = append(res.Candidates, ev)
+			if !ev.OOM && (bestTime == 0 || ev.IterTime < bestTime) {
+				bestTime = ev.IterTime
+			}
+		}
+	} else {
+		// Candidates are independent: evaluate them across the host's
+		// cores.
+		evals := make([]*Eval, len(cands))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					ev, err := Evaluate(sys, m, cl, cands[i], tr)
+					if err != nil {
+						continue // incompatible shapes
+					}
+					evals[i] = ev
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, ev := range evals {
+			if ev != nil {
+				res.Evaluated++
+				res.Candidates = append(res.Candidates, ev)
+			}
+		}
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.OOM != b.OOM {
+			return !a.OOM
+		}
+		if a.OOM {
+			return false
+		}
+		return a.IterTime < b.IterTime
+	})
+	if len(res.Candidates) == 0 {
+		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs", sys, gpus)
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+// Package tensor provides the minimal dense float32 kernels the executable
+// runtime needs: blocked matrix multiplication in the three transpose
+// variants used by forward passes, activation-gradient passes, and
+// weight-gradient passes, plus element-wise helpers. It is deliberately
+// simple — correctness and determinism over speed — because the runtime's
+// job is to prove schedule equivalence, not to race BLAS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src into m (shapes must match).
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: copy shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Add accumulates src into m element-wise.
+func (m *Matrix) Add(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: add shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float32) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+const blk = 32
+
+// MatMul computes dst += a·b with a [m×k], b [k×n], dst [m×n], using simple
+// cache blocking. dst is accumulated so gradient sums compose naturally;
+// call dst.Zero() first for a plain product.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i0 := 0; i0 < m; i0 += blk {
+		i1 := min(i0+blk, m)
+		for k0 := 0; k0 < k; k0 += blk {
+			k1 := min(k0+blk, k)
+			for i := i0; i < i1; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				dr := dst.Data[i*n : (i+1)*n]
+				for kk := k0; kk < k1; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := b.Data[kk*n : (kk+1)*n]
+					for j, bv := range br {
+						dr[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulBT computes dst += a·bᵀ with a [m×k], b [n×k], dst [m×n] — the shape
+// of activation-gradient GEMMs (dX = dY·Wᵀ) and attention scores (Q·Kᵀ).
+func MatMulBT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulBT shape mismatch (%dx%d)·(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Rows
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		dr := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range ar {
+				s += av * br[kk]
+			}
+			dr[j] += s
+		}
+	}
+}
+
+// MatMulAT computes dst += aᵀ·b with a [k×m], b [k×n], dst [m×n] — the shape
+// of weight-gradient GEMMs (dW = Xᵀ·dY) and attention value gathers.
+func MatMulAT(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulAT shape mismatch (%dx%d)T·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for kk := 0; kk < k; kk++ {
+		ar := a.Data[kk*m : (kk+1)*m]
+		br := b.Data[kk*n : (kk+1)*n]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Data[i*n : (i+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Package timeline renders simulated pipeline timelines as ASCII Gantt
+// charts (the textual equivalent of the paper's Figs 2–7, 11 and 12) and as
+// Chrome-trace JSON for chrome://tracing.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+// Render writes an ASCII Gantt chart of the result. unit is the time per
+// character column (0 picks one that keeps the chart under ~160 columns).
+// Each op cell shows the op kind and micro-batch index, with the slice index
+// appended when the schedule has more than one slice: e.g. F3.1 is the
+// forward of slice 1 of micro-batch 3, b/w are split backward halves.
+func Render(w io.Writer, res *sim.Result, unit float64) {
+	end := res.IterTime
+	if unit <= 0 {
+		unit = end / 156
+		if unit <= 0 {
+			unit = 1
+		}
+	}
+	cols := int(math.Ceil(end/unit)) + 1
+	for k := range res.Stages {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range res.Stages[k].Spans {
+			c0 := int(sp.Start / unit)
+			c1 := int(math.Ceil(sp.End / unit))
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c1 > cols {
+				c1 = cols
+			}
+			label := cellLabel(sp.Op)
+			for i := c0; i < c1; i++ {
+				j := i - c0
+				if j < len(label) {
+					row[i] = label[j]
+				} else {
+					row[i] = fill(sp.Op)
+				}
+			}
+		}
+		fmt.Fprintf(w, "stage %2d |%s|\n", k, string(row))
+	}
+	fmt.Fprintf(w, "          time: %.4g per column, makespan %.6g, bubble %.1f%%\n",
+		unit, res.IterTime, 100*res.BubbleRatio)
+}
+
+func cellLabel(op sched.Op) string {
+	return fmt.Sprintf("%s%d", op.Kind, op.Micro)
+}
+
+func fill(op sched.Op) byte {
+	switch op.Kind {
+	case sched.F:
+		return '='
+	case sched.B:
+		return '#'
+	case sched.BAct:
+		return '-'
+	default:
+		return '~'
+	}
+}
+
+// RenderOrder writes the per-stage op order without timing — useful for
+// inspecting a schedule before simulation.
+func RenderOrder(w io.Writer, s *sched.Schedule) {
+	for k, ops := range s.Stages {
+		var b strings.Builder
+		for i, op := range ops {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if s.S > 1 || s.V > 1 {
+				fmt.Fprintf(&b, "%s%d.%d", op.Kind, op.Micro, op.Slice)
+				if s.V > 1 {
+					fmt.Fprintf(&b, "c%d", op.Chunk)
+				}
+			} else {
+				fmt.Fprintf(&b, "%s%d", op.Kind, op.Micro)
+			}
+		}
+		fmt.Fprintf(w, "stage %2d: %s\n", k, b.String())
+	}
+}
+
+// traceEvent is the Chrome trace event format (phase "X" complete events).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the result as a Chrome trace (times in µs assuming
+// the result's unit is seconds).
+func WriteChromeTrace(w io.Writer, res *sim.Result) error {
+	var evs []traceEvent
+	for k := range res.Stages {
+		for _, sp := range res.Stages[k].Spans {
+			evs = append(evs, traceEvent{
+				Name: sp.Op.String(), Cat: sp.Op.Kind.String(), Ph: "X",
+				TS: sp.Start * 1e6, Dur: (sp.End - sp.Start) * 1e6,
+				PID: 0, TID: k,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{evs})
+}

@@ -1,0 +1,127 @@
+package timeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+func result(t *testing.T) *sim.Result {
+	t.Helper()
+	s, err := sched.DAPPLE(3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Options{Sched: s, Costs: sim.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRenderShape(t *testing.T) {
+	res := result(t)
+	var sb strings.Builder
+	Render(&sb, res, 0.5)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // 3 stages + footer
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	for k := 0; k < 3; k++ {
+		if !strings.HasPrefix(lines[k], "stage") {
+			t.Errorf("line %d does not start with 'stage': %q", k, lines[k])
+		}
+		if !strings.Contains(lines[k], "F0") {
+			t.Errorf("stage %d row missing first forward: %q", k, lines[k])
+		}
+	}
+	if !strings.Contains(lines[3], "bubble") {
+		t.Errorf("footer missing bubble ratio: %q", lines[3])
+	}
+	// Rows must be equally long (aligned chart).
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Error("rows not aligned")
+	}
+}
+
+func TestRenderAutoUnit(t *testing.T) {
+	res := result(t)
+	var sb strings.Builder
+	Render(&sb, res, 0) // auto-scale
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 200 {
+			t.Fatalf("auto-scaled row too wide: %d cols", len(line))
+		}
+	}
+}
+
+func TestRenderOrder(t *testing.T) {
+	s, err := sched.MEPipe(2, 1, 2, 2, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderOrder(&sb, s)
+	out := sb.String()
+	if !strings.Contains(out, "F0.0") || !strings.Contains(out, "b0.1") {
+		t.Errorf("order rendering missing slice-annotated ops:\n%s", out)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	res := result(t)
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 2 * 4 // stages × (F+B) × micros
+	if len(doc.TraceEvents) != want {
+		t.Fatalf("%d trace events, want %d", len(doc.TraceEvents), want)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 || ev.TID < 0 || ev.TID > 2 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	res := result(t)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// One rect per span plus one background per stage plus the canvas.
+	spans := 0
+	for k := range res.Stages {
+		spans += len(res.Stages[k].Spans)
+	}
+	if got := strings.Count(out, "<rect"); got != spans+len(res.Stages)+1 {
+		t.Errorf("%d rects, want %d", got, spans+len(res.Stages)+1)
+	}
+	for _, frag := range []string{"stage 0", "stage 2", "bubble", "<title>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package tune post-optimises generated schedules by local search: random
+// adjacent swaps and short-range moves in per-stage op orders, accepted
+// when the simulated makespan improves and the schedule stays valid. The
+// greedy generators are good but not optimal (the wave layouts especially);
+// this is the tooling a schedule-research repo needs to measure how much
+// order is left on the table.
+package tune
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+// Options configures the search.
+type Options struct {
+	// Iters is the number of proposals to try.
+	Iters int
+	// Seed drives the proposal sequence (deterministic).
+	Seed int64
+	// MaxMove bounds how far an op may be displaced per proposal
+	// (1 = adjacent swaps only).
+	MaxMove int
+	// KeepPeak rejects proposals that raise the peak activation
+	// retention, preserving the schedule's memory variant (§4.2).
+	KeepPeak bool
+	// Plateau accepts equal-makespan moves, letting the walk drift
+	// across plateaus to find downhill exits (strict descent stalls on
+	// rugged schedule landscapes).
+	Plateau bool
+}
+
+// Result reports what the search achieved.
+type Result struct {
+	Schedule *sched.Schedule
+	Before   float64 // simulated makespan of the input
+	After    float64
+	Accepted int
+	Tried    int
+}
+
+// Improve hill-climbs the schedule under the given costs. The input is not
+// modified.
+func Improve(s *sched.Schedule, costs sim.Costs, opt Options) (*Result, error) {
+	if opt.Iters <= 0 {
+		opt.Iters = 500
+	}
+	if opt.MaxMove <= 0 {
+		opt.MaxMove = 1
+	}
+	cur := cloneSchedule(s)
+	base, err := sim.Run(sim.Options{Sched: cur, Costs: costs})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Before: base.IterTime, After: base.IterTime}
+	bestTime := base.IterTime
+	bestPeak := base.PeakAct
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	for i := 0; i < opt.Iters; i++ {
+		k := rng.Intn(cur.P)
+		ops := cur.Stages[k]
+		if len(ops) < 2 {
+			continue
+		}
+		from := rng.Intn(len(ops))
+		delta := rng.Intn(2*opt.MaxMove+1) - opt.MaxMove
+		to := from + delta
+		if to < 0 || to >= len(ops) || to == from {
+			continue
+		}
+		res.Tried++
+		move(ops, from, to)
+		ok := cur.Validate() == nil
+		var r *sim.Result
+		if ok {
+			r, err = sim.Run(sim.Options{Sched: cur, Costs: costs})
+			limit := bestTime - 1e-12
+			if opt.Plateau {
+				limit = bestTime + 1e-12
+			}
+			ok = err == nil && r.IterTime <= limit &&
+				(!opt.KeepPeak || r.PeakAct <= bestPeak)
+		}
+		if !ok {
+			move(ops, to, from) // revert
+			continue
+		}
+		if r.IterTime < bestTime {
+			bestTime = r.IterTime
+		}
+		if r.PeakAct < bestPeak {
+			bestPeak = r.PeakAct
+		}
+		res.Accepted++
+	}
+	res.Schedule = cur
+	res.After = bestTime
+	if res.After > res.Before+1e-12 {
+		return nil, fmt.Errorf("tune: internal error — search worsened the schedule")
+	}
+	return res, nil
+}
+
+// move displaces ops[from] to position to, shifting the range between.
+func move(ops []sched.Op, from, to int) {
+	op := ops[from]
+	if from < to {
+		copy(ops[from:], ops[from+1:to+1])
+	} else {
+		copy(ops[to+1:], ops[to:from])
+	}
+	ops[to] = op
+}
+
+func cloneSchedule(s *sched.Schedule) *sched.Schedule {
+	c := *s
+	c.Stages = make([][]sched.Op, len(s.Stages))
+	for k := range s.Stages {
+		c.Stages[k] = append([]sched.Op(nil), s.Stages[k]...)
+	}
+	return &c
+}

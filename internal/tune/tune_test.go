@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"testing"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+func TestImproveNeverWorsensAndStaysValid(t *testing.T) {
+	builds := []func() (*sched.Schedule, error){
+		func() (*sched.Schedule, error) { return sched.DAPPLE(4, 6, nil) },
+		func() (*sched.Schedule, error) { return sched.Hanayo(4, 8, nil) },
+		func() (*sched.Schedule, error) { return sched.MEPipe(4, 1, 2, 4, 0, 3, nil) },
+	}
+	for _, build := range builds {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		origLen := len(s.Stages[0])
+		res, err := Improve(s, sim.Unit(), Options{Iters: 300, Seed: 1, MaxMove: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.After > res.Before {
+			t.Errorf("%s: search worsened %.2f -> %.2f", s, res.Before, res.After)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Errorf("%s: tuned schedule invalid: %v", s, err)
+		}
+		if len(s.Stages[0]) != origLen {
+			t.Error("input schedule was mutated")
+		}
+		// The result's claimed makespan must be reproducible.
+		check, err := sim.Run(sim.Options{Sched: res.Schedule, Costs: sim.Unit()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := check.IterTime - res.After; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: claimed %.4f, replay %.4f", s, res.After, check.IterTime)
+		}
+	}
+}
+
+// TestImproveClosesHanayoGap: the greedy wave order leaves real room; local
+// search must recover a meaningful share of it.
+func TestImproveClosesHanayoGap(t *testing.T) {
+	s, err := sched.Hanayo(4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(s, sim.Unit(), Options{Iters: 6000, Seed: 7, MaxMove: 6, Plateau: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := (res.Before - res.After) / res.Before
+	if gain < 0.03 {
+		t.Errorf("only %.1f%% improvement on the greedy wave; expected a few percent", 100*gain)
+	}
+	if res.Accepted == 0 {
+		t.Error("no proposals accepted")
+	}
+}
+
+// TestImproveRespectsKeepPeak: memory-preserving mode never raises the
+// activation peak.
+func TestImproveRespectsKeepPeak(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 4, V: 2, S: 2, N: 2, F: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sim.Run(sim.Options{Sched: s, Costs: sim.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(s, sim.Unit(), Options{Iters: 800, Seed: 3, MaxMove: 4, KeepPeak: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.Run(sim.Options{Sched: res.Schedule, Costs: sim.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.PeakAct > before.PeakAct {
+		t.Errorf("KeepPeak violated: %d -> %d", before.PeakAct, after.PeakAct)
+	}
+}
+
+// TestImproveFindsLittleOnMEPipe: the rescheduled SVPP order is already
+// near the analytic bound, so local search should gain almost nothing —
+// evidence the generator is good.
+func TestImproveFindsLittleOnMEPipe(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 4, V: 2, S: 2, N: 8, Reschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(s, sim.Unit(), Options{Iters: 1500, Seed: 5, MaxMove: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := (res.Before - res.After) / res.Before; gain > 0.02 {
+		t.Errorf("local search found %.1f%% on a near-optimal schedule — generator regression?", 100*gain)
+	}
+}
+
+func TestMoveHelper(t *testing.T) {
+	mk := func() []sched.Op {
+		return []sched.Op{{Micro: 0}, {Micro: 1}, {Micro: 2}, {Micro: 3}}
+	}
+	ops := mk()
+	move(ops, 0, 2) // 1 2 0 3
+	if ops[0].Micro != 1 || ops[2].Micro != 0 || ops[3].Micro != 3 {
+		t.Errorf("forward move wrong: %v", ops)
+	}
+	ops = mk()
+	move(ops, 3, 1) // 0 3 1 2
+	if ops[1].Micro != 3 || ops[2].Micro != 1 || ops[3].Micro != 2 {
+		t.Errorf("backward move wrong: %v", ops)
+	}
+	// Round trip restores.
+	ops = mk()
+	move(ops, 0, 3)
+	move(ops, 3, 0)
+	for i, op := range ops {
+		if op.Micro != i {
+			t.Fatalf("move round trip broken: %v", ops)
+		}
+	}
+}
+
+func TestImproveDefaults(t *testing.T) {
+	s, err := sched.DAPPLE(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(s, sim.Unit(), Options{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || res.Before <= 0 {
+		t.Error("defaulted options produced no result")
+	}
+}

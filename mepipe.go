@@ -1,0 +1,181 @@
+// Package mepipe is a from-scratch reproduction of "MEPipe: Democratizing
+// LLM Training with Memory-Efficient Slice-Level Pipeline Scheduling on
+// Cost-Effective Accelerators" (EuroSys 2025).
+//
+// It provides, in pure Go with no dependencies:
+//
+//   - the paper's SVPP scheduler (slice-level pipeline schedules with
+//     memory-limited variants and backward rescheduling) plus every
+//     baseline it is evaluated against (GPipe, DAPPLE/1F1B, interleaved
+//     VPP, Hanayo waves, TeraPipe, ZB-1P, ZBV);
+//   - the fine-grained weight-gradient engine of §5 (per-GEMM decomposition
+//     drained into pipeline stalls);
+//   - a calibrated discrete-event simulator of the paper's RTX 4090 and
+//     A100 clusters, with the §4.5 memory model and §7.3 grid search;
+//   - a real goroutine pipeline runtime over a tiny numeric decoder that
+//     proves every generated schedule gradient-equivalent to sequential
+//     training;
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// This root package is a façade over the internal packages: it re-exports
+// the types and entry points a downstream user needs. See README.md for a
+// tour and DESIGN.md for the architecture.
+package mepipe
+
+import (
+	"io"
+
+	"mepipe/internal/analytic"
+	"mepipe/internal/bench"
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/core"
+	"mepipe/internal/partition"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/strategy"
+	"mepipe/internal/timeline"
+	"mepipe/internal/tune"
+)
+
+// Model, parallelism and training configuration.
+type (
+	Model    = config.Model
+	Parallel = config.Parallel
+	Training = config.Training
+	Cluster  = cluster.Cluster
+)
+
+// Llama 2 presets (Table 4) and clusters (§7.1, §7.6).
+var (
+	Llama7B        = config.Llama7B
+	Llama13B       = config.Llama13B
+	Llama34B       = config.Llama34B
+	ModelByName    = config.ModelByName
+	RTX4090Cluster = cluster.RTX4090Cluster
+	A100Cluster    = cluster.A100Cluster
+)
+
+// Schedules.
+type (
+	Schedule    = sched.Schedule
+	SVPPOptions = sched.SVPPOptions
+	Op          = sched.Op
+)
+
+// LoadSchedule deserialises and validates a schedule saved with
+// Schedule.Save — schedules are portable JSON artifacts.
+var LoadSchedule = sched.Load
+
+// Schedule constructors: the paper's system and its baselines.
+var (
+	NewSVPP     = sched.SVPP
+	NewMEPipe   = sched.MEPipe
+	NewGPipe    = sched.GPipe
+	NewDAPPLE   = sched.DAPPLE
+	NewVPP      = sched.VPP
+	NewHanayo   = sched.Hanayo
+	NewTeraPipe = sched.TeraPipe
+	NewZB1P     = sched.ZB1P
+	NewZBV      = sched.ZBV
+	DefaultF    = sched.DefaultF
+)
+
+// Simulation.
+type (
+	SimOptions = sim.Options
+	SimResult  = sim.Result
+)
+
+// Simulate runs one simulated iteration.
+func Simulate(opt SimOptions) (*SimResult, error) { return sim.Run(opt) }
+
+// UnitCosts returns uniform unit costs for analytic-style simulations.
+func UnitCosts() sim.UniformCosts { return sim.Unit() }
+
+// Planning (core, §6) and strategy search (§7.3).
+type (
+	Job  = core.Job
+	Plan = core.Plan
+
+	System       = strategy.System
+	Eval         = strategy.Eval
+	SearchResult = strategy.SearchResult
+	SearchSpace  = strategy.SearchSpace
+)
+
+// Systems under evaluation.
+const (
+	DAPPLE   = strategy.DAPPLE
+	VPP      = strategy.VPP
+	ZB       = strategy.ZB
+	ZBV      = strategy.ZBV
+	MEPipe   = strategy.MEPipe
+	TeraPipe = strategy.TeraPipe
+	GPipe    = strategy.GPipe
+)
+
+var (
+	PlanMEPipe   = core.PlanMEPipe
+	PlanMEPipeAt = core.PlanMEPipeAt
+	Evaluate     = strategy.Evaluate
+	Search       = strategy.Search
+	DefaultSpace = strategy.DefaultSpace
+	Systems      = strategy.Systems
+)
+
+// Analytic closed forms (Table 3).
+type (
+	AnalyticParams = analytic.Params
+	AnalyticMethod = analytic.Method
+)
+
+// Table 3 rows.
+const (
+	AnalyticGPipe    = analytic.GPipe
+	AnalyticDAPPLE   = analytic.DAPPLE
+	AnalyticVPP      = analytic.VPP
+	AnalyticHanayo   = analytic.Hanayo
+	AnalyticTeraPipe = analytic.TeraPipe
+	AnalyticSVPP     = analytic.SVPP
+)
+
+var (
+	BubbleRatio      = analytic.BubbleRatio
+	ActivationMemory = analytic.ActivationMemory
+)
+
+// Slice partitioning (uniform vs TeraPipe-style non-uniform, §5).
+var (
+	UniformPartition = partition.Uniform
+	OptimalPartition = partition.Optimal
+)
+
+// Experiments: every table and figure of the paper's evaluation.
+type (
+	Experiment = bench.Experiment
+	Report     = bench.Report
+)
+
+var (
+	Experiments  = bench.Experiments
+	ExperimentBy = bench.ByID
+)
+
+// RenderTimeline writes an ASCII Gantt chart of a simulated result.
+func RenderTimeline(w io.Writer, res *SimResult) { timeline.Render(w, res, 0) }
+
+// RenderSVG writes an SVG Gantt chart of a simulated result.
+func RenderSVG(w io.Writer, res *SimResult) error { return timeline.WriteSVG(w, res) }
+
+// Schedule tuning and order-free lower bounds.
+type (
+	TuneOptions = tune.Options
+	TuneResult  = tune.Result
+)
+
+var (
+	TuneSchedule  = tune.Improve
+	MakespanBound = sim.MakespanBound
+)
