@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench report figures artifact clean
+.PHONY: all build test vet race-hot race bench report figures artifact check clean
 
 all: build test
 
@@ -12,8 +12,19 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
+# The concurrency-sensitive packages (goroutine runtime, shared trace
+# sinks) under the race detector — fast enough for every commit.
+race-hot:
+	$(GO) test -race ./internal/pipeline/... ./internal/obs/...
+
 race:
 	$(GO) test -race ./internal/...
+
+# The default pre-commit gate.
+check: build vet test race-hot
 
 bench:
 	$(GO) test -bench=. -benchmem .

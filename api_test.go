@@ -1,0 +1,152 @@
+package mepipe_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"mepipe"
+)
+
+func svpp(t *testing.T) *mepipe.Schedule {
+	t.Helper()
+	s, err := mepipe.NewSVPP(mepipe.SVPPOptions{P: 4, V: 1, S: 2, N: 4, Reschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSimulateWithTrace: the context-aware entry point simulates, traces,
+// and agrees with the deprecated options-struct form.
+func TestSimulateWithTrace(t *testing.T) {
+	s := svpp(t)
+	rec := mepipe.NewRecorder()
+	res, err := mepipe.Simulate(context.Background(), s, mepipe.UnitCosts(), mepipe.WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("WithTrace recorded no events")
+	}
+	old, err := mepipe.SimulateOpts(mepipe.SimOptions{Sched: s, Costs: mepipe.UnitCosts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime != old.IterTime || res.BubbleRatio != old.BubbleRatio {
+		t.Errorf("Simulate (%g, %g) != SimulateOpts (%g, %g)",
+			res.IterTime, res.BubbleRatio, old.IterTime, old.BubbleRatio)
+	}
+
+	snap := rec.Trace().Snapshot()
+	if snap.Makespan <= 0 || len(snap.Stages) != 4 {
+		t.Errorf("snapshot makespan %g over %d stages", snap.Makespan, len(snap.Stages))
+	}
+}
+
+func TestSimulateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mepipe.Simulate(ctx, svpp(t), mepipe.UnitCosts())
+	if !errors.Is(err, mepipe.ErrCancelled) {
+		t.Fatalf("Simulate = %v, want ErrCancelled", err)
+	}
+}
+
+func TestSearchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mepipe.Search(ctx, mepipe.MEPipe, mepipe.Llama13B(), mepipe.RTX4090Cluster(8),
+		mepipe.Training{GlobalBatch: 64, MicroBatch: 1}, mepipe.DefaultSpace())
+	if !errors.Is(err, mepipe.ErrCancelled) {
+		t.Fatalf("Search = %v, want ErrCancelled", err)
+	}
+}
+
+func TestEvaluateSentinels(t *testing.T) {
+	m := mepipe.Llama13B()
+	cl := mepipe.RTX4090Cluster(8)
+	tr := mepipe.Training{GlobalBatch: 64, MicroBatch: 1}
+	_, err := mepipe.Evaluate(context.Background(), mepipe.DAPPLE, m, cl,
+		mepipe.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}, tr)
+	if !errors.Is(err, mepipe.ErrIncompatible) {
+		t.Errorf("Evaluate with slices under DAPPLE: %v, want ErrIncompatible", err)
+	}
+	// The deprecated wrapper classifies identically.
+	_, err = mepipe.EvaluateConfig(mepipe.DAPPLE, m, cl,
+		mepipe.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}, tr)
+	if !errors.Is(err, mepipe.ErrIncompatible) {
+		t.Errorf("EvaluateConfig: %v, want ErrIncompatible", err)
+	}
+}
+
+// TestExporterUnification: the deprecated render functions and the Exporter
+// interface produce identical output for every format that predates it.
+func TestExporterUnification(t *testing.T) {
+	res, err := mepipe.Simulate(context.Background(), svpp(t), mepipe.UnitCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var oldASCII, newASCII bytes.Buffer
+	mepipe.RenderTimeline(&oldASCII, res)
+	if err := mepipe.Export(&newASCII, mepipe.ASCIITimeline{}, res); err != nil {
+		t.Fatal(err)
+	}
+	if oldASCII.String() != newASCII.String() {
+		t.Error("ASCII exporter output differs from RenderTimeline")
+	}
+	if !strings.Contains(newASCII.String(), "stage") {
+		t.Error("ASCII output empty")
+	}
+
+	var oldSVG, newSVG bytes.Buffer
+	if err := mepipe.RenderSVG(&oldSVG, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := mepipe.Export(&newSVG, mepipe.SVGTimeline{}, res); err != nil {
+		t.Fatal(err)
+	}
+	if oldSVG.String() != newSVG.String() {
+		t.Error("SVG exporter output differs from RenderSVG")
+	}
+
+	var chrome bytes.Buffer
+	if err := mepipe.Export(&chrome, mepipe.ChromeTrace{}, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("Chrome export empty")
+	}
+
+	var jsonl bytes.Buffer
+	if err := mepipe.Export(&jsonl, mepipe.JSONLTrace{}, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(jsonl.String(), "\n"); lines != len(doc.TraceEvents) {
+		t.Errorf("JSONL lines %d != Chrome events %d for an op-only trace", lines, len(doc.TraceEvents))
+	}
+}
+
+// TestSearchGridWrapper: the deprecated Search wrapper still finds the
+// paper's optimum.
+func TestSearchGridWrapper(t *testing.T) {
+	res, err := mepipe.SearchGrid(mepipe.MEPipe, mepipe.Llama13B(), mepipe.RTX4090Cluster(8),
+		mepipe.Training{GlobalBatch: 64, MicroBatch: 1},
+		mepipe.SearchSpace{PP: []int{8}, SPP: []int{4}, MinDP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best() == nil {
+		t.Fatal("SearchGrid found no feasible candidate")
+	}
+}

@@ -10,6 +10,7 @@ package mepipe
 // (schedule generation, simulation, real pipelined execution) follow.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -249,7 +250,7 @@ func TestFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Simulate(SimOptions{Sched: s, Costs: UnitCosts()})
+	res, err := Simulate(context.Background(), s, UnitCosts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mepipe_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func ExampleNewSVPP() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mepipe.Simulate(mepipe.SimOptions{Sched: s, Costs: mepipe.UnitCosts()})
+	res, err := mepipe.Simulate(context.Background(), s, mepipe.UnitCosts())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func ExamplePlanMEPipeAt() {
 
 // Evaluating a single named configuration end to end.
 func ExampleEvaluate() {
-	ev, err := mepipe.Evaluate(mepipe.DAPPLE,
+	ev, err := mepipe.Evaluate(context.Background(), mepipe.DAPPLE,
 		mepipe.Llama13B(), mepipe.RTX4090Cluster(8),
 		mepipe.Parallel{PP: 2, DP: 4, CP: 8, SPP: 1, VP: 1},
 		mepipe.Training{GlobalBatch: 64, MicroBatch: 1})

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,7 +34,7 @@ func main() {
 	for i := range clusters {
 		best := (*mepipe.Eval)(nil)
 		for _, sys := range mepipe.Systems() {
-			res, err := mepipe.Search(sys, model, clusters[i].cl, tr, mepipe.DefaultSpace())
+			res, err := mepipe.Search(context.Background(), sys, model, clusters[i].cl, tr, mepipe.DefaultSpace())
 			if err != nil && res == nil {
 				continue
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"text/tabwriter"
@@ -27,7 +28,7 @@ func main() {
 		var rows []row
 		bestBaseline := 0.0
 		for _, sys := range mepipe.Systems() {
-			res, err := mepipe.Search(sys, model, cl, tr, mepipe.DefaultSpace())
+			res, err := mepipe.Search(context.Background(), sys, model, cl, tr, mepipe.DefaultSpace())
 			if err != nil && res == nil {
 				log.Fatal(err)
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,7 +22,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mepipe.Simulate(mepipe.SimOptions{Sched: svpp, Costs: mepipe.UnitCosts()})
+	res, err := mepipe.Simulate(context.Background(), svpp, mepipe.UnitCosts())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dres, err := mepipe.Simulate(mepipe.SimOptions{Sched: dapple, Costs: mepipe.UnitCosts()})
+	dres, err := mepipe.Simulate(context.Background(), dapple, mepipe.UnitCosts())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
 	"mepipe/internal/memplan"
+	"mepipe/internal/obs"
 	"mepipe/internal/perf"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
@@ -62,8 +63,8 @@ const (
 	variantFineGrained
 )
 
-// runVariant simulates one Fig 11/12 variant.
-func runVariant(costs *perf.Costs, plan *memplan.Plan, f, n int, v fig11Variant) (*sim.Result, error) {
+// runVariant simulates one Fig 11/12 variant, tracing into sink if non-nil.
+func runVariant(costs *perf.Costs, plan *memplan.Plan, f, n int, v fig11Variant, sink obs.Sink) (*sim.Result, error) {
 	opts := sched.SVPPOptions{
 		P: 8, V: 1, S: 4, N: n, F: f,
 		Reschedule: true, Est: costs,
@@ -86,7 +87,7 @@ func runVariant(costs *perf.Costs, plan *memplan.Plan, f, n int, v fig11Variant)
 	}
 	return sim.Run(sim.Options{
 		Sched: s, Costs: costs, ActBudget: plan.ActBudget,
-		DynamicW: dynamic, TailTime: costs.TailTime,
+		DynamicW: dynamic, TailTime: costs.TailTime, Trace: sink,
 	})
 }
 
@@ -112,9 +113,20 @@ func Fig11_12() (*Report, error) {
 	}
 	results := map[fig11Variant]*sim.Result{}
 	for _, v := range []fig11Variant{variantFused, variantPromptW, variantFineGrained} {
-		res, err := runVariant(costs, plan, f, n, v)
+		var rec *obs.Recorder
+		var sink obs.Sink
+		if v == variantFineGrained {
+			rec = obs.NewRecorder()
+			sink = rec
+		}
+		res, err := runVariant(costs, plan, f, n, v, sink)
 		if err != nil {
 			return nil, err
+		}
+		if rec != nil {
+			// The full system's snapshot: drained W counts and budget
+			// stalls quantify the §5 dynamic engine at work.
+			r.Obs = rec.Trace().Snapshot()
 		}
 		results[v] = res
 		r.Add(names[v], fmt.Sprintf("%.1f ms", res.IterTime*1e3),

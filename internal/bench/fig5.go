@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mepipe/internal/obs"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
 )
@@ -33,9 +34,14 @@ func Fig5() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		optRes, err := sim.Run(sim.Options{Sched: opt, Costs: sim.Unit()})
+		rec := obs.NewRecorder()
+		optRes, err := sim.Run(sim.Options{Sched: opt, Costs: sim.Unit(), Trace: rec})
 		if err != nil {
 			return nil, err
+		}
+		// Attach the tightest variant's (f=4) observability snapshot.
+		if f == 4 {
+			r.Obs = rec.Trace().Snapshot()
 		}
 		r.Add(f,
 			fmt.Sprintf("%d/16 = %.3f A", optRes.PeakAct, float64(optRes.PeakAct)/16),

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"mepipe/internal/obs"
 )
 
 // Report is one regenerated table or figure (figures become the table of
@@ -21,6 +23,11 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// Obs, when set, is the observability snapshot of the experiment's
+	// headline simulated iteration (per-stage busy/stall/comm/memory
+	// aggregates); WriteText appends its summary lines.
+	Obs *obs.Snapshot
 }
 
 // Add appends a row; values are stringified with %v and floats compactly.
@@ -72,6 +79,13 @@ func (r *Report) WriteText(w io.Writer) error {
 	for _, n := range r.Notes {
 		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
 			return err
+		}
+	}
+	if r.Obs != nil {
+		for _, line := range r.Obs.Summary() {
+			if _, err := fmt.Fprintf(w, "  obs: %s\n", line); err != nil {
+				return err
+			}
 		}
 	}
 	_, err := fmt.Fprintln(w)

@@ -1,0 +1,25 @@
+// Package errs defines the sentinel errors shared across the execution
+// engines and the strategy search, so callers can classify failures with
+// errors.Is instead of matching message strings. The root façade re-exports
+// them as mepipe.ErrOOM, mepipe.ErrIncompatible and mepipe.ErrCancelled.
+package errs
+
+import "errors"
+
+var (
+	// ErrOOM marks configurations whose memory demand cannot fit the
+	// device budget: static weights/optimizer state exceeding capacity,
+	// or an SVPP variant whose minimum in-flight activations overflow
+	// the per-stage activation budget.
+	ErrOOM = errors.New("out of memory")
+
+	// ErrIncompatible marks configurations a system cannot express
+	// (e.g. ZB with recomputation, DAPPLE with slices) and schedule /
+	// option combinations the engines reject (e.g. the dynamic
+	// weight-gradient engine on a fused-backward schedule).
+	ErrIncompatible = errors.New("incompatible configuration")
+
+	// ErrCancelled marks runs abandoned because the caller's context was
+	// cancelled or timed out.
+	ErrCancelled = errors.New("cancelled")
+)

@@ -1,0 +1,63 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mepipe/internal/obs"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the full Chrome-trace export of a small SVPP
+// schedule — every event the simulator emits, byte for byte. The simulator
+// is deterministic, so any drift in event content, ordering, or JSON shape
+// shows up as a diff. Regenerate with: go test ./internal/obs -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 2, V: 1, S: 2, N: 2, Reschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	if _, err := sim.Run(sim.Options{Sched: s, Costs: sim.Unit(), Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (obs.ChromeTrace{}).Export(&buf, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be loadable before it is comparable.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+
+	golden := filepath.Join("testdata", "svpp_p2s2n2.chrome.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from golden %s (-update to accept):\ngot  %d bytes\nwant %d bytes",
+			golden, buf.Len(), len(want))
+	}
+}

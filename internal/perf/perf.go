@@ -343,9 +343,15 @@ func (c *Costs) WPieces() int { return c.wPieces() }
 // CommTime implements sched.Estimator: the pipeline point-to-point delay of
 // op's output from stage `from` to stage `to`.
 func (c *Costs) CommTime(from, to int, op sched.Op) float64 {
+	return cluster.P2PTime(c.Mesh.StageLink(from), c.CommBytes(from, to, op))
+}
+
+// CommBytes implements sim.BytesEstimator: the payload of op's output
+// crossing from stage `from` to stage `to` (one slice's hidden states or
+// gradients in fp16).
+func (c *Costs) CommBytes(from, to int, op sched.Op) int64 {
 	w, _ := c.sliceShape(op.Slice)
-	bytes := int64(w) * int64(c.M.HiddenSize) * model.BytesFP16
-	return cluster.P2PTime(c.Mesh.StageLink(from), bytes)
+	return int64(w) * int64(c.M.HiddenSize) * model.BytesFP16
 }
 
 // ActBytes implements sim.Costs: activation bytes retained when op (a

@@ -13,10 +13,14 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"mepipe/internal/errs"
 	"mepipe/internal/nn"
+	"mepipe/internal/obs"
 	"mepipe/internal/sched"
 	"mepipe/internal/tensor"
 )
@@ -46,6 +50,15 @@ type Runner struct {
 	wires []wire
 	// iter tags outgoing frames in multi-step runs (see StageLoop).
 	iter int
+
+	// ctx cancels blocking receives mid-iteration (RunContext); it is
+	// context.Background for plain Run.
+	ctx context.Context
+	// trace, when non-nil, receives wall-clock op and comm events as the
+	// stages execute (see WithTrace).
+	trace obs.Sink
+	// t0 is the wall-clock origin of the run's trace timestamps.
+	t0 time.Time
 }
 
 // New validates shapes and wires the channel fabric.
@@ -54,25 +67,26 @@ func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
 		return nil, err
 	}
 	if len(batch) != s.N {
-		return nil, fmt.Errorf("pipeline: %d micro-batches for schedule with n=%d", len(batch), s.N)
+		return nil, fmt.Errorf("pipeline: %d micro-batches for schedule with n=%d: %w", len(batch), s.N, errs.ErrIncompatible)
 	}
 	if m.Cfg.SeqLen%s.S != 0 {
-		return nil, fmt.Errorf("pipeline: seq len %d not divisible by %d slices", m.Cfg.SeqLen, s.S)
+		return nil, fmt.Errorf("pipeline: seq len %d not divisible by %d slices: %w", m.Cfg.SeqLen, s.S, errs.ErrIncompatible)
 	}
 	for i, sample := range batch {
 		if len(sample) != m.Cfg.SeqLen+1 {
-			return nil, fmt.Errorf("pipeline: sample %d has %d tokens, want %d", i, len(sample), m.Cfg.SeqLen+1)
+			return nil, fmt.Errorf("pipeline: sample %d has %d tokens, want %d: %w", i, len(sample), m.Cfg.SeqLen+1, errs.ErrIncompatible)
 		}
 	}
 	chunks := s.TotalChunks()
 	if m.Cfg.Layers < chunks {
-		return nil, fmt.Errorf("pipeline: %d layers cannot fill %d chunks", m.Cfg.Layers, chunks)
+		return nil, fmt.Errorf("pipeline: %d layers cannot fill %d chunks: %w", m.Cfg.Layers, chunks, errs.ErrIncompatible)
 	}
 	r := &Runner{
 		model: m, s: s, batch: batch,
 		sliceTokens: m.Cfg.SeqLen / s.S,
 		recv:        map[edgeKey]chan *tensor.Matrix{},
 		sends:       map[edgeKey][]chan *tensor.Matrix{},
+		ctx:         context.Background(),
 	}
 	// Spread layers over global chunks as evenly as possible.
 	r.chunkLayers = make([][]int, chunks)
@@ -126,6 +140,30 @@ type stage struct {
 // Run executes the schedule and returns the mean loss. Gradients accumulate
 // into the model with the same normalisation as nn.Model.TrainSequential.
 func (r *Runner) Run() (float64, error) {
+	return r.RunContext(context.Background())
+}
+
+// WithTrace attaches a sink receiving wall-clock op spans and cross-stage
+// transfer events as the stages execute, and returns the receiver. The sink
+// must be safe for concurrent emission (obs.Recorder is). Runtime op spans
+// include any time spent blocked on the op's input; that wait is also
+// reported separately as a stall event.
+func (r *Runner) WithTrace(sink obs.Sink) *Runner {
+	r.trace = sink
+	return r
+}
+
+// cancelPanic aborts a stage goroutine when the run's context is cancelled;
+// the recover handler turns it into errs.ErrCancelled.
+type cancelPanic struct{}
+
+// RunContext is Run with cancellation: when ctx is cancelled, every stage —
+// including those blocked waiting for cross-stage tensors — unwinds, and
+// the call returns an error wrapping errs.ErrCancelled with no goroutines
+// left behind.
+func (r *Runner) RunContext(ctx context.Context) (float64, error) {
+	r.ctx = ctx
+	r.t0 = time.Now()
 	stages := make([]*stage, r.s.P)
 	for k := range stages {
 		stages[k] = r.newStage(k)
@@ -137,6 +175,10 @@ func (r *Runner) Run() (float64, error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, ok := p.(cancelPanic); ok {
+						st.err = fmt.Errorf("pipeline: stage %d: %w", st.k, errs.ErrCancelled)
+						return
+					}
 					st.err = fmt.Errorf("pipeline: stage %d panicked: %v", st.k, p)
 				}
 			}()
@@ -153,6 +195,9 @@ func (r *Runner) Run() (float64, error) {
 	}
 	return total, nil
 }
+
+// now returns seconds since the run started, the trace time base.
+func (r *Runner) now() float64 { return time.Since(r.t0).Seconds() }
 
 // newStage allocates the mutable execution state of one stage.
 func (r *Runner) newStage(k int) *stage {
@@ -182,6 +227,10 @@ func (r *Runner) newStage(k int) *stage {
 
 func (r *Runner) runStage(st *stage) {
 	for _, op := range r.s.Stages[st.k] {
+		if r.ctx.Err() != nil {
+			panic(cancelPanic{})
+		}
+		start := r.now()
 		switch op.Kind {
 		case sched.F:
 			r.forward(st, op)
@@ -193,6 +242,12 @@ func (r *Runner) runStage(st *stage) {
 			r.weight(st, op, 0, 1)
 		case sched.WPiece:
 			r.weight(st, op, op.Piece, r.s.WPieces)
+		}
+		if r.trace != nil {
+			r.trace.Emit(obs.Event{
+				Kind: obs.EvOp, Stage: st.k, From: st.k, Op: op,
+				Start: start, End: r.now(),
+			})
 		}
 	}
 }
@@ -228,11 +283,25 @@ func (r *Runner) forward(st *stage, op sched.Op) {
 }
 
 // receive obtains the op's cross-chunk input: a channel for cross-stage
-// edges, the local stash otherwise.
+// edges, the local stash otherwise. Channel waits select on the run
+// context, so a cancelled RunContext unwinds stages blocked here.
 func (r *Runner) receive(st *stage, op sched.Op) *tensor.Matrix {
 	key := edgeKey{st.k, op}
 	if ch, ok := r.recv[key]; ok {
-		return <-ch
+		waitFrom := 0.0
+		if r.trace != nil {
+			waitFrom = r.now()
+		}
+		var x *tensor.Matrix
+		select {
+		case x = <-ch:
+		case <-r.ctx.Done():
+			panic(cancelPanic{})
+		}
+		if r.trace != nil {
+			r.traceArrival(st.k, op, waitFrom, x)
+		}
+		return x
 	}
 	x, ok := st.stash[key]
 	if !ok {
@@ -240,6 +309,30 @@ func (r *Runner) receive(st *stage, op sched.Op) *tensor.Matrix {
 	}
 	delete(st.stash, key)
 	return x
+}
+
+// traceArrival emits the comm event for a tensor that just arrived for op,
+// plus a stall event when the stage measurably blocked waiting for it.
+func (r *Runner) traceArrival(k int, op sched.Op, waitFrom float64, x *tensor.Matrix) {
+	now := r.now()
+	from := k
+	var deps []sched.Dep
+	for _, d := range r.s.Deps(deps, k, op) {
+		if d.Stage != k {
+			from = d.Stage
+			break
+		}
+	}
+	r.trace.Emit(obs.Event{
+		Kind: obs.EvComm, Stage: k, From: from, Op: op,
+		Start: waitFrom, End: now, Bytes: int64(len(x.Data)) * 4,
+	})
+	if now > waitFrom {
+		r.trace.Emit(obs.Event{
+			Kind: obs.EvStall, Stage: k, From: k, Op: op,
+			Start: waitFrom, End: now, Cause: "dep",
+		})
+	}
 }
 
 // deliver hands x to the consumer op on stage ns.

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/obs"
+	"mepipe/internal/sched"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 4, V: 1, S: 2, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Options{Sched: s, Costs: Unit()}); !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("RunContext = %v, want ErrCancelled", err)
+	}
+}
+
+func TestRunWrapsIncompatible(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 2, V: 1, S: 2, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{Sched: s, Costs: Unit(), DynamicW: true}); !errors.Is(err, errs.ErrIncompatible) {
+		t.Errorf("DynamicW without split backward: %v, want ErrIncompatible", err)
+	}
+	if _, err := Run(Options{Sched: s, Costs: Unit(), ActBudget: []int64{1}}); !errors.Is(err, errs.ErrIncompatible) {
+		t.Errorf("short ActBudget: %v, want ErrIncompatible", err)
+	}
+}
+
+// TestTraceMatchesResult: the trace's derived quantities agree with the
+// simulator's own accounting, and Result.Trace carries the exact values.
+func TestTraceMatchesResult(t *testing.T) {
+	s, err := sched.SVPP(sched.SVPPOptions{P: 4, V: 2, S: 2, N: 4, Reschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	res, err := Run(Options{Sched: s, Costs: Unit(), Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := rec.Trace()
+	conv := res.Trace()
+	if live.Stages != conv.Stages {
+		t.Errorf("stages: recorded %d, converted %d", live.Stages, conv.Stages)
+	}
+	if conv.Makespan != res.IterTime || conv.Bubble != res.BubbleRatio {
+		t.Errorf("converted trace (%g, %g) != result (%g, %g)",
+			conv.Makespan, conv.Bubble, res.IterTime, res.BubbleRatio)
+	}
+	for k := 0; k < live.Stages; k++ {
+		lo, co := live.OpSpans(k), conv.OpSpans(k)
+		if len(lo) != len(co) {
+			t.Fatalf("stage %d: %d recorded op spans, %d converted", k, len(lo), len(co))
+		}
+		for i := range lo {
+			if lo[i].Op != co[i].Op || lo[i].Start != co[i].Start || lo[i].End != co[i].End {
+				t.Errorf("stage %d span %d: recorded %+v, converted %+v", k, i, lo[i], co[i])
+			}
+		}
+	}
+}

@@ -9,9 +9,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"mepipe/internal/errs"
+	"mepipe/internal/obs"
 	"mepipe/internal/sched"
 )
 
@@ -47,6 +50,18 @@ type Options struct {
 	// step plus gradient synchronisation), indexed by stage. Nil means
 	// zero.
 	TailTime func(stage int) float64
+
+	// Trace, when non-nil, receives structured span events as the run
+	// executes: op spans, cross-stage transfers, memory alloc/free with
+	// live totals, dependency/communication stalls, and the §5 dynamic
+	// engine's budget-stall and W-drain events. Nil costs nothing.
+	Trace obs.Sink
+}
+
+// BytesEstimator is optionally implemented by Costs to report the payload
+// size of a cross-stage transfer; traces fall back to 0 bytes otherwise.
+type BytesEstimator interface {
+	CommBytes(from, to int, op sched.Op) int64
 }
 
 // Span records one executed op.
@@ -105,6 +120,12 @@ type opRef struct {
 
 // Run simulates one iteration and returns its result.
 func Run(opt Options) (*Result, error) {
+	return RunContext(context.Background(), opt)
+}
+
+// RunContext is Run with cancellation: if ctx is cancelled mid-run, the
+// simulation stops and returns an error wrapping errs.ErrCancelled.
+func RunContext(ctx context.Context, opt Options) (*Result, error) {
 	s := opt.Sched
 	if s == nil {
 		return nil, fmt.Errorf("sim: nil schedule")
@@ -113,12 +134,12 @@ func Run(opt Options) (*Result, error) {
 		return nil, err
 	}
 	if opt.DynamicW && !s.SplitBW {
-		return nil, fmt.Errorf("sim: dynamic weight-gradient mode requires a split-backward schedule")
+		return nil, fmt.Errorf("sim: dynamic weight-gradient mode requires a split-backward schedule: %w", errs.ErrIncompatible)
 	}
 	if opt.ActBudget != nil && len(opt.ActBudget) != s.P {
-		return nil, fmt.Errorf("sim: ActBudget has %d entries, want %d", len(opt.ActBudget), s.P)
+		return nil, fmt.Errorf("sim: ActBudget has %d entries, want %d: %w", len(opt.ActBudget), s.P, errs.ErrIncompatible)
 	}
-	r := &runner{opt: opt, s: s, finish: make(map[opRef]float64)}
+	r := &runner{opt: opt, s: s, ctx: ctx, finish: make(map[opRef]float64)}
 	r.stages = make([]stageState, s.P)
 	for k := range r.stages {
 		st := &r.stages[k]
@@ -148,6 +169,7 @@ func stripW(ops []sched.Op) []sched.Op {
 type runner struct {
 	opt    Options
 	s      *sched.Schedule
+	ctx    context.Context
 	stages []stageState
 	finish map[opRef]float64
 	oom    bool
@@ -185,6 +207,11 @@ func (r *runner) run() error {
 	}
 	done := 0
 	for done < total {
+		// Amortise the context check: once every 256 completed ops is
+		// cheap but still bounds cancellation latency for huge grids.
+		if done&0xff == 0 && r.ctx.Err() != nil {
+			return fmt.Errorf("sim: run %w: %v", errs.ErrCancelled, r.ctx.Err())
+		}
 		k, _, ok := r.nextStage()
 		if !ok {
 			return fmt.Errorf("sim: deadlock with %d/%d ops executed (schedule order violates dependencies)", done, total)
@@ -257,21 +284,66 @@ func (r *runner) execute(k int) int {
 					return n
 				}
 			}
+			if r.opt.Trace != nil {
+				r.traceWait(k, op, start)
+			}
 			st.cursor++
-			r.runOp(k, op, start)
+			r.runOp(k, op, start, "")
 			return 1
 		}
 		// Blocked: dynamic mode lets W work proceed.
 		if r.opt.DynamicW && len(st.wq) > 0 {
-			return r.popW(k)
+			return r.popW(k, "drain-gap")
 		}
 		return 0
 	}
 	// Order exhausted: drain the W queue.
 	if len(st.wq) > 0 {
-		return r.popW(k)
+		return r.popW(k, "drain-tail")
 	}
 	return 0
+}
+
+// traceWait emits the comm events feeding op and classifies any idle gap
+// before start as a dependency or communication stall.
+func (r *runner) traceWait(k int, op sched.Op, start float64) {
+	const eps = 1e-12
+	st := &r.stages[k]
+	deps := r.s.Deps(nil, k, op)
+	depReady := 0.0 // latest dependency finish, communication excluded
+	for _, d := range deps {
+		f, ok := r.finish[opRef{d.Stage, d.Op}]
+		if !ok {
+			return // unreachable: caller checked readiness
+		}
+		if f > depReady {
+			depReady = f
+		}
+		if d.Stage != k {
+			comm := r.opt.Costs.CommTime(d.Stage, k, d.Op)
+			var bytes int64
+			if be, ok := r.opt.Costs.(BytesEstimator); ok {
+				bytes = be.CommBytes(d.Stage, k, d.Op)
+			}
+			r.opt.Trace.Emit(obs.Event{
+				Kind: obs.EvComm, Stage: k, From: d.Stage, Op: op,
+				Start: f, End: f + comm, Bytes: bytes,
+			})
+		}
+	}
+	if start <= st.free+eps {
+		return // no idle gap
+	}
+	cause := "dep"
+	if depReady <= st.free+eps {
+		// Inputs were computed before the stage went idle; the wait is
+		// purely tensors in flight.
+		cause = "comm"
+	}
+	r.opt.Trace.Emit(obs.Event{
+		Kind: obs.EvStall, Stage: k, From: k, Op: op,
+		Start: st.free, End: start, Cause: cause,
+	})
 }
 
 // fillGap runs queued W pieces that finish before `start`, or that must run
@@ -287,7 +359,7 @@ func (r *runner) fillGap(k int, start float64, next sched.Op) int {
 	dur := r.opt.Costs.OpTime(k, w.op)
 	const eps = 1e-9
 	if wStart+dur <= start+eps {
-		return r.popW(k)
+		return r.popW(k, "drain-gap")
 	}
 	// Memory pressure: if the upcoming op would allocate past the budget,
 	// weight gradients must drain first (completing a family's W frees
@@ -301,24 +373,32 @@ func (r *runner) fillGap(k int, start float64, next sched.Op) int {
 			need = r.opt.Costs.GradBytes(k, next)
 		}
 		if need > 0 && st.live+need > r.opt.ActBudget[k] {
-			return r.popW(k)
+			if r.opt.Trace != nil {
+				r.opt.Trace.Emit(obs.Event{
+					Kind: obs.EvBudget, Stage: k, From: k, Op: next,
+					Start: st.free, End: st.free,
+					Bytes: need, Live: st.live,
+				})
+			}
+			return r.popW(k, "drain-budget")
 		}
 	}
 	return 0
 }
 
-// popW executes the head of the W queue.
-func (r *runner) popW(k int) int {
+// popW executes the head of the W queue; cause tags the drain in traces.
+func (r *runner) popW(k int, cause string) int {
 	st := &r.stages[k]
 	w := st.wq[0]
 	st.wq = st.wq[1:]
 	start := math.Max(st.free, w.ready)
-	r.runOp(k, w.op, start)
+	r.runOp(k, w.op, start, cause)
 	return 1
 }
 
-// runOp executes op at start, updating time, memory, and wq state.
-func (r *runner) runOp(k int, op sched.Op, start float64) {
+// runOp executes op at start, updating time, memory, and wq state. cause is
+// non-empty for weight-gradient work drained by the dynamic engine.
+func (r *runner) runOp(k int, op sched.Op, start float64, cause string) {
 	st := &r.stages[k]
 	dur := r.opt.Costs.OpTime(k, op)
 	end := start + dur
@@ -326,6 +406,12 @@ func (r *runner) runOp(k int, op sched.Op, start float64) {
 	st.compute += dur
 	st.spans = append(st.spans, Span{Op: op, Start: start, End: end})
 	r.finish[opRef{k, op}] = end
+	if r.opt.Trace != nil {
+		r.opt.Trace.Emit(obs.Event{
+			Kind: obs.EvOp, Stage: k, From: k, Op: op,
+			Start: start, End: end, Cause: cause,
+		})
+	}
 	key := op.Key()
 	switch op.Kind {
 	case sched.F:
@@ -385,6 +471,12 @@ func (r *runner) alloc(k int, key sched.Op, bytes int64) {
 	if st.live > st.peak {
 		st.peak = st.live
 	}
+	if r.opt.Trace != nil && bytes != 0 {
+		r.opt.Trace.Emit(obs.Event{
+			Kind: obs.EvAlloc, Stage: k, From: k, Op: key,
+			Start: st.free, End: st.free, Bytes: bytes, Live: st.live,
+		})
+	}
 	if r.opt.ActBudget != nil && st.live > r.opt.ActBudget[k] && !r.oom {
 		// Dynamic mode already tried draining W; static schedules
 		// simply exceed. Either way this configuration cannot run.
@@ -397,8 +489,15 @@ func (r *runner) alloc(k int, key sched.Op, bytes int64) {
 
 func (r *runner) release(k int, key sched.Op) {
 	st := &r.stages[k]
-	st.live -= st.famActs[key]
+	freed := st.famActs[key]
+	st.live -= freed
 	delete(st.famActs, key)
+	if r.opt.Trace != nil && freed != 0 {
+		r.opt.Trace.Emit(obs.Event{
+			Kind: obs.EvFree, Stage: k, From: k, Op: key,
+			Start: st.free, End: st.free, Bytes: freed, Live: st.live,
+		})
+	}
 }
 
 func (r *runner) result() *Result {

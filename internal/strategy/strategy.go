@@ -5,6 +5,8 @@
 package strategy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,12 +15,36 @@ import (
 	"mepipe/internal/analytic"
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
+	"mepipe/internal/errs"
 	"mepipe/internal/memplan"
 	"mepipe/internal/model"
+	"mepipe/internal/obs"
 	"mepipe/internal/perf"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
 )
+
+// Option tunes an Evaluate or Search call.
+type Option func(*options)
+
+type options struct {
+	sink obs.Sink
+}
+
+// WithSink attaches a trace sink to the underlying simulation runs. With
+// Search, every simulated candidate emits into the same sink, so prefer
+// attaching it to a single Evaluate.
+func WithSink(s obs.Sink) Option {
+	return func(o *options) { o.sink = s }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
 
 // System identifies a scheduling system under evaluation (the columns of
 // Fig 8 / Fig 10).
@@ -92,6 +118,13 @@ func (e *Eval) MFU(m config.Model, tr config.Training, cl cluster.Cluster) float
 // Evaluate runs one configuration through the memory model, the schedule
 // generator, and the simulator.
 func Evaluate(sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training) (*Eval, error) {
+	return EvaluateContext(context.Background(), sys, m, cl, par, tr)
+}
+
+// EvaluateContext is Evaluate with cancellation and per-call options (e.g.
+// WithSink to trace the simulated iteration).
+func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training, opts ...Option) (*Eval, error) {
+	o := buildOptions(opts)
 	if err := compatible(sys, par); err != nil {
 		return nil, err
 	}
@@ -128,11 +161,12 @@ func Evaluate(sys System, m config.Model, cl cluster.Cluster, par config.Paralle
 		ev.OOMWhy = err.Error()
 		return ev, nil
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.RunContext(ctx, sim.Options{
 		Sched: s, Costs: costs,
 		ActBudget: plan.ActBudget,
 		DynamicW:  dynamicW,
 		TailTime:  costs.TailTime,
+		Trace:     o.sink,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("strategy: simulating %s %v: %w", sys, par, err)
@@ -149,32 +183,33 @@ func Evaluate(sys System, m config.Model, cl cluster.Cluster, par config.Paralle
 	return ev, nil
 }
 
-// compatible rejects strategy fields a system cannot express.
+// compatible rejects strategy fields a system cannot express. Failures wrap
+// errs.ErrIncompatible so callers can classify them with errors.Is.
 func compatible(sys System, par config.Parallel) error {
 	switch sys {
 	case DAPPLE, GPipe:
 		if par.VP != 1 || par.SPP != 1 {
-			return fmt.Errorf("strategy: %s supports neither virtual pipelining nor slices", sys)
+			return fmt.Errorf("strategy: %s supports neither virtual pipelining nor slices: %w", sys, errs.ErrIncompatible)
 		}
 	case VPP:
 		if par.VP < 2 || par.SPP != 1 {
-			return fmt.Errorf("strategy: VPP needs VP >= 2 and no slices")
+			return fmt.Errorf("strategy: VPP needs VP >= 2 and no slices: %w", errs.ErrIncompatible)
 		}
 	case ZB:
 		if par.VP != 1 || par.SPP != 1 || par.Recompute != config.RecomputeNone {
-			return fmt.Errorf("strategy: ZB is incompatible with VP, SPP and recomputation")
+			return fmt.Errorf("strategy: ZB is incompatible with VP, SPP and recomputation: %w", errs.ErrIncompatible)
 		}
 	case ZBV:
 		if par.VP != 2 || par.SPP != 1 || par.Recompute != config.RecomputeNone {
-			return fmt.Errorf("strategy: ZBV needs VP = 2 and is incompatible with SPP and recomputation")
+			return fmt.Errorf("strategy: ZBV needs VP = 2 and is incompatible with SPP and recomputation: %w", errs.ErrIncompatible)
 		}
 	case MEPipe:
 		if par.CP != 1 || par.Recompute != config.RecomputeNone {
-			return fmt.Errorf("strategy: MEPipe uses SPP instead of CP and never recomputes")
+			return fmt.Errorf("strategy: MEPipe uses SPP instead of CP and never recomputes: %w", errs.ErrIncompatible)
 		}
 	case TeraPipe:
 		if par.VP != 1 || par.CP != 1 {
-			return fmt.Errorf("strategy: TeraPipe supports neither virtual pipelining nor CP")
+			return fmt.Errorf("strategy: TeraPipe supports neither virtual pipelining nor CP: %w", errs.ErrIncompatible)
 		}
 	}
 	return nil
@@ -204,7 +239,9 @@ func buildSchedule(sys System, par config.Parallel, n int, costs *perf.Costs, pl
 		grad := costs.GradBytes(0, sched.Op{Kind: sched.BAct})
 		f, err = memplan.ChooseF(par, fam, grad, plan.ActBudget[0])
 		if err != nil {
-			return nil, false, 0, err
+			// No SVPP variant fits the activation budget: a memory
+			// failure, not a shape failure.
+			return nil, false, 0, fmt.Errorf("%v: %w", err, errs.ErrOOM)
 		}
 		s, err = sched.SVPP(sched.SVPPOptions{
 			P: p, V: par.VP, S: par.SPP, N: n, F: f,
@@ -335,6 +372,13 @@ func (r *SearchResult) Best() *Eval {
 
 // Search grid-searches one system.
 func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace) (*SearchResult, error) {
+	return SearchContext(context.Background(), sys, m, cl, tr, sp)
+}
+
+// SearchContext is Search with cancellation: a cancelled ctx stops the grid
+// between candidates (and inside each simulated candidate), drains every
+// worker goroutine, and returns an error wrapping errs.ErrCancelled.
+func SearchContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace, opts ...Option) (*SearchResult, error) {
 	var cands []config.Parallel
 	add := func(par config.Parallel) {
 		if par.Validate() != nil {
@@ -397,14 +441,20 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 		// the best seen so far).
 		bestTime := 0.0
 		for _, par := range cands {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
+			}
 			if bestTime > 0 {
 				if lb, ok := lowerBound(sys, m, cl, par, tr); ok && lb > bestTime {
 					res.Pruned++
 					continue
 				}
 			}
-			ev, err := Evaluate(sys, m, cl, par, tr)
+			ev, err := EvaluateContext(ctx, sys, m, cl, par, tr, opts...)
 			if err != nil {
+				if errors.Is(err, errs.ErrCancelled) {
+					return nil, err
+				}
 				continue // incompatible partition/sequence shapes
 			}
 			res.Evaluated++
@@ -428,7 +478,10 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					ev, err := Evaluate(sys, m, cl, cands[i], tr)
+					if ctx.Err() != nil {
+						continue // drain remaining indices
+					}
+					ev, err := EvaluateContext(ctx, sys, m, cl, cands[i], tr, opts...)
 					if err != nil {
 						continue // incompatible shapes
 					}
@@ -441,6 +494,9 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 		}
 		close(next)
 		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
+		}
 		for _, ev := range evals {
 			if ev != nil {
 				res.Evaluated++
@@ -449,17 +505,43 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 		}
 	}
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
-		a, b := res.Candidates[i], res.Candidates[j]
-		if a.OOM != b.OOM {
-			return !a.OOM
-		}
-		if a.OOM {
-			return false
-		}
-		return a.IterTime < b.IterTime
+		return less(res.Candidates[i], res.Candidates[j])
 	})
 	if len(res.Candidates) == 0 {
-		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs", sys, gpus)
+		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs: %w", sys, gpus, errs.ErrIncompatible)
 	}
 	return res, nil
+}
+
+// less is the total candidate order: feasible before OOM, faster before
+// slower, and — critically for reproducible reports and golden tests — a
+// stable tie-break on the strategy shape when iteration times are equal
+// (which happens whenever two grid points degenerate to the same
+// schedule).
+func less(a, b *Eval) bool {
+	if a.OOM != b.OOM {
+		return !a.OOM
+	}
+	if !a.OOM && a.IterTime != b.IterTime {
+		return a.IterTime < b.IterTime
+	}
+	if a.Par.PP != b.Par.PP {
+		return a.Par.PP < b.Par.PP
+	}
+	if a.Par.VP != b.Par.VP {
+		return a.Par.VP < b.Par.VP
+	}
+	if a.Par.SPP != b.Par.SPP {
+		return a.Par.SPP < b.Par.SPP
+	}
+	if a.Par.CP != b.Par.CP {
+		return a.Par.CP < b.Par.CP
+	}
+	if a.Par.DP != b.Par.DP {
+		return a.Par.DP < b.Par.DP
+	}
+	if a.Par.Recompute != b.Par.Recompute {
+		return a.Par.Recompute < b.Par.Recompute
+	}
+	return a.N < b.N
 }

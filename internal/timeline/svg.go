@@ -11,43 +11,10 @@ import (
 // WriteSVG renders the result as a self-contained SVG Gantt chart — the
 // graphical counterpart of the paper's Figs 11/12 timelines. Colors follow
 // the paper's convention: one hue per op class, micro-batches shaded.
+//
+// Deprecated: use SVG{}.Export with a trace, which this delegates to.
 func WriteSVG(w io.Writer, res *sim.Result) error {
-	const (
-		rowH   = 26
-		rowGap = 6
-		width  = 1200
-		padX   = 60
-		padY   = 24
-	)
-	stages := len(res.Stages)
-	height := padY*2 + stages*(rowH+rowGap)
-	scale := float64(width-2*padX) / res.IterTime
-	if _, err := fmt.Fprintf(w,
-		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
-		width, height); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
-	for k := range res.Stages {
-		y := padY + k*(rowH+rowGap)
-		fmt.Fprintf(w, `<text x="4" y="%d">stage %d</text>`+"\n", y+rowH-9, k)
-		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f2f2f2"/>`+"\n",
-			padX, y, width-2*padX, rowH)
-		for _, sp := range res.Stages[k].Spans {
-			x := padX + sp.Start*scale
-			wd := (sp.End - sp.Start) * scale
-			if wd < 0.5 {
-				wd = 0.5
-			}
-			fmt.Fprintf(w,
-				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="white" stroke-width="0.4"><title>%s [%.4g, %.4g]</title></rect>`+"\n",
-				x, y, wd, rowH, opColor(sp.Op), sp.Op, sp.Start, sp.End)
-		}
-	}
-	fmt.Fprintf(w, `<text x="%d" y="%d">makespan %.4g, bubble %.1f%%</text>`+"\n",
-		padX, height-6, res.IterTime, 100*res.BubbleRatio)
-	_, err := fmt.Fprintln(w, `</svg>`)
-	return err
+	return SVG{}.Export(w, res.Trace())
 }
 
 // opColor shades by op class, darkening with the micro-batch index.

@@ -1,15 +1,17 @@
-// Package timeline renders simulated pipeline timelines as ASCII Gantt
-// charts (the textual equivalent of the paper's Figs 2–7, 11 and 12) and as
-// Chrome-trace JSON for chrome://tracing.
+// Package timeline renders pipeline timelines as ASCII Gantt charts (the
+// textual equivalent of the paper's Figs 2–7, 11 and 12) and SVG. The ASCII
+// and SVG renderers implement obs.Exporter (see exporter.go), so they
+// compose with the obs package's Chrome-trace and JSONL exporters behind a
+// single interface; the functions here are thin compatibility wrappers over
+// those exporters.
 package timeline
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"strings"
 
+	"mepipe/internal/obs"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
 )
@@ -19,43 +21,11 @@ import (
 // Each op cell shows the op kind and micro-batch index, with the slice index
 // appended when the schedule has more than one slice: e.g. F3.1 is the
 // forward of slice 1 of micro-batch 3, b/w are split backward halves.
+//
+// Deprecated: use ASCII{Unit: unit}.Export with a trace (Result.Trace or a
+// recorded obs.Trace), which this delegates to.
 func Render(w io.Writer, res *sim.Result, unit float64) {
-	end := res.IterTime
-	if unit <= 0 {
-		unit = end / 156
-		if unit <= 0 {
-			unit = 1
-		}
-	}
-	cols := int(math.Ceil(end/unit)) + 1
-	for k := range res.Stages {
-		row := make([]byte, cols)
-		for i := range row {
-			row[i] = '.'
-		}
-		for _, sp := range res.Stages[k].Spans {
-			c0 := int(sp.Start / unit)
-			c1 := int(math.Ceil(sp.End / unit))
-			if c1 <= c0 {
-				c1 = c0 + 1
-			}
-			if c1 > cols {
-				c1 = cols
-			}
-			label := cellLabel(sp.Op)
-			for i := c0; i < c1; i++ {
-				j := i - c0
-				if j < len(label) {
-					row[i] = label[j]
-				} else {
-					row[i] = fill(sp.Op)
-				}
-			}
-		}
-		fmt.Fprintf(w, "stage %2d |%s|\n", k, string(row))
-	}
-	fmt.Fprintf(w, "          time: %.4g per column, makespan %.6g, bubble %.1f%%\n",
-		unit, res.IterTime, 100*res.BubbleRatio)
+	_ = ASCII{Unit: unit}.Export(w, res.Trace())
 }
 
 func cellLabel(op sched.Op) string {
@@ -97,32 +67,12 @@ func RenderOrder(w io.Writer, s *sched.Schedule) {
 	}
 }
 
-// traceEvent is the Chrome trace event format (phase "X" complete events).
-type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
-}
-
 // WriteChromeTrace emits the result as a Chrome trace (times in µs assuming
 // the result's unit is seconds).
+//
+// Deprecated: use obs.ChromeTrace{}.Export with a trace, which this
+// delegates to; a trace recorded from a live run also carries comm, memory
+// and stall events the span-only Result cannot reconstruct.
 func WriteChromeTrace(w io.Writer, res *sim.Result) error {
-	var evs []traceEvent
-	for k := range res.Stages {
-		for _, sp := range res.Stages[k].Spans {
-			evs = append(evs, traceEvent{
-				Name: sp.Op.String(), Cat: sp.Op.Kind.String(), Ph: "X",
-				TS: sp.Start * 1e6, Dur: (sp.End - sp.Start) * 1e6,
-				PID: 0, TID: k,
-			})
-		}
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(struct {
-		TraceEvents []traceEvent `json:"traceEvents"`
-	}{evs})
+	return obs.ChromeTrace{}.Export(w, res.Trace())
 }

@@ -24,6 +24,7 @@
 package mepipe
 
 import (
+	"context"
 	"io"
 
 	"mepipe/internal/analytic"
@@ -31,12 +32,23 @@ import (
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
 	"mepipe/internal/core"
+	"mepipe/internal/errs"
+	"mepipe/internal/obs"
 	"mepipe/internal/partition"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
 	"mepipe/internal/strategy"
 	"mepipe/internal/timeline"
 	"mepipe/internal/tune"
+)
+
+// Sentinel errors. Every failure the engines and the strategy search report
+// wraps one of these, so callers classify with errors.Is instead of string
+// matching.
+var (
+	ErrOOM          = errs.ErrOOM
+	ErrIncompatible = errs.ErrIncompatible
+	ErrCancelled    = errs.ErrCancelled
 )
 
 // Model, parallelism and training configuration.
@@ -86,10 +98,104 @@ var (
 type (
 	SimOptions = sim.Options
 	SimResult  = sim.Result
+	SimCosts   = sim.Costs
 )
 
-// Simulate runs one simulated iteration.
-func Simulate(opt SimOptions) (*SimResult, error) { return sim.Run(opt) }
+// Observability: both execution engines (the discrete-event simulator and
+// the live goroutine runtime) emit structured span events — op execution,
+// cross-stage communication with byte counts, activation memory traffic
+// with high-water marks, stalls by cause, and the §5 dynamic engine's
+// budget-stall / W-drain events — into a pluggable TraceSink. A Recorder
+// collects them into a Trace; a Trace aggregates into a Snapshot of
+// per-stage metrics and exports through any Exporter. See
+// docs/OBSERVABILITY.md.
+type (
+	TraceEvent = obs.Event
+	TraceSink  = obs.Sink
+	Trace      = obs.Trace
+	Recorder   = obs.Recorder
+	Snapshot   = obs.Snapshot
+
+	// Exporter is the single output interface of the system: ASCII and
+	// SVG Gantt charts, Chrome trace-event JSON (Perfetto /
+	// chrome://tracing), and JSONL all implement it.
+	Exporter = obs.Exporter
+
+	// The exporters.
+	ChromeTrace   = obs.ChromeTrace
+	JSONLTrace    = obs.JSONL
+	ASCIITimeline = timeline.ASCII
+	SVGTimeline   = timeline.SVG
+)
+
+// NewRecorder returns an empty in-memory trace sink.
+var NewRecorder = obs.NewRecorder
+
+// Option tunes Simulate, Evaluate and Search calls. Options that do not
+// apply to a call are ignored (Evaluate and Search derive memory budgets
+// and engine mode from the configuration itself, so only WithTrace applies
+// to them).
+type Option func(*runConfig)
+
+type runConfig struct {
+	sink     obs.Sink
+	budget   []int64
+	dynamicW bool
+	tail     func(stage int) float64
+}
+
+// WithTrace attaches a sink receiving the run's structured span events.
+func WithTrace(sink TraceSink) Option {
+	return func(c *runConfig) { c.sink = sink }
+}
+
+// WithActBudget sets the per-stage activation memory budget in bytes. In
+// dynamic weight-gradient mode the budget forces deferred W work to drain
+// before new forwards are admitted (§5); exceeding it with nothing to drain
+// marks the run OOM.
+func WithActBudget(budget []int64) Option {
+	return func(c *runConfig) { c.budget = budget }
+}
+
+// WithDynamicW enables the paper's execution-engine behaviour: W/WPiece ops
+// leave their static schedule positions and drain from a per-stage queue
+// into dependency stalls. Requires a split-backward schedule.
+func WithDynamicW() Option {
+	return func(c *runConfig) { c.dynamicW = true }
+}
+
+// WithTailTime appends per-stage post-iteration time (optimizer step plus
+// gradient synchronisation).
+func WithTailTime(tail func(stage int) float64) Option {
+	return func(c *runConfig) { c.tail = tail }
+}
+
+// Simulate runs one simulated iteration of s under the given cost model.
+// The context cancels long runs (the returned error then wraps
+// ErrCancelled); options attach tracing, memory budgets, the §5 dynamic
+// weight-gradient engine, and tail time:
+//
+//	rec := mepipe.NewRecorder()
+//	res, err := mepipe.Simulate(ctx, s, costs,
+//		mepipe.WithTrace(rec), mepipe.WithActBudget(budget), mepipe.WithDynamicW())
+func Simulate(ctx context.Context, s *Schedule, costs SimCosts, opts ...Option) (*SimResult, error) {
+	var c runConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	return sim.RunContext(ctx, sim.Options{
+		Sched: s, Costs: costs,
+		ActBudget: c.budget,
+		DynamicW:  c.dynamicW,
+		TailTime:  c.tail,
+		Trace:     c.sink,
+	})
+}
+
+// SimulateOpts runs one simulated iteration from a bare options struct.
+//
+// Deprecated: use Simulate with a context and functional options.
+func SimulateOpts(opt SimOptions) (*SimResult, error) { return sim.Run(opt) }
 
 // UnitCosts returns uniform unit costs for analytic-style simulations.
 func UnitCosts() sim.UniformCosts { return sim.Unit() }
@@ -119,11 +225,46 @@ const (
 var (
 	PlanMEPipe   = core.PlanMEPipe
 	PlanMEPipeAt = core.PlanMEPipeAt
-	Evaluate     = strategy.Evaluate
-	Search       = strategy.Search
 	DefaultSpace = strategy.DefaultSpace
 	Systems      = strategy.Systems
 )
+
+// Evaluate runs one (system, parallel strategy) configuration through the
+// memory model, the schedule generator, and the simulator. WithTrace
+// captures the simulated iteration's event stream.
+func Evaluate(ctx context.Context, sys System, m Model, cl Cluster, par Parallel, tr Training, opts ...Option) (*Eval, error) {
+	var c runConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	return strategy.EvaluateContext(ctx, sys, m, cl, par, tr, strategy.WithSink(c.sink))
+}
+
+// Search grid-searches the strategy space for one system (§7.3) and returns
+// candidates sorted fastest-feasible-first in a deterministic total order.
+// Cancelling ctx mid-search stops the grid, drains every worker, and
+// returns an error wrapping ErrCancelled.
+func Search(ctx context.Context, sys System, m Model, cl Cluster, tr Training, sp SearchSpace, opts ...Option) (*SearchResult, error) {
+	var c runConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	return strategy.SearchContext(ctx, sys, m, cl, tr, sp, strategy.WithSink(c.sink))
+}
+
+// EvaluateConfig evaluates one configuration without a context.
+//
+// Deprecated: use Evaluate.
+func EvaluateConfig(sys System, m Model, cl Cluster, par Parallel, tr Training) (*Eval, error) {
+	return strategy.Evaluate(sys, m, cl, par, tr)
+}
+
+// SearchGrid grid-searches one system without a context.
+//
+// Deprecated: use Search.
+func SearchGrid(sys System, m Model, cl Cluster, tr Training, sp SearchSpace) (*SearchResult, error) {
+	return strategy.Search(sys, m, cl, tr, sp)
+}
 
 // Analytic closed forms (Table 3).
 type (
@@ -163,10 +304,23 @@ var (
 	ExperimentBy = bench.ByID
 )
 
+// Export writes a simulated result through any Exporter — ASCII or SVG
+// Gantt charts, Chrome trace-event JSON, or JSONL:
+//
+//	mepipe.Export(os.Stdout, mepipe.ASCIITimeline{}, res)
+//	mepipe.Export(f, mepipe.ChromeTrace{}, res)
+func Export(w io.Writer, e Exporter, res *SimResult) error {
+	return e.Export(w, res.Trace())
+}
+
 // RenderTimeline writes an ASCII Gantt chart of a simulated result.
+//
+// Deprecated: use Export with an ASCIITimeline exporter.
 func RenderTimeline(w io.Writer, res *SimResult) { timeline.Render(w, res, 0) }
 
 // RenderSVG writes an SVG Gantt chart of a simulated result.
+//
+// Deprecated: use Export with an SVGTimeline exporter.
 func RenderSVG(w io.Writer, res *SimResult) error { return timeline.WriteSVG(w, res) }
 
 // Schedule tuning and order-free lower bounds.
