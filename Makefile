@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race-hot race bench report figures artifact check clean
+.PHONY: all build test vet lint race-hot race bench report figures artifact check ci smoke clean
 
 all: build test
 
@@ -15,16 +15,33 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The concurrency-sensitive packages (goroutine runtime, shared trace
-# sinks) under the race detector — fast enough for every commit.
+# Formatting gate — fails when gofmt would change anything.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "files need gofmt:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# The concurrency-sensitive packages (goroutine runtime with
+# crash-recovery, shared trace sinks, fault injector) under the race
+# detector — fast enough for every commit.
 race-hot:
-	$(GO) test -race ./internal/pipeline/... ./internal/obs/...
+	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/...
 
 race:
 	$(GO) test -race ./internal/...
 
 # The default pre-commit gate.
 check: build vet test race-hot
+
+# Artifact smoke: E0 end to end against its expected-results file, plus
+# the chaos CLI's Young–Daly verdict.
+smoke:
+	sh artifact/e0_check.sh
+	$(GO) run ./cmd/mepipe-chaos
+
+# Mirror of the GitHub Actions pipeline (.github/workflows/ci.yml).
+ci: build vet test lint race-hot smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,181 @@
+// Package chaos injects deterministic, seeded faults into the pipeline
+// runtime — the executable half of §9's reliability argument. A Plan
+// describes stage crashes, slow cross-stage links, and transient send
+// failures; an Injector replays the plan through the runtime's StageHook
+// and Transport seams. Everything is derived from the plan's seed and
+// per-link counters, so two runs with the same plan inject byte-identical
+// faults regardless of goroutine interleaving: each crash entry belongs to
+// one stage goroutine and each link's state is touched only by its sending
+// stage.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// ErrCrash marks an injected stage crash. The runtime either recovers it
+// from a checkpoint or surfaces it wrapped in errs.ErrStageFailed.
+var ErrCrash = errors.New("chaos: injected crash")
+
+// Crash fails a stage immediately before its AtOp'th scheduled op. Each
+// entry fires once.
+type Crash struct {
+	Stage, AtOp int
+}
+
+// SlowLink delays every cross-stage transfer from From to To — a degraded
+// PCIe lane or congested switch.
+type SlowLink struct {
+	From, To int
+	Delay    time.Duration
+}
+
+// FlakyLink makes transfers from From to To fail transiently: the first
+// FailFirst transfers each fail their first delivery attempt
+// (deterministically), and every attempt additionally fails with
+// probability DropRate drawn from the link's seeded source. DropRate 1
+// fails every attempt, exhausting the runtime's retry budget.
+type FlakyLink struct {
+	From, To  int
+	FailFirst int
+	DropRate  float64
+}
+
+// Plan is a deterministic fault plan for one run.
+type Plan struct {
+	// Seed drives every probabilistic choice (per-link drop draws).
+	Seed int64
+
+	Crashes []Crash
+	Slow    []SlowLink
+	Flaky   []FlakyLink
+
+	// RecoverySeconds and CheckpointSeconds are the simulated-time
+	// costs fault-aware simulations charge for a restore and a
+	// checkpoint (see FaultyCosts). The live runtime ignores them: its
+	// recovery cost is the actual restore-and-replay work.
+	RecoverySeconds, CheckpointSeconds float64
+}
+
+// crashState fires once; it is touched only by its stage's goroutine.
+type crashState struct{ fired bool }
+
+// linkState is touched only by the sending stage's goroutine.
+type linkState struct {
+	delay     time.Duration
+	failFirst int
+	dropRate  float64
+	rng       *rand.Rand
+	transfers int
+}
+
+// Injector replays a Plan through the runtime seams. It implements
+// pipeline.StageHook (BeforeOp) and pipeline.Transport (Send).
+type Injector struct {
+	crashes map[[2]int]*crashState // (stage, op index)
+	links   [][]*linkState         // [from][to], nil when unaffected
+
+	crashed, delayed, dropped atomic.Int64
+}
+
+// New builds an injector for a run with the given number of stages.
+// Entries referring to stages outside [0, stages) are ignored.
+func New(p Plan, stages int) *Injector {
+	in := &Injector{
+		crashes: map[[2]int]*crashState{},
+		links:   make([][]*linkState, stages),
+	}
+	for i := range in.links {
+		in.links[i] = make([]*linkState, stages)
+	}
+	for _, c := range p.Crashes {
+		if c.Stage >= 0 && c.Stage < stages && c.AtOp >= 0 {
+			in.crashes[[2]int{c.Stage, c.AtOp}] = &crashState{}
+		}
+	}
+	link := func(from, to int) *linkState {
+		if from < 0 || from >= stages || to < 0 || to >= stages {
+			return nil
+		}
+		if in.links[from][to] == nil {
+			// Per-link seeds keep draws independent of which other
+			// links exist and of cross-stage interleaving.
+			seed := p.Seed ^ (int64(from+1) * 0x5851f42d4c957f2d) ^ int64(to+1)
+			in.links[from][to] = &linkState{rng: rand.New(rand.NewSource(seed))}
+		}
+		return in.links[from][to]
+	}
+	for _, s := range p.Slow {
+		if ls := link(s.From, s.To); ls != nil {
+			ls.delay += s.Delay
+		}
+	}
+	for _, f := range p.Flaky {
+		if ls := link(f.From, f.To); ls != nil {
+			ls.failFirst += f.FailFirst
+			ls.dropRate += f.DropRate
+		}
+	}
+	return in
+}
+
+// BeforeOp implements the stage hook: it crashes the stage when the plan
+// says so (once per entry).
+func (in *Injector) BeforeOp(stage, index int, op sched.Op) error {
+	cs := in.crashes[[2]int{stage, index}]
+	if cs == nil || cs.fired {
+		return nil
+	}
+	cs.fired = true
+	in.crashed.Add(1)
+	return fmt.Errorf("%w: stage %d before op %d (%v)", ErrCrash, stage, index, op)
+}
+
+// Send implements the transport hook: it delays transfers on slow links
+// and fails attempts on flaky ones with an error wrapping
+// errs.ErrTransient.
+func (in *Injector) Send(from, to int, op sched.Op, attempt int) error {
+	ls := in.links[from][to]
+	if ls == nil {
+		return nil
+	}
+	if attempt == 0 {
+		ls.transfers++
+		if ls.delay > 0 {
+			in.delayed.Add(1)
+			time.Sleep(ls.delay)
+		}
+	}
+	fail := attempt == 0 && ls.transfers <= ls.failFirst
+	if !fail && ls.dropRate > 0 {
+		fail = ls.rng.Float64() < ls.dropRate
+	}
+	if fail {
+		in.dropped.Add(1)
+		return fmt.Errorf("chaos: link %d->%d dropped frame %d (attempt %d): %w",
+			from, to, ls.transfers, attempt, errs.ErrTransient)
+	}
+	return nil
+}
+
+// Stats reports what the injector actually did.
+type Stats struct {
+	// Crashes fired, transfers delayed, and delivery attempts failed.
+	Crashes, Delayed, Dropped int64
+}
+
+// Stats returns the injector's counters (safe to call concurrently).
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Crashes: in.crashed.Load(),
+		Delayed: in.delayed.Load(),
+		Dropped: in.dropped.Load(),
+	}
+}

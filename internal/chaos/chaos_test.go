@@ -1,0 +1,298 @@
+package chaos_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mepipe/internal/chaos"
+	"mepipe/internal/errs"
+	"mepipe/internal/nn"
+	"mepipe/internal/pipeline"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/tensor"
+)
+
+// The injector must satisfy the runtime seams structurally.
+var (
+	_ pipeline.StageHook = (*chaos.Injector)(nil)
+	_ pipeline.Transport = (*chaos.Injector)(nil)
+)
+
+func testCfg() nn.Config {
+	return nn.Config{Hidden: 8, Heads: 2, FFN: 16, Vocab: 13, Layers: 8, SeqLen: 8}
+}
+
+func testBatch(rng *rand.Rand, c nn.Config, n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		s := make([]int, c.SeqLen+1)
+		for j := range s {
+			s[j] = rng.Intn(c.Vocab)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func svpp4(t *testing.T) *sched.Schedule {
+	t.Helper()
+	s, err := sched.SVPP(sched.SVPPOptions{P: 4, V: 1, S: 2, N: 3, Reschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runInjected drives one real pipeline iteration under the plan and
+// returns the loss, the model gradients and the run error.
+func runInjected(t *testing.T, s *sched.Schedule, plan chaos.Plan, ckptEvery int, seed int64) (float64, map[string]*tensor.Matrix, error) {
+	t.Helper()
+	c := testCfg()
+	b := testBatch(rand.New(rand.NewSource(seed)), c, s.N)
+	m, err := nn.NewModel(c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pipeline.New(m, s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(plan, s.P)
+	r.WithStageHook(in).WithTransport(in).WithCheckpointEvery(ckptEvery)
+	loss, err := r.Run()
+	return loss, m.Grads(), err
+}
+
+// TestInjectedCrashRecovers: a planned crash under checkpointing recovers
+// and the iteration still matches sequential training exactly.
+func TestInjectedCrashRecovers(t *testing.T) {
+	s := svpp4(t)
+	plan := chaos.Plan{Seed: 1, Crashes: []chaos.Crash{{Stage: 2, AtOp: 5}}}
+	loss, grads, err := runInjected(t, s, plan, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCfg()
+	b := testBatch(rand.New(rand.NewSource(31)), c, s.N)
+	seq, err := nn.NewModel(c, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqLoss, err := seq.TrainSequential(b, s.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-seqLoss) > 1e-5 {
+		t.Errorf("injected loss %.8f != sequential %.8f", loss, seqLoss)
+	}
+	for name, ref := range seq.Grads() {
+		if d := tensor.MaxAbsDiff(ref, grads[name]); d > 1e-4 {
+			t.Errorf("grad %s differs by %g after injected recovery", name, d)
+		}
+	}
+}
+
+// TestInjectedCrashWithoutCheckpointFails: the same crash without a
+// checkpoint degrades into a classified failure wrapping both the stage
+// sentinel and the injector's cause.
+func TestInjectedCrashWithoutCheckpointFails(t *testing.T) {
+	s := svpp4(t)
+	plan := chaos.Plan{Crashes: []chaos.Crash{{Stage: 1, AtOp: 3}}}
+	_, _, err := runInjected(t, s, plan, 0, 7)
+	if !errors.Is(err, errs.ErrStageFailed) || !errors.Is(err, chaos.ErrCrash) {
+		t.Fatalf("got %v, want ErrStageFailed wrapping chaos.ErrCrash", err)
+	}
+}
+
+// TestFlakyLinkAbsorbed: deterministic first-attempt drops on every link
+// are absorbed by retry; the run completes and the drops are counted.
+func TestFlakyLinkAbsorbed(t *testing.T) {
+	s := svpp4(t)
+	var plan chaos.Plan
+	for from := 0; from < s.P; from++ {
+		for to := 0; to < s.P; to++ {
+			if from != to {
+				plan.Flaky = append(plan.Flaky, chaos.FlakyLink{From: from, To: to, FailFirst: 2})
+			}
+		}
+	}
+	_, _, err := runInjected(t, s, plan, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCfg()
+	b := testBatch(rand.New(rand.NewSource(17)), c, s.N)
+	m, _ := nn.NewModel(c, 17)
+	r, _ := pipeline.New(m, s, b)
+	in := chaos.New(plan, s.P)
+	r.WithStageHook(in).WithTransport(in)
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := in.Stats(); st.Dropped == 0 {
+		t.Error("flaky links dropped nothing")
+	}
+}
+
+// TestDropRateOneExhaustsRetries: a link that fails every attempt
+// escalates through the retry budget into a stage failure.
+func TestDropRateOneExhaustsRetries(t *testing.T) {
+	s := svpp4(t)
+	plan := chaos.Plan{Seed: 3, Flaky: []chaos.FlakyLink{{From: 0, To: 1, DropRate: 1}}}
+	_, _, err := runInjected(t, s, plan, 0, 5)
+	if !errors.Is(err, errs.ErrStageFailed) || !errors.Is(err, errs.ErrTransient) {
+		t.Fatalf("got %v, want ErrStageFailed wrapping ErrTransient", err)
+	}
+}
+
+// TestSlowLinkCounted: slow links delay transfers without changing the
+// result.
+func TestSlowLinkCounted(t *testing.T) {
+	s := svpp4(t)
+	plan := chaos.Plan{Slow: []chaos.SlowLink{{From: 0, To: 1, Delay: 100 * time.Microsecond}}}
+	c := testCfg()
+	b := testBatch(rand.New(rand.NewSource(9)), c, s.N)
+	m, err := nn.NewModel(c, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pipeline.New(m, s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(plan, s.P)
+	r.WithStageHook(in).WithTransport(in)
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := in.Stats(); st.Delayed == 0 {
+		t.Error("slow link delayed nothing")
+	}
+}
+
+// TestInjectionDeterministic: the same plan over the same run produces
+// bit-equal losses, gradients, and injector counters.
+func TestInjectionDeterministic(t *testing.T) {
+	s := svpp4(t)
+	plan := chaos.Plan{
+		Seed:    99,
+		Crashes: []chaos.Crash{{Stage: 0, AtOp: 4}, {Stage: 3, AtOp: 2}},
+		Flaky:   []chaos.FlakyLink{{From: 1, To: 2, FailFirst: 1}},
+	}
+	l1, g1, err := runInjected(t, s, plan, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, g2, err := runInjected(t, s, plan, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Errorf("losses differ across identical injected runs: %v vs %v", l1, l2)
+	}
+	for name, a := range g1 {
+		if d := tensor.MaxAbsDiff(a, g2[name]); d != 0 {
+			t.Errorf("grad %s differs by %g across identical injected runs", name, d)
+		}
+	}
+}
+
+// TestOutOfRangeEntriesIgnored: plan entries beyond the topology are
+// dropped rather than panicking.
+func TestOutOfRangeEntriesIgnored(t *testing.T) {
+	plan := chaos.Plan{
+		Crashes: []chaos.Crash{{Stage: 9, AtOp: 0}, {Stage: -1, AtOp: 2}},
+		Slow:    []chaos.SlowLink{{From: 9, To: 0, Delay: time.Second}},
+		Flaky:   []chaos.FlakyLink{{From: 0, To: 9, DropRate: 1}},
+	}
+	in := chaos.New(plan, 4)
+	if err := in.BeforeOp(0, 0, sched.Op{}); err != nil {
+		t.Errorf("unexpected crash: %v", err)
+	}
+	if err := in.Send(0, 3, sched.Op{}, 0); err != nil {
+		t.Errorf("unexpected send failure: %v", err)
+	}
+}
+
+// TestFaultyCostsCharges pins the simulated fault charges: a crash adds
+// recovery plus the replay span since the last checkpoint boundary,
+// checkpoints add their own cost at every boundary, slow links stretch
+// transfers.
+func TestFaultyCostsCharges(t *testing.T) {
+	s := svpp4(t)
+	base := sim.Unit()
+	plan := chaos.Plan{
+		Crashes:           []chaos.Crash{{Stage: 2, AtOp: 5}},
+		Slow:              []chaos.SlowLink{{From: 0, To: 1, Delay: 250 * time.Millisecond}},
+		RecoverySeconds:   7,
+		CheckpointSeconds: 0.5,
+	}
+	fc := chaos.FaultyCosts(base, s, plan, 2)
+
+	ops := s.Stages[2]
+	// A crash at op 5 with checkpoints every 2 ops replays from the
+	// boundary at op 4: recovery plus one replayed op on top of its own
+	// time. The checkpoint charge itself lands on the boundary op.
+	want := base.OpTime(2, ops[5]) + 7 + base.OpTime(2, ops[4])
+	if got := fc.OpTime(2, ops[5]); math.Abs(got-want) > 1e-12 {
+		t.Errorf("crashed op time %v, want %v", got, want)
+	}
+	// Boundary op 4 carries one checkpoint charge.
+	if got, want := fc.OpTime(2, ops[4]), base.OpTime(2, ops[4])+0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("boundary op time %v, want %v", got, want)
+	}
+	// Unrelated op on another stage is untouched... except its own
+	// checkpoint boundaries.
+	if got, want := fc.OpTime(0, s.Stages[0][1]), base.OpTime(0, s.Stages[0][1]); got != want {
+		t.Errorf("unrelated op time %v, want %v", got, want)
+	}
+	// Slow link stretches transfers by its delay.
+	op := sched.Op{Kind: sched.F}
+	if got, want := fc.CommTime(0, 1, op), base.CommTime(0, 1, op)+0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("slow link comm time %v, want %v", got, want)
+	}
+	if got, want := fc.CommTime(1, 2, op), base.CommTime(1, 2, op); got != want {
+		t.Errorf("clean link comm time %v, want %v", got, want)
+	}
+}
+
+// TestFaultyCostsWholePrefixWithoutCheckpoints: with no checkpointing the
+// crash replays the whole prefix.
+func TestFaultyCostsWholePrefixWithoutCheckpoints(t *testing.T) {
+	s := svpp4(t)
+	base := sim.Unit()
+	plan := chaos.Plan{Crashes: []chaos.Crash{{Stage: 1, AtOp: 4}}, RecoverySeconds: 3}
+	fc := chaos.FaultyCosts(base, s, plan, 0)
+	ops := s.Stages[1]
+	want := base.OpTime(1, ops[4]) + 3
+	for i := 0; i < 4; i++ {
+		want += base.OpTime(1, ops[i])
+	}
+	if got := fc.OpTime(1, ops[4]); math.Abs(got-want) > 1e-12 {
+		t.Errorf("uncheckpointed crash op time %v, want %v", got, want)
+	}
+}
+
+// TestFaultySimulationSlowsDown: the charged plan visibly stretches a
+// simulated iteration.
+func TestFaultySimulationSlowsDown(t *testing.T) {
+	s := svpp4(t)
+	base := sim.Unit()
+	clean, err := sim.Run(sim.Options{Sched: s, Costs: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := chaos.Plan{Crashes: []chaos.Crash{{Stage: 0, AtOp: 6}}, RecoverySeconds: 50}
+	faulty, err := sim.Run(sim.Options{Sched: s, Costs: chaos.FaultyCosts(base, s, plan, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.IterTime <= clean.IterTime+49 {
+		t.Errorf("faulty iteration %v vs clean %v: recovery charge not visible", faulty.IterTime, clean.IterTime)
+	}
+}

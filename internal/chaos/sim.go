@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+)
+
+// FaultyCosts charges a plan's faults onto a simulated iteration of s,
+// mirroring what the live resilient runtime pays:
+//
+//   - each crash adds the plan's RecoverySeconds plus the replay of every
+//     op between the stage's last checkpoint boundary and the interrupted
+//     op (with no checkpointing the whole prefix is lost);
+//   - checkpointEvery > 0 charges CheckpointSeconds before every
+//     checkpointEvery'th op on every stage;
+//   - each slow link adds its delay to every transfer on that link.
+//
+// Flaky links are not charged: a transient retry costs microseconds
+// against millisecond ops. Hooks key faults by op identity, so the model
+// stays a pure function of its arguments as sim.HookedCosts requires.
+func FaultyCosts(base sim.Costs, s *sched.Schedule, p Plan, checkpointEvery int) sim.Costs {
+	type opKey struct {
+		stage int
+		op    sched.Op
+	}
+	extra := map[opKey]float64{}
+	for _, c := range p.Crashes {
+		if c.Stage < 0 || c.Stage >= len(s.Stages) {
+			continue
+		}
+		ops := s.Stages[c.Stage]
+		if c.AtOp < 0 || c.AtOp >= len(ops) {
+			continue
+		}
+		replayFrom := 0
+		if checkpointEvery > 0 {
+			replayFrom = c.AtOp / checkpointEvery * checkpointEvery
+		}
+		lost := p.RecoverySeconds
+		for i := replayFrom; i < c.AtOp; i++ {
+			lost += base.OpTime(c.Stage, ops[i])
+		}
+		extra[opKey{c.Stage, ops[c.AtOp]}] += lost
+	}
+	if checkpointEvery > 0 && p.CheckpointSeconds > 0 {
+		for stage, ops := range s.Stages {
+			for i := 0; i < len(ops); i += checkpointEvery {
+				extra[opKey{stage, ops[i]}] += p.CheckpointSeconds
+			}
+		}
+	}
+	delay := map[[2]int]float64{}
+	for _, sl := range p.Slow {
+		delay[[2]int{sl.From, sl.To}] += sl.Delay.Seconds()
+	}
+	return sim.HookedCosts{
+		Base: base,
+		Op: func(stage int, op sched.Op, d float64) float64 {
+			return d + extra[opKey{stage, op}]
+		},
+		Comm: func(from, to int, op sched.Op, d float64) float64 {
+			return d + delay[[2]int{from, to}]
+		},
+	}
+}

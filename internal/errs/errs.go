@@ -22,4 +22,18 @@ var (
 	// ErrCancelled marks runs abandoned because the caller's context was
 	// cancelled or timed out.
 	ErrCancelled = errors.New("cancelled")
+
+	// ErrStageFailed marks iterations lost to a pipeline-stage failure
+	// the runtime could not recover from: an (injected or real) crash
+	// with no checkpoint to restore, a communication error that
+	// outlived its retry budget, or a stage aborted because a peer
+	// failed. Every goroutine of a failed iteration exits; the returned
+	// error carries the originating stage and op.
+	ErrStageFailed = errors.New("stage failed")
+
+	// ErrTransient marks communication failures that are expected to
+	// succeed on retry (flaky links, dropped frames). The runtime
+	// retries them with exponential backoff before escalating to
+	// ErrStageFailed.
+	ErrTransient = errors.New("transient communication failure")
 )

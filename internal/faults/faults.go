@@ -67,13 +67,23 @@ func (r Reliability) OptimalInterval() (time.Duration, error) {
 //
 //	waste = C/τ + (τ/2 + R) / MTBF_cluster
 func (r Reliability) Overhead() (float64, error) {
+	tau, err := r.OptimalInterval()
+	if err != nil {
+		return 0, err
+	}
+	return r.OverheadAt(tau)
+}
+
+// OverheadAt returns the waste fraction at an arbitrary checkpoint
+// interval tau (clamped to 1 — a cluster failing faster than it can
+// checkpoint makes no progress at all).
+func (r Reliability) OverheadAt(tau time.Duration) (float64, error) {
 	mtbf, err := r.ClusterMTBF()
 	if err != nil {
 		return 0, err
 	}
-	tau, err := r.OptimalInterval()
-	if err != nil {
-		return 0, err
+	if tau <= 0 {
+		return 0, fmt.Errorf("faults: checkpoint interval %v must be positive", tau)
 	}
 	waste := r.CheckpointCost.Seconds()/tau.Seconds() +
 		(tau.Seconds()/2+r.RecoveryCost.Seconds())/mtbf.Seconds()

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ResilientOptions configures an executed reliability evaluation: instead
+// of trusting the closed-form Young–Daly estimate, Resilient samples
+// failure times from the cluster's exponential failure process and walks a
+// virtual training timeline checkpoint by checkpoint, measuring how much
+// wall-clock time actually went to checkpoints, lost work, and recovery.
+// Optionally it drives a real injected-failure pipeline iteration per
+// sampled failure, tying the analytical model to the live runtime.
+type ResilientOptions struct {
+	Rel Reliability
+
+	// Horizon is the simulated training duration to walk.
+	Horizon time.Duration
+
+	// Interval overrides the checkpoint interval; 0 uses the Young–Daly
+	// optimum.
+	Interval time.Duration
+
+	// Seed drives the failure-time sampling. The walk uses virtual time
+	// and seeded draws only, so a seed fixes the result byte for byte.
+	Seed int64
+
+	// Execute, when non-nil, runs one real injected-failure iteration for
+	// a sampled failure: the k'th executed failure receives a
+	// deterministic sub-seed derived from Seed. It returns how many ops
+	// the runtime replayed during recovery; an error aborts the
+	// evaluation. MaxExecute caps invocations (0 means every failure).
+	Execute    func(k int, seed int64) (replayed int, err error)
+	MaxExecute int
+}
+
+// ResilientResult compares the measured walk against the prediction.
+type ResilientResult struct {
+	// Predicted is the closed-form waste fraction at the interval used;
+	// Measured is the walk's (checkpoint + lost + recovery) / wall.
+	Predicted, Measured float64
+
+	// Interval is the checkpoint interval the walk used.
+	Interval time.Duration
+
+	// Failures sampled and checkpoints committed during the walk.
+	Failures, Checkpoints int
+
+	// Wall-clock decomposition of the walk (Wall = Useful +
+	// CheckpointTime + LostWork + RecoveryTime).
+	Wall, Useful, CheckpointTime, LostWork, RecoveryTime time.Duration
+
+	// Executed counts real runtime iterations driven through Execute;
+	// ReplayedOps sums the ops they replayed during recovery.
+	Executed, ReplayedOps int
+}
+
+// String renders the comparison in the fixed format the chaos CLI prints.
+func (r *ResilientResult) String() string {
+	return fmt.Sprintf(
+		"predicted %.4f measured %.4f (Δ %+.4f) interval %v failures %d checkpoints %d",
+		r.Predicted, r.Measured, r.Measured-r.Predicted, r.Interval.Round(time.Second),
+		r.Failures, r.Checkpoints)
+}
+
+// Resilient walks the failure process and returns the measured overhead
+// next to the Young–Daly prediction. Useful work is only credited once the
+// checkpoint covering it commits; work in flight when a failure lands is
+// counted lost, exactly like the runtime's restore-and-replay discards it.
+func Resilient(opt ResilientOptions) (*ResilientResult, error) {
+	mtbf, err := opt.Rel.ClusterMTBF()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: horizon %v must be positive", opt.Horizon)
+	}
+	tau := opt.Interval
+	if tau == 0 {
+		if tau, err = opt.Rel.OptimalInterval(); err != nil {
+			return nil, err
+		}
+	}
+	pred, err := opt.Rel.OverheadAt(tau)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		rng     = rand.New(rand.NewSource(opt.Seed))
+		horizon = opt.Horizon.Seconds()
+		mtbfS   = mtbf.Seconds()
+		tauS    = tau.Seconds()
+		ckptS   = opt.Rel.CheckpointCost.Seconds()
+		recS    = opt.Rel.RecoveryCost.Seconds()
+	)
+	res := &ResilientResult{Predicted: pred, Interval: tau}
+	var wall, useful, ckptT, lostT, recT float64
+	var seg float64 // uncommitted useful seconds since the last checkpoint
+	nextFail := wall + rng.ExpFloat64()*mtbfS
+
+	fail := func(doomed float64) error {
+		lostT += doomed
+		recT += recS
+		wall += recS
+		seg = 0
+		res.Failures++
+		if opt.Execute != nil && (opt.MaxExecute == 0 || res.Executed < opt.MaxExecute) {
+			replayed, err := opt.Execute(res.Executed, opt.Seed^int64(res.Failures)*0x5851f42d4c957f2d)
+			if err != nil {
+				return fmt.Errorf("faults: executed failure %d: %w", res.Executed, err)
+			}
+			res.Executed++
+			res.ReplayedOps += replayed
+		}
+		nextFail = wall + rng.ExpFloat64()*mtbfS
+		return nil
+	}
+
+	for wall < horizon {
+		// Work until the segment fills, then try to commit a checkpoint;
+		// a failure anywhere in between discards the whole segment.
+		segEnd := wall + (tauS - seg)
+		if segEnd > nextFail {
+			doomed := seg + (nextFail - wall)
+			wall = nextFail
+			if err := fail(doomed); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if segEnd >= horizon {
+			done := horizon - wall
+			useful += seg + done
+			wall = horizon
+			break
+		}
+		seg = tauS
+		wall = segEnd
+		if wall+ckptS > nextFail {
+			doomed := seg + (nextFail - wall) // segment plus partial checkpoint
+			wall = nextFail
+			if err := fail(doomed); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		wall += ckptS
+		ckptT += ckptS
+		useful += seg
+		seg = 0
+		res.Checkpoints++
+	}
+
+	res.Wall = secs(wall)
+	res.Useful = secs(useful)
+	res.CheckpointTime = secs(ckptT)
+	res.LostWork = secs(lostT)
+	res.RecoveryTime = secs(recT)
+	if wall > 0 {
+		res.Measured = (ckptT + lostT + recT) / wall
+	}
+	return res, nil
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

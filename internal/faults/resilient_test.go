@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestResilientMatchesYoungDaly: over a long horizon, the measured waste of
+// the sampled walk converges on the closed-form prediction — the §9
+// acceptance bound is agreement within 2 percentage points.
+func TestResilientMatchesYoungDaly(t *testing.T) {
+	res, err := Resilient(ResilientOptions{
+		Rel:     Default4090(1000),
+		Horizon: 5000 * time.Hour,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.Measured - res.Predicted); d > 0.02 {
+		t.Errorf("measured %.4f vs predicted %.4f: |Δ| = %.4f > 0.02", res.Measured, res.Predicted, d)
+	}
+	if res.Failures == 0 || res.Checkpoints == 0 {
+		t.Errorf("walk sampled %d failures / %d checkpoints, want both > 0", res.Failures, res.Checkpoints)
+	}
+	// Wall-clock decomposition must balance exactly.
+	sum := res.Useful + res.CheckpointTime + res.LostWork + res.RecoveryTime
+	if d := (res.Wall - sum).Abs(); d > time.Millisecond {
+		t.Errorf("wall %v != useful+ckpt+lost+recovery %v (Δ %v)", res.Wall, sum, d)
+	}
+}
+
+// TestResilientDeterministic: same seed, same result, byte for byte.
+func TestResilientDeterministic(t *testing.T) {
+	opt := ResilientOptions{Rel: Default4090(1000), Horizon: 500 * time.Hour, Seed: 42}
+	a, err := Resilient(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resilient(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("identical options diverged:\n%+v\n%+v", a, b)
+	}
+	opt.Seed = 43
+	c, err := Resilient(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failures == c.Failures && a.Measured == c.Measured {
+		t.Error("different seeds produced an identical walk")
+	}
+}
+
+// TestResilientExecuteHook: the Execute callback fires once per sampled
+// failure (bounded by MaxExecute) with deterministic sub-seeds, and its
+// replay counts aggregate into the result.
+func TestResilientExecuteHook(t *testing.T) {
+	var seeds []int64
+	opt := ResilientOptions{
+		Rel:        Default4090(2000),
+		Horizon:    2000 * time.Hour,
+		Seed:       7,
+		MaxExecute: 3,
+		Execute: func(k int, seed int64) (int, error) {
+			seeds = append(seeds, seed)
+			return 5, nil
+		},
+	}
+	res, err := Resilient(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 3 {
+		t.Fatalf("walk sampled %d failures, need ≥ 3 for this test", res.Failures)
+	}
+	if res.Executed != 3 || res.ReplayedOps != 15 {
+		t.Errorf("executed %d replayed %d, want 3 / 15", res.Executed, res.ReplayedOps)
+	}
+	first := append([]int64(nil), seeds...)
+	seeds = nil
+	if _, err := Resilient(opt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if seeds[i] != first[i] {
+			t.Errorf("sub-seed %d differs across identical walks: %d vs %d", i, seeds[i], first[i])
+		}
+	}
+
+	wantErr := errors.New("runtime blew up")
+	opt.Execute = func(k int, seed int64) (int, error) { return 0, wantErr }
+	if _, err := Resilient(opt); !errors.Is(err, wantErr) {
+		t.Errorf("execute error %v not propagated", err)
+	}
+}
+
+// TestResilientValidation rejects degenerate walks.
+func TestResilientValidation(t *testing.T) {
+	if _, err := Resilient(ResilientOptions{Rel: Default4090(8)}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Resilient(ResilientOptions{Rel: Reliability{}, Horizon: time.Hour}); err == nil {
+		t.Error("empty reliability accepted")
+	}
+	if _, err := Resilient(ResilientOptions{Rel: Default4090(8), Horizon: time.Hour, Interval: -time.Second}); err == nil {
+		t.Error("negative interval accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDegenerateInputs pins exact outputs for the model's edge cases: a
+// single-GPU job, free recovery, and a cluster that fails faster than it
+// can checkpoint. The wanted values are the closed forms evaluated with
+// the same float64 operations, so equality is exact, and each is also
+// pinned to its decimal value.
+func TestDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		rel      Reliability
+		mtbf     time.Duration
+		interval time.Duration
+		waste    float64 // exact expected Overhead()
+		decimal  float64 // human-readable pin for the same value
+	}{
+		{
+			// One GPU: the cluster MTBF is the device MTBF; with free
+			// recovery the waste splits evenly between checkpoint cost
+			// and expected lost work: 2/2000 + 1000/1e6.
+			name: "one-gpu-zero-recovery",
+			rel: Reliability{
+				GPUs: 1, PerGPUMTBF: 1_000_000 * time.Second,
+				CheckpointCost: 2 * time.Second,
+			},
+			mtbf:     1_000_000 * time.Second,
+			interval: 2000 * time.Second, // √(2·2·1e6)
+			waste:    2.0/2000.0 + 1000.0/1_000_000.0,
+			decimal:  0.002,
+		},
+		{
+			// Zero recovery cost at small scale: 8/4000 + 2000/1e6.
+			name: "zero-recovery-4gpu",
+			rel: Reliability{
+				GPUs: 4, PerGPUMTBF: 4_000_000 * time.Second,
+				CheckpointCost: 8 * time.Second,
+			},
+			mtbf:     1_000_000 * time.Second,
+			interval: 4000 * time.Second, // √(2·8·1e6)
+			waste:    8.0/4000.0 + 2000.0/1_000_000.0,
+			decimal:  0.004,
+		},
+		{
+			// MTBF (1 s) far below the checkpoint cost (30 s): the raw
+			// waste exceeds 1 and clamps — the cluster makes no progress.
+			name: "mtbf-below-checkpoint-cost",
+			rel: Reliability{
+				GPUs: 3600, PerGPUMTBF: time.Hour,
+				CheckpointCost: 30 * time.Second,
+				RecoveryCost:   time.Minute,
+			},
+			mtbf:     time.Second,
+			interval: time.Duration(math.Sqrt(60) * float64(time.Second)),
+			waste:    1,
+			decimal:  1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mtbf, err := tc.rel.ClusterMTBF()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mtbf != tc.mtbf {
+				t.Errorf("cluster MTBF %v, want exactly %v", mtbf, tc.mtbf)
+			}
+			tau, err := tc.rel.OptimalInterval()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tau != tc.interval {
+				t.Errorf("optimal interval %v, want exactly %v", tau, tc.interval)
+			}
+			got, err := tc.rel.Overhead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.waste {
+				t.Errorf("overhead %v, want exactly %v", got, tc.waste)
+			}
+			if math.Abs(got-tc.decimal) > 1e-12 {
+				t.Errorf("overhead %v, want %v within 1e-12", got, tc.decimal)
+			}
+		})
+	}
+}
+
+// TestOverheadAtPinned pins OverheadAt off the optimum: halving the
+// one-GPU case's interval doubles the checkpoint term and halves the
+// lost-work term: 2/1000 + 500/1e6.
+func TestOverheadAtPinned(t *testing.T) {
+	rel := Reliability{
+		GPUs: 1, PerGPUMTBF: 1_000_000 * time.Second,
+		CheckpointCost: 2 * time.Second,
+	}
+	got, err := rel.OverheadAt(1000 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0/1000.0 + 500.0/1_000_000.0; got != want {
+		t.Errorf("OverheadAt(1000s) = %v, want exactly %v", got, want)
+	}
+	if _, err := rel.OverheadAt(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

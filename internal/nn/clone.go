@@ -1,0 +1,35 @@
+package nn
+
+// Runtime-state cloning for stage-level checkpointing: the resilient
+// pipeline runtime snapshots each stage's mutable execution state at slice
+// boundaries so an injected (or real) crash can restore-and-replay instead
+// of losing the iteration. Only in-place-mutated buffers need deep copies:
+// the dK/dV accumulators grow by addHead during backward slices. The KV
+// cache matrices are rebound (never written) on append, and slice/head
+// saves are immutable once stored — lean saves are rebuilt during replay
+// with bit-identical values — so both are shared by reference.
+
+// Clone returns a checkpoint copy of the state. The returned state shares
+// the append-only KV cache matrices and the save entries with the
+// original; the dK/dV accumulators are deep-copied.
+func (st *LayerState) Clone() *LayerState {
+	out := &LayerState{K: st.K, V: st.V, saves: make(map[int]*sliceSave, len(st.saves))}
+	for k, sv := range st.saves {
+		out.saves[k] = sv
+	}
+	if st.dK != nil {
+		out.dK = st.dK.Clone()
+		out.dV = st.dV.Clone()
+	}
+	return out
+}
+
+// Clone returns a checkpoint copy of the head state (fresh map, shared
+// immutable saves).
+func (st *HeadState) Clone() *HeadState {
+	out := &HeadState{saves: make(map[int]*headSave, len(st.saves))}
+	for k, sv := range st.saves {
+		out.saves[k] = sv
+	}
+	return out
+}

@@ -42,6 +42,22 @@ const (
 	// deferred until weight-gradient work drained below the activation
 	// budget (§5 memory pressure).
 	EvBudget
+	// EvFault is an instant marking an injected or real fault on Stage:
+	// a crash before Op (Cause "crash") or an exhausted retry budget
+	// (Cause "send"). Recovery, if any, follows as EvRestore.
+	EvFault
+	// EvCkpt is an instant marking a stage-level checkpoint taken on
+	// Stage just before Op; Bytes carries the snapshot's payload size
+	// when the runtime knows it.
+	EvCkpt
+	// EvRestore is the span of a stage restoring its last checkpoint
+	// after a fault; replayed ops follow as EvOp spans with Cause
+	// "replay".
+	EvRestore
+	// EvRetry is an instant marking one transient-failure retry of a
+	// cross-stage send from Stage to the peer stage in From; Cause
+	// carries the failure being retried.
+	EvRetry
 )
 
 // String returns the mnemonic used by the JSONL exporter.
@@ -59,6 +75,14 @@ func (k EventKind) String() string {
 		return "stall"
 	case EvBudget:
 		return "budget"
+	case EvFault:
+		return "fault"
+	case EvCkpt:
+		return "ckpt"
+	case EvRestore:
+		return "restore"
+	case EvRetry:
+		return "retry"
 	}
 	return "unknown"
 }

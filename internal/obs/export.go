@@ -85,6 +85,31 @@ func (c ChromeTrace) Export(w io.Writer, t *Trace) error {
 				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
 				Args: map[string]any{"deferred": e.Op.String()},
 			})
+		case EvFault:
+			evs = append(evs, chromeEvent{
+				Name: "fault:" + e.Cause, Cat: "fault", Ph: "i",
+				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
+				Args: map[string]any{"at": e.Op.String()},
+			})
+		case EvCkpt:
+			evs = append(evs, chromeEvent{
+				Name: "checkpoint", Cat: "fault", Ph: "i",
+				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
+				Args: map[string]any{"before": e.Op.String(), "bytes": e.Bytes},
+			})
+		case EvRestore:
+			evs = append(evs, chromeEvent{
+				Name: "restore", Cat: "fault", Ph: "X",
+				TS: e.Start * 1e6, Dur: e.Dur() * 1e6,
+				PID: 0, TID: e.Stage,
+				Args: map[string]any{"replay-from": e.Op.String()},
+			})
+		case EvRetry:
+			evs = append(evs, chromeEvent{
+				Name: "retry", Cat: "fault", Ph: "i",
+				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
+				Args: map[string]any{"to": e.From, "cause": e.Cause},
+			})
 		}
 	}
 	enc := json.NewEncoder(w)

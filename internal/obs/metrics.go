@@ -91,6 +91,16 @@ type StageMetrics struct {
 	// stalls, and forwards deferred by the activation budget.
 	Drained      int
 	BudgetStalls int
+
+	// Resilience: faults injected or hit, checkpoints taken, restores
+	// performed (RestoreTime is their total span), ops re-executed
+	// during restore-and-replay, and transient-send retries.
+	Faults      int
+	Checkpoints int
+	Restores    int
+	RestoreTime float64
+	Replayed    int
+	Retries     int
 }
 
 // Snapshot is the aggregated view of one traced iteration — the metrics
@@ -137,6 +147,9 @@ func (t *Trace) Snapshot() *Snapshot {
 			if strings.HasPrefix(e.Cause, "drain") {
 				m.Drained++
 			}
+			if e.Cause == "replay" {
+				m.Replayed++
+			}
 		case EvStall:
 			m.StallTime[e.Cause] += e.Dur()
 			m.QueueWait.Observe(e.Dur())
@@ -160,6 +173,15 @@ func (t *Trace) Snapshot() *Snapshot {
 			}
 		case EvBudget:
 			m.BudgetStalls++
+		case EvFault:
+			m.Faults++
+		case EvCkpt:
+			m.Checkpoints++
+		case EvRestore:
+			m.Restores++
+			m.RestoreTime += e.Dur()
+		case EvRetry:
+			m.Retries++
 		}
 	}
 	for k := range s.Stages {
@@ -183,6 +205,19 @@ func (s *Snapshot) Summary() []string {
 	sort.Strings(causes)
 	for _, c := range causes {
 		out = append(out, fmt.Sprintf("stall[%s] %.4g s total", c, s.StallTime[c]))
+	}
+	var faults, ckpts, restores, replayed, retries int
+	for _, m := range s.Stages {
+		faults += m.Faults
+		ckpts += m.Checkpoints
+		restores += m.Restores
+		replayed += m.Replayed
+		retries += m.Retries
+	}
+	if faults+ckpts+restores+retries > 0 {
+		out = append(out, fmt.Sprintf(
+			"resilience: %d faults, %d checkpoints, %d restores (%d ops replayed), %d retries",
+			faults, ckpts, restores, replayed, retries))
 	}
 	return out
 }

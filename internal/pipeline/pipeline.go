@@ -15,6 +15,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -59,6 +60,19 @@ type Runner struct {
 	trace obs.Sink
 	// t0 is the wall-clock origin of the run's trace timestamps.
 	t0 time.Time
+
+	// Resilience (see resilience.go). hook and transport are the fault
+	// injection seams; ckptEvery enables restore-and-replay recovery;
+	// retry bounds transient-send backoff. failed is the run's failure
+	// latch: closed (once) when a stage fails unrecoverably so every
+	// blocked peer unwinds instead of deadlocking.
+	hook      StageHook
+	transport Transport
+	ckptEvery int
+	retry     RetryPolicy
+	failed    chan struct{}
+	failOnce  sync.Once
+	failErr   error
 }
 
 // New validates shapes and wires the channel fabric.
@@ -87,6 +101,8 @@ func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
 		recv:        map[edgeKey]chan *tensor.Matrix{},
 		sends:       map[edgeKey][]chan *tensor.Matrix{},
 		ctx:         context.Background(),
+		retry:       DefaultRetry(),
+		failed:      make(chan struct{}),
 	}
 	// Spread layers over global chunks as evenly as possible.
 	r.chunkLayers = make([][]int, chunks)
@@ -135,6 +151,10 @@ type stage struct {
 	stash map[edgeKey]*tensor.Matrix
 	loss  float64
 	err   error
+	// res is the stage's recovery state when checkpointing is enabled.
+	res *resilience
+	// rng is the stage's deterministic jitter source for retry backoff.
+	rng *rand.Rand
 }
 
 // Run executes the schedule and returns the mean loss. Gradients accumulate
@@ -157,6 +177,22 @@ func (r *Runner) WithTrace(sink obs.Sink) *Runner {
 // the recover handler turns it into errs.ErrCancelled.
 type cancelPanic struct{}
 
+// abortPanic unwinds a stage blocked (or about to block) after another
+// stage failed; the recover handler wraps it in errs.ErrStageFailed.
+type abortPanic struct{}
+
+// failPanic carries an unrecoverable stage failure from deep in the
+// execution path to the goroutine's recover handler.
+type failPanic struct {
+	idx int
+	op  sched.Op
+	err error
+}
+
+func (f failPanic) String() string {
+	return fmt.Sprintf("stage failure at op %d (%v): %v", f.idx, f.op, f.err)
+}
+
 // RunContext is Run with cancellation: when ctx is cancelled, every stage —
 // including those blocked waiting for cross-stage tensors — unwinds, and
 // the call returns an error wrapping errs.ErrCancelled with no goroutines
@@ -175,17 +211,31 @@ func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					if _, ok := p.(cancelPanic); ok {
+					switch v := p.(type) {
+					case cancelPanic:
 						st.err = fmt.Errorf("pipeline: stage %d: %w", st.k, errs.ErrCancelled)
-						return
+					case abortPanic:
+						st.err = fmt.Errorf("pipeline: stage %d aborted after a peer stage failed: %w", st.k, errs.ErrStageFailed)
+					case failPanic:
+						st.err = &StageFailure{Stage: st.k, OpIndex: v.idx, Op: v.op, Err: v.err}
+						r.fail(st.err)
+					default:
+						st.err = fmt.Errorf("pipeline: stage %d panicked: %v", st.k, p)
+						r.fail(st.err)
 					}
-					st.err = fmt.Errorf("pipeline: stage %d panicked: %v", st.k, p)
+					return
+				}
+				if st.err != nil {
+					r.fail(st.err)
 				}
 			}()
 			r.runStage(st)
 		}(stages[k])
 	}
 	wg.Wait()
+	if r.failErr != nil {
+		return 0, r.failErr
+	}
 	total := 0.0
 	for _, st := range stages {
 		if st.err != nil {
@@ -194,6 +244,24 @@ func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 		total += st.loss
 	}
 	return total, nil
+}
+
+// fail latches the run's first unrecoverable failure and releases every
+// stage blocked on cross-stage traffic, guaranteeing all goroutines exit.
+func (r *Runner) fail(err error) {
+	r.failOnce.Do(func() {
+		r.failErr = err
+		close(r.failed)
+	})
+}
+
+// checkAborted unwinds the calling stage if a peer already failed.
+func (r *Runner) checkAborted() {
+	select {
+	case <-r.failed:
+		panic(abortPanic{})
+	default:
+	}
 }
 
 // now returns seconds since the run started, the trace time base.
@@ -222,13 +290,29 @@ func (r *Runner) newStage(k int) *stage {
 	for m := range st.heads {
 		st.heads[m] = nn.NewHeadState()
 	}
+	if r.ckptEvery > 0 {
+		st.res = &resilience{every: r.ckptEvery}
+	}
+	st.rng = rand.New(rand.NewSource(0x5eed + int64(k)))
 	return st
 }
 
 func (r *Runner) runStage(st *stage) {
-	for _, op := range r.s.Stages[st.k] {
+	ops := r.s.Stages[st.k]
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
 		if r.ctx.Err() != nil {
 			panic(cancelPanic{})
+		}
+		r.checkAborted()
+		if st.res != nil && i >= st.res.replayUntil && i%st.res.every == 0 {
+			r.checkpoint(st, i, op)
+		}
+		if r.hook != nil {
+			if err := r.hook.BeforeOp(st.k, i, op); err != nil {
+				i = r.recoverStage(st, i, op, err)
+				continue
+			}
 		}
 		start := r.now()
 		switch op.Kind {
@@ -243,10 +327,17 @@ func (r *Runner) runStage(st *stage) {
 		case sched.WPiece:
 			r.weight(st, op, op.Piece, r.s.WPieces)
 		}
+		if st.err != nil {
+			panic(failPanic{idx: i, op: op, err: st.err})
+		}
 		if r.trace != nil {
+			cause := ""
+			if st.res != nil && i < st.res.replayUntil {
+				cause = "replay"
+			}
 			r.trace.Emit(obs.Event{
 				Kind: obs.EvOp, Stage: st.k, From: st.k, Op: op,
-				Start: start, End: r.now(),
+				Start: start, End: r.now(), Cause: cause,
 			})
 		}
 	}
@@ -284,10 +375,18 @@ func (r *Runner) forward(st *stage, op sched.Op) {
 
 // receive obtains the op's cross-chunk input: a channel for cross-stage
 // edges, the local stash otherwise. Channel waits select on the run
-// context, so a cancelled RunContext unwinds stages blocked here.
+// context and the failure latch, so a cancelled RunContext — or a failed
+// peer stage — unwinds stages blocked here. During restore-and-replay the
+// input is served from the stage's receive log instead: the producer will
+// not resend.
 func (r *Runner) receive(st *stage, op sched.Op) *tensor.Matrix {
 	key := edgeKey{st.k, op}
 	if ch, ok := r.recv[key]; ok {
+		if st.res != nil && st.res.replayIdx < len(st.res.recvLog) {
+			x := st.res.recvLog[st.res.replayIdx]
+			st.res.replayIdx++
+			return x
+		}
 		waitFrom := 0.0
 		if r.trace != nil {
 			waitFrom = r.now()
@@ -297,6 +396,12 @@ func (r *Runner) receive(st *stage, op sched.Op) *tensor.Matrix {
 		case x = <-ch:
 		case <-r.ctx.Done():
 			panic(cancelPanic{})
+		case <-r.failed:
+			panic(abortPanic{})
+		}
+		if st.res != nil {
+			st.res.recvLog = append(st.res.recvLog, x)
+			st.res.replayIdx = len(st.res.recvLog)
 		}
 		if r.trace != nil {
 			r.traceArrival(st.k, op, waitFrom, x)
@@ -335,18 +440,36 @@ func (r *Runner) traceArrival(k int, op sched.Op, waitFrom float64, x *tensor.Ma
 	}
 }
 
-// deliver hands x to the consumer op on stage ns.
+// deliver hands x to the consumer op on stage ns. Cross-stage deliveries
+// run through the transport hook (with transient-failure retry) and are
+// suppressed during replay when the original execution already delivered
+// them — peers must not see a frame twice.
 func (r *Runner) deliver(st *stage, ns int, consumer, producer sched.Op, x *tensor.Matrix) {
 	if ns == st.k {
 		st.stash[edgeKey{ns, consumer}] = x
 		return
 	}
+	if st.res != nil {
+		if st.res.sendSeq < st.res.sendHW {
+			st.res.sendSeq++ // replay of an already-delivered frame
+			return
+		}
+		st.res.sendSeq++
+		st.res.sendHW++
+	}
+	r.sendRetrying(st, ns, producer)
 	if r.wires != nil {
 		r.sendWire(st.k, edgeKey{ns, consumer}, x)
 		return
 	}
 	for _, ch := range r.sends[edgeKey{st.k, producer}] {
-		ch <- x
+		select {
+		case ch <- x:
+		case <-r.ctx.Done():
+			panic(cancelPanic{})
+		case <-r.failed:
+			panic(abortPanic{})
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+package sim
+
+import "mepipe/internal/sched"
+
+// HookedCosts wraps a base cost model with pure perturbation hooks — the
+// seam fault-aware evaluations plug into (see internal/chaos.FaultyCosts).
+// Each hook receives the base model's duration and returns the perturbed
+// one; nil hooks pass through. Hooks must be deterministic functions of
+// their arguments: the simulator may query the same op more than once.
+type HookedCosts struct {
+	Base Costs
+
+	// Op perturbs OpTime for (stage, op); Comm perturbs CommTime for
+	// (from, to, op).
+	Op   func(stage int, op sched.Op, d float64) float64
+	Comm func(from, to int, op sched.Op, d float64) float64
+}
+
+// OpTime implements sched.Estimator.
+func (h HookedCosts) OpTime(stage int, op sched.Op) float64 {
+	d := h.Base.OpTime(stage, op)
+	if h.Op != nil {
+		d = h.Op(stage, op, d)
+	}
+	return d
+}
+
+// CommTime implements sched.Estimator.
+func (h HookedCosts) CommTime(from, to int, op sched.Op) float64 {
+	d := h.Base.CommTime(from, to, op)
+	if h.Comm != nil {
+		d = h.Comm(from, to, op, d)
+	}
+	return d
+}
+
+// ActBytes delegates to the base model (faults do not change footprints).
+func (h HookedCosts) ActBytes(stage int, f sched.Op) int64 {
+	return h.Base.ActBytes(stage, f)
+}
+
+// GradBytes delegates to the base model.
+func (h HookedCosts) GradBytes(stage int, b sched.Op) int64 {
+	return h.Base.GradBytes(stage, b)
+}
+
+// CommBytes delegates when the base model reports transfer sizes,
+// preserving its BytesEstimator capability through the wrapper.
+func (h HookedCosts) CommBytes(from, to int, op sched.Op) int64 {
+	if be, ok := h.Base.(BytesEstimator); ok {
+		return be.CommBytes(from, to, op)
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"mepipe/internal/sched"
+)
+
+// TestHookedCostsPassthrough: nil hooks are the identity wrapper, and the
+// memory model always delegates.
+func TestHookedCostsPassthrough(t *testing.T) {
+	base := Unit()
+	h := HookedCosts{Base: base}
+	op := sched.Op{Kind: sched.F, Micro: 1}
+	if h.OpTime(0, op) != base.OpTime(0, op) {
+		t.Error("nil op hook changed OpTime")
+	}
+	if h.CommTime(0, 1, op) != base.CommTime(0, 1, op) {
+		t.Error("nil comm hook changed CommTime")
+	}
+	if h.ActBytes(0, op) != base.ActBytes(0, op) || h.GradBytes(0, op) != base.GradBytes(0, op) {
+		t.Error("byte model not delegated")
+	}
+}
+
+// TestHookedCostsPerturbs: hooks see the base duration and replace it.
+func TestHookedCostsPerturbs(t *testing.T) {
+	base := Unit()
+	op := sched.Op{Kind: sched.B}
+	h := HookedCosts{
+		Base: base,
+		Op: func(stage int, o sched.Op, d float64) float64 {
+			if stage == 1 && o == op {
+				return d + 3
+			}
+			return d
+		},
+		Comm: func(from, to int, o sched.Op, d float64) float64 { return 2 * d },
+	}
+	if got, want := h.OpTime(1, op), base.OpTime(1, op)+3; got != want {
+		t.Errorf("OpTime = %v, want %v", got, want)
+	}
+	if got, want := h.OpTime(0, op), base.OpTime(0, op); got != want {
+		t.Errorf("unhooked OpTime = %v, want %v", got, want)
+	}
+	if got, want := h.CommTime(0, 1, op), 2*base.CommTime(0, 1, op); got != want {
+		t.Errorf("CommTime = %v, want %v", got, want)
+	}
+}
+
+type bytesCosts struct{ UniformCosts }
+
+func (bytesCosts) CommBytes(from, to int, op sched.Op) int64 { return 4096 }
+
+// TestHookedCostsCommBytes: the wrapper forwards BytesEstimator when the
+// base has one and reports zero bytes otherwise — the simulator's own
+// fallback for cost models without a byte model.
+func TestHookedCostsCommBytes(t *testing.T) {
+	op := sched.Op{Kind: sched.F}
+	with := HookedCosts{Base: bytesCosts{Unit()}}
+	if got := with.CommBytes(0, 1, op); got != 4096 {
+		t.Errorf("CommBytes = %d, want 4096", got)
+	}
+	without := HookedCosts{Base: Unit()}
+	if got := without.CommBytes(0, 1, op); got != 0 {
+		t.Errorf("CommBytes without base estimator = %d, want 0", got)
+	}
+}

@@ -28,7 +28,8 @@ import (
 type Option func(*options)
 
 type options struct {
-	sink obs.Sink
+	sink     obs.Sink
+	costWrap func(*sched.Schedule, sim.Costs) sim.Costs
 }
 
 // WithSink attaches a trace sink to the underlying simulation runs. With
@@ -36,6 +37,13 @@ type options struct {
 // attaching it to a single Evaluate.
 func WithSink(s obs.Sink) Option {
 	return func(o *options) { o.sink = s }
+}
+
+// WithCostWrap wraps the simulator's cost model once the schedule is
+// known, right before the run — the seam fault plans use to perturb an
+// evaluation (see chaos.FaultyCosts). The wrapper must be deterministic.
+func WithCostWrap(wrap func(*sched.Schedule, sim.Costs) sim.Costs) Option {
+	return func(o *options) { o.costWrap = wrap }
 }
 
 func buildOptions(opts []Option) options {
@@ -161,8 +169,12 @@ func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster
 		ev.OOMWhy = err.Error()
 		return ev, nil
 	}
+	var simCosts sim.Costs = costs
+	if o.costWrap != nil {
+		simCosts = o.costWrap(s, costs)
+	}
 	res, err := sim.RunContext(ctx, sim.Options{
-		Sched: s, Costs: costs,
+		Sched: s, Costs: simCosts,
 		ActBudget: plan.ActBudget,
 		DynamicW:  dynamicW,
 		TailTime:  costs.TailTime,

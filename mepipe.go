@@ -29,6 +29,7 @@ import (
 
 	"mepipe/internal/analytic"
 	"mepipe/internal/bench"
+	"mepipe/internal/chaos"
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
 	"mepipe/internal/core"
@@ -49,6 +50,11 @@ var (
 	ErrOOM          = errs.ErrOOM
 	ErrIncompatible = errs.ErrIncompatible
 	ErrCancelled    = errs.ErrCancelled
+	// ErrStageFailed classifies an unrecoverable pipeline-stage failure
+	// (see docs/RESILIENCE.md); ErrTransient marks retryable
+	// communication faults absorbed by the runtime's bounded backoff.
+	ErrStageFailed = errs.ErrStageFailed
+	ErrTransient   = errs.ErrTransient
 )
 
 // Model, parallelism and training configuration.
@@ -138,10 +144,12 @@ var NewRecorder = obs.NewRecorder
 type Option func(*runConfig)
 
 type runConfig struct {
-	sink     obs.Sink
-	budget   []int64
-	dynamicW bool
-	tail     func(stage int) float64
+	sink      obs.Sink
+	budget    []int64
+	dynamicW  bool
+	tail      func(stage int) float64
+	faults    *chaos.Plan
+	ckptEvery int
 }
 
 // WithTrace attaches a sink receiving the run's structured span events.
@@ -170,6 +178,37 @@ func WithTailTime(tail func(stage int) float64) Option {
 	return func(c *runConfig) { c.tail = tail }
 }
 
+// Fault injection and resilience (§9). A FaultPlan describes deterministic
+// seeded faults — stage crashes, slow links, transient send failures — and
+// applies to both execution engines: Simulate and Evaluate charge the
+// plan's costs onto the simulated timeline (chaos.FaultyCosts), while the
+// live pipeline runtime takes an Injector through its StageHook/Transport
+// seams and actually recovers. See docs/RESILIENCE.md.
+type (
+	FaultPlan  = chaos.Plan
+	FaultCrash = chaos.Crash
+	SlowLink   = chaos.SlowLink
+	FlakyLink  = chaos.FlakyLink
+)
+
+// NewFaultInjector builds the runtime injector for a plan.
+var NewFaultInjector = chaos.New
+
+// WithFaultPlan subjects a Simulate or Evaluate call to a deterministic
+// fault plan: crashes charge the plan's recovery and replay costs, slow
+// links stretch transfers.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *runConfig) { c.faults = p }
+}
+
+// WithCheckpointEvery sets the stage-level checkpoint period in scheduled
+// ops. Under a fault plan, crashes then replay only from the last
+// checkpoint boundary instead of losing the whole iteration, at the
+// plan's per-checkpoint cost.
+func WithCheckpointEvery(n int) Option {
+	return func(c *runConfig) { c.ckptEvery = n }
+}
+
 // Simulate runs one simulated iteration of s under the given cost model.
 // The context cancels long runs (the returned error then wraps
 // ErrCancelled); options attach tracing, memory budgets, the §5 dynamic
@@ -182,6 +221,9 @@ func Simulate(ctx context.Context, s *Schedule, costs SimCosts, opts ...Option) 
 	var c runConfig
 	for _, fn := range opts {
 		fn(&c)
+	}
+	if c.faults != nil {
+		costs = chaos.FaultyCosts(costs, s, *c.faults, c.ckptEvery)
 	}
 	return sim.RunContext(ctx, sim.Options{
 		Sched: s, Costs: costs,
@@ -237,7 +279,14 @@ func Evaluate(ctx context.Context, sys System, m Model, cl Cluster, par Parallel
 	for _, fn := range opts {
 		fn(&c)
 	}
-	return strategy.EvaluateContext(ctx, sys, m, cl, par, tr, strategy.WithSink(c.sink))
+	sopts := []strategy.Option{strategy.WithSink(c.sink)}
+	if c.faults != nil {
+		plan, every := *c.faults, c.ckptEvery
+		sopts = append(sopts, strategy.WithCostWrap(func(s *sched.Schedule, costs sim.Costs) sim.Costs {
+			return chaos.FaultyCosts(costs, s, plan, every)
+		}))
+	}
+	return strategy.EvaluateContext(ctx, sys, m, cl, par, tr, sopts...)
 }
 
 // Search grid-searches the strategy space for one system (§7.3) and returns

@@ -1,0 +1,90 @@
+package mepipe_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mepipe"
+)
+
+// TestSimulateWithFaultPlan: a fault plan slows the simulated iteration by
+// its recovery and checkpoint charges, deterministically.
+func TestSimulateWithFaultPlan(t *testing.T) {
+	s := svpp(t)
+	ctx := context.Background()
+	clean, err := mepipe.Simulate(ctx, s, mepipe.UnitCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &mepipe.FaultPlan{
+		Seed:              1,
+		Crashes:           []mepipe.FaultCrash{{Stage: 1, AtOp: 6}},
+		Slow:              []mepipe.SlowLink{{From: 0, To: 1, Delay: 100 * time.Millisecond}},
+		RecoverySeconds:   20,
+		CheckpointSeconds: 0.1,
+	}
+	faulty, err := mepipe.Simulate(ctx, s, mepipe.UnitCosts(),
+		mepipe.WithFaultPlan(plan), mepipe.WithCheckpointEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.IterTime <= clean.IterTime+19 {
+		t.Errorf("faulty iteration %g vs clean %g: recovery charge not applied", faulty.IterTime, clean.IterTime)
+	}
+	again, err := mepipe.Simulate(ctx, s, mepipe.UnitCosts(),
+		mepipe.WithFaultPlan(plan), mepipe.WithCheckpointEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.IterTime != faulty.IterTime {
+		t.Errorf("same fault plan gave %g then %g", faulty.IterTime, again.IterTime)
+	}
+}
+
+// TestEvaluateWithFaultPlan: the fault plan threads through the strategy
+// evaluation path and stretches the evaluated iteration.
+func TestEvaluateWithFaultPlan(t *testing.T) {
+	m := mepipe.Llama13B()
+	cl := mepipe.RTX4090Cluster(8)
+	tr := mepipe.Training{GlobalBatch: 64, MicroBatch: 1}
+	par := mepipe.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}
+	ctx := context.Background()
+
+	clean, err := mepipe.Evaluate(ctx, mepipe.MEPipe, m, cl, par, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &mepipe.FaultPlan{
+		Crashes:         []mepipe.FaultCrash{{Stage: 0, AtOp: 10}},
+		RecoverySeconds: 120,
+	}
+	faulty, err := mepipe.Evaluate(ctx, mepipe.MEPipe, m, cl, par, tr,
+		mepipe.WithFaultPlan(plan), mepipe.WithCheckpointEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.OOM || faulty.OOM {
+		t.Fatalf("unexpected OOM: clean %v faulty %v", clean.OOMWhy, faulty.OOMWhy)
+	}
+	if faulty.IterTime <= clean.IterTime+119 {
+		t.Errorf("faulty evaluation %g vs clean %g: recovery charge not applied", faulty.IterTime, clean.IterTime)
+	}
+}
+
+// TestFaultInjectorFacade: the facade exposes the runtime injector
+// constructor.
+func TestFaultInjectorFacade(t *testing.T) {
+	in := mepipe.NewFaultInjector(mepipe.FaultPlan{
+		Flaky: []mepipe.FlakyLink{{From: 0, To: 1, FailFirst: 1}},
+	}, 2)
+	if err := in.Send(0, 1, mepipe.Op{}, 0); err == nil {
+		t.Error("first transfer on a FailFirst link did not fail")
+	}
+	if err := in.Send(0, 1, mepipe.Op{}, 1); err != nil {
+		t.Errorf("retry attempt failed: %v", err)
+	}
+	if st := in.Stats(); st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+}
