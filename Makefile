@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race-hot race bench report figures artifact check ci smoke clean
+.PHONY: all build test vet lint verify-presets race-hot race bench report figures artifact check ci smoke clean
 
 all: build test
 
@@ -15,12 +15,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Formatting gate — fails when gofmt would change anything.
+# Formatting gate plus the repo-invariant analyzers (docs/VERIFICATION.md):
+# fails when gofmt would change anything or mepipe-lint finds a violation
+# the allowlist does not sanction.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "files need gofmt:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
+	$(GO) run ./cmd/mepipe-lint ./...
+
+# The static certifier against every schedule preset: proves the
+# svpp/mepipe/vpp families deadlock-free and within their analytic
+# per-stage activation bounds across pipeline depths.
+verify-presets:
+	$(GO) test ./internal/verify -run Presets
 
 # The concurrency-sensitive packages (goroutine runtime with
 # crash-recovery, shared trace sinks, fault injector) under the race
@@ -41,7 +50,7 @@ smoke:
 	$(GO) run ./cmd/mepipe-chaos
 
 # Mirror of the GitHub Actions pipeline (.github/workflows/ci.yml).
-ci: build vet test lint race-hot smoke
+ci: build vet test lint verify-presets race-hot smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,92 @@
+// Command mepipe-lint runs the repository's invariant analyzers
+// (internal/lint) over Go package patterns and reports violations as
+// file:line:col diagnostics. It exits 1 when any violation survives the
+// allowlist, 2 on usage or I/O errors, and 0 on a clean tree — so it
+// slots directly into `make lint` and CI.
+//
+// Usage:
+//
+//	mepipe-lint [-allow file] [-rule name] [patterns...]
+//
+// Patterns default to ./... and are resolved against the module root
+// (found by walking up from the working directory to go.mod). The
+// allowlist defaults to .mepipe-lint-allow at the module root; audited
+// exceptions are one `rule path-suffix` pair per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mepipe/internal/lint"
+)
+
+func main() {
+	allowFlag := flag.String("allow", "", "allowlist file (default <module root>/.mepipe-lint-allow)")
+	ruleFlag := flag.String("rule", "", "run only the named rule (default all: determinism, gospawn, noprint, errwrap)")
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fail(err)
+	}
+	allowPath := *allowFlag
+	if allowPath == "" {
+		allowPath = filepath.Join(root, ".mepipe-lint-allow")
+	}
+	allow, err := lint.LoadAllowlist(allowPath)
+	if err != nil {
+		fail(err)
+	}
+	opts := lint.Options{Allow: allow}
+	if *ruleFlag != "" {
+		valid := false
+		for _, r := range lint.Rules() {
+			valid = valid || r == *ruleFlag
+		}
+		if !valid {
+			fail(fmt.Errorf("unknown rule %q (have %v)", *ruleFlag, lint.Rules()))
+		}
+		opts.Rules = []string{*ruleFlag}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(root, patterns, opts)
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mepipe-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mepipe-lint:", err)
+	os.Exit(2)
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

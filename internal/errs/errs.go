@@ -36,4 +36,12 @@ var (
 	// retries them with exponential backoff before escalating to
 	// ErrStageFailed.
 	ErrTransient = errors.New("transient communication failure")
+
+	// ErrUncertified marks schedules that failed static certification
+	// (internal/verify): a dependency cycle that would deadlock any
+	// executor, a table whose swept activation retention exceeds the
+	// memory plan, or an incomplete op family. Both execution engines
+	// and the strategy search reject uncertified schedules before
+	// running them.
+	ErrUncertified = errors.New("schedule failed certification")
 )

@@ -1,0 +1,360 @@
+// Package lint implements mepipe-lint, the repository's zero-dependency
+// static analyzers. Each rule enforces one repo invariant that ordinary
+// tests cannot: deterministic packages must not read wall clocks or the
+// global math/rand stream, the pipeline runtime must route every goroutine
+// through its latch-guarded spawn helper, library packages must not write
+// to stdout, and errors crossing a package boundary must wrap an errs
+// sentinel so callers can classify them with errors.Is.
+//
+// The analyzers are built on go/parser and go/types only. Files are parsed
+// per directory; identifier-to-package resolution uses the type checker
+// with a stub importer (every import resolves to an empty package, so the
+// checker still records which identifiers name imported packages — the
+// only fact the rules need — without compiling any dependencies), falling
+// back to the file's import-alias table when type information is missing.
+// Test files (*_test.go) are exempt from every rule.
+//
+// Findings can be suppressed through an allowlist file (one `rule
+// path-suffix` pair per line, `#` comments); the repository's audited
+// exceptions live in .mepipe-lint-allow at the module root. See
+// docs/VERIFICATION.md for the rule catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation anchored to a file position. Filename
+// is relative to the module root, slash-separated, so output is stable
+// across machines.
+type Diagnostic struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// AllowEntry suppresses one rule for files whose root-relative path ends
+// with PathSuffix.
+type AllowEntry struct {
+	Rule       string
+	PathSuffix string
+}
+
+// Allowlist is the parsed set of audited exceptions.
+type Allowlist []AllowEntry
+
+// ParseAllowlist reads the `rule path-suffix` line format. Blank lines and
+// `#` comments are skipped; any other malformed line is an error so typos
+// cannot silently disable enforcement.
+func ParseAllowlist(data []byte) (Allowlist, error) {
+	var a Allowlist
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lint: allowlist line %d: want `rule path-suffix`, got %q", i+1, line)
+		}
+		a = append(a, AllowEntry{Rule: fields[0], PathSuffix: fields[1]})
+	}
+	return a, nil
+}
+
+// LoadAllowlist reads an allowlist file; a missing file is an empty list.
+func LoadAllowlist(path string) (Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseAllowlist(data)
+}
+
+// Allows reports whether the entry set suppresses rule at file (a
+// root-relative slash path).
+func (a Allowlist) Allows(rule, file string) bool {
+	for _, e := range a {
+		if e.Rule == rule && strings.HasSuffix(file, e.PathSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures a Run.
+type Options struct {
+	// Allow suppresses matching diagnostics.
+	Allow Allowlist
+	// Rules restricts the run to the named rules; empty means all.
+	Rules []string
+}
+
+// Run expands the package patterns (Go-style: a directory, or a `/...`
+// suffix for a recursive walk that skips testdata, vendor and dot
+// directories) relative to the module root, analyzes every non-test file,
+// and returns the surviving diagnostics sorted by position.
+func Run(root string, patterns []string, opts Options) ([]Diagnostic, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	enabled := map[string]bool{}
+	for _, r := range opts.Rules {
+		enabled[r] = true
+	}
+	var out []Diagnostic
+	for _, dir := range dirs {
+		diags, err := checkDir(root, dir, enabled)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	kept := out[:0]
+	for _, d := range out {
+		if !opts.Allow.Allows(d.Rule, d.Pos.Filename) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept, nil
+}
+
+// expand resolves patterns to package directories under root.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := pat == "..." || strings.HasSuffix(pat, "/...")
+		base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		if base == "" {
+			base = "."
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(abs) {
+				add(abs)
+			}
+			continue
+		}
+		err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != abs {
+				name := d.Name()
+				if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgCtx is one analyzed directory.
+type pkgCtx struct {
+	root string
+	rel  string // slash-separated dir path relative to root
+	fset *token.FileSet
+	info *types.Info // may be nil when type checking was impossible
+}
+
+// fileCtx is one file plus its import-alias fallback table.
+type fileCtx struct {
+	*pkgCtx
+	file    *ast.File
+	imports map[string]string // local name -> import path
+}
+
+// pkgPath resolves an identifier to the import path of the package it
+// names, or "" when it does not name an imported package (including when a
+// local declaration shadows the package name). Type information is
+// authoritative; the alias table is the fallback.
+func (fc *fileCtx) pkgPath(id *ast.Ident) string {
+	if fc.info != nil {
+		if obj, ok := fc.info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return ""
+		}
+	}
+	return fc.imports[id.Name]
+}
+
+// checkDir parses and analyzes one directory.
+func checkDir(root, dir string, enabled map[string]bool) ([]Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	pc := &pkgCtx{root: root, rel: rel, fset: fset, info: typecheck(fset, files, rel)}
+	var out []Diagnostic
+	for _, f := range files {
+		fc := &fileCtx{pkgCtx: pc, file: f, imports: importTable(f)}
+		for _, r := range rules {
+			if len(enabled) > 0 && !enabled[r.name] {
+				continue
+			}
+			if !r.applies(rel) {
+				continue
+			}
+			rule := r // capture for the closure
+			r.check(fc, func(pos token.Pos, msg string) {
+				p := fset.Position(pos)
+				if rp, err := filepath.Rel(root, p.Filename); err == nil {
+					p.Filename = filepath.ToSlash(rp)
+				}
+				out = append(out, Diagnostic{Rule: rule.name, Pos: p, Msg: msg})
+			})
+		}
+	}
+	return out, nil
+}
+
+// typecheck runs go/types over the package with every import stubbed to an
+// empty package: cheap (no dependency is compiled or parsed), and enough
+// for the checker to record which identifiers name imported packages.
+// Checking errors are expected (stubbed members do not resolve) and
+// ignored; a nil return means type information is unavailable and rules
+// fall back to the syntactic import table.
+func typecheck(fset *token.FileSet, files []*ast.File, path string) (info *types.Info) {
+	defer func() {
+		if recover() != nil {
+			info = nil
+		}
+	}()
+	info = &types.Info{Uses: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{
+		Importer: &stubImporter{cache: map[string]*types.Package{}},
+		Error:    func(error) {},
+	}
+	conf.Check(path, fset, files, info) //nolint:errcheck // stub imports always error
+	return info
+}
+
+type stubImporter struct {
+	cache map[string]*types.Package
+}
+
+func (im *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.cache[path] = p
+	return p, nil
+}
+
+// importTable maps each import's local name to its path (the syntactic
+// fallback when type information is unavailable).
+func importTable(f *ast.File) map[string]string {
+	t := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		t[name] = path
+	}
+	return t
+}

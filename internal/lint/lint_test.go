@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("no go.mod at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestGolden locks the diagnostic format: the seeded violations under
+// testdata must produce exactly the recorded file:line:col output, and the
+// shadowed identifiers there must stay silent.
+func TestGolden(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := Run(root, []string{"./internal/lint/testdata/..."}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != string(want) {
+		t.Errorf("diagnostics diverge from testdata/golden.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRepoClean is the invariant itself: the repository, under its checked
+// in allowlist, has zero violations.
+func TestRepoClean(t *testing.T) {
+	root := repoRoot(t)
+	allow, err := LoadAllowlist(filepath.Join(root, ".mepipe-lint-allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."}, Options{Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected violation: %s", d)
+	}
+}
+
+// TestAllowlist covers the suppression format and its failure modes.
+func TestAllowlist(t *testing.T) {
+	a, err := ParseAllowlist([]byte("# comment\n\ndeterminism internal/pipeline/clock.go\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allows("determinism", "internal/pipeline/clock.go") {
+		t.Error("exact suffix not allowed")
+	}
+	if a.Allows("gospawn", "internal/pipeline/clock.go") {
+		t.Error("allow leaked across rules")
+	}
+	if a.Allows("determinism", "internal/pipeline/pipeline.go") {
+		t.Error("allow leaked across files")
+	}
+	if _, err := ParseAllowlist([]byte("malformed line with extra fields\n")); err == nil {
+		t.Error("malformed allowlist accepted")
+	}
+
+	// An allow entry must actually suppress a reported violation.
+	root := repoRoot(t)
+	allow := Allowlist{{Rule: "gospawn", PathSuffix: "pipeline/bad.go"}}
+	diags, err := Run(root, []string{"./internal/lint/testdata/internal/pipeline"}, Options{Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("allowlisted violation still reported: %v", diags)
+	}
+}
+
+// TestRuleFilter checks Options.Rules restricts the run.
+func TestRuleFilter(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := Run(root, []string{"./internal/lint/testdata/..."}, Options{Rules: []string{"gospawn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "gospawn" {
+		t.Errorf("want exactly the gospawn violation, got %v", diags)
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// reporter receives one violation.
+type reporter func(pos token.Pos, msg string)
+
+// rules is the analyzer catalogue. applies gates a rule by the package
+// directory's root-relative path; check walks one parsed file.
+var rules = []struct {
+	name    string
+	applies func(rel string) bool
+	check   func(fc *fileCtx, report reporter)
+}{
+	{name: "determinism", applies: deterministicPkg, check: checkDeterminism},
+	{name: "gospawn", applies: pkgUnder("internal/pipeline"), check: checkGoSpawn},
+	{name: "noprint", applies: pkgUnder("internal"), check: checkNoPrint},
+	{name: "errwrap", applies: boundaryPkg, check: checkErrWrap},
+}
+
+// Rules returns the analyzer names, for -rule validation and docs.
+func Rules() []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.name
+	}
+	return out
+}
+
+// pkgUnder matches directories at or below the given root-relative path.
+// Matching is by path-segment containment so the rule also fires on the
+// mirrored trees under internal/lint/testdata.
+func pkgUnder(prefix string) func(string) bool {
+	return func(rel string) bool {
+		return strings.Contains("/"+rel+"/", "/"+prefix+"/")
+	}
+}
+
+// deterministicPkg lists the packages whose behaviour must be a pure
+// function of their inputs: the simulator and its cost models, schedule
+// generation, the strategy search, and the fault machinery (seeded
+// faults must replay identically). The pipeline runtime is included —
+// its wall-clock access is confined to the audited Clock seam.
+func deterministicPkg(rel string) bool {
+	for _, p := range []string{
+		"internal/sim", "internal/sched", "internal/strategy",
+		"internal/faults", "internal/chaos", "internal/pipeline",
+	} {
+		if pkgUnder(p)(rel) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundaryPkg lists the packages whose exported functions promise that
+// every returned error wraps an errs sentinel.
+func boundaryPkg(rel string) bool {
+	for _, p := range []string{
+		"internal/sched", "internal/sim", "internal/strategy",
+		"internal/memplan", "internal/pipeline",
+	} {
+		if pkgUnder(p)(rel) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeterminism flags wall-clock reads (any mention of time.Now or
+// time.Since) and calls into the global math/rand stream (everything but
+// the rand.New/rand.NewSource constructors used to build seeded local
+// generators).
+func checkDeterminism(fc *fileCtx, report reporter) {
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fc.pkgPath(id) == "time" && (n.Sel.Name == "Now" || n.Sel.Name == "Since") {
+				report(n.Pos(), "time."+n.Sel.Name+" reads the wall clock in a deterministic package; inject a Clock seam (see internal/pipeline/clock.go)")
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fc.pkgPath(id) == "math/rand" && sel.Sel.Name != "New" && sel.Sel.Name != "NewSource" {
+				report(n.Pos(), "rand."+sel.Sel.Name+" uses the global math/rand stream; use a seeded rand.New(rand.NewSource(seed))")
+			}
+		}
+		return true
+	})
+}
+
+// checkGoSpawn flags raw go statements in the pipeline runtime: every
+// goroutine must launch through the spawn helper so it is either joined
+// by a WaitGroup or unwinds through the runner's failure latch.
+func checkGoSpawn(fc *fileCtx, report reporter) {
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			report(g.Pos(), "raw go statement in the pipeline runtime; launch goroutines through the spawn helper (internal/pipeline/spawn.go)")
+		}
+		return true
+	})
+}
+
+// checkNoPrint flags fmt.Print/Printf/Println in library packages: output
+// belongs to returned values or a caller-supplied io.Writer, never stdout.
+func checkNoPrint(fc *fileCtx, report reporter) {
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if fc.pkgPath(id) == "fmt" && (name == "Print" || name == "Printf" || name == "Println") {
+			report(call.Pos(), "fmt."+name+" writes to stdout from a library package; return values or take an io.Writer")
+		}
+		return true
+	})
+}
+
+// checkErrWrap flags errors constructed inside function bodies that cannot
+// be classified with errors.Is: fmt.Errorf whose literal format string has
+// no %w verb, and errors.New (package-level errors.New declares the
+// sentinels themselves and is exempt).
+func checkErrWrap(fc *fileCtx, report reporter) {
+	for _, decl := range fc.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch fc.pkgPath(id) {
+			case "fmt":
+				if sel.Sel.Name != "Errorf" || len(call.Args) == 0 {
+					return true
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING && !strings.Contains(lit.Value, "%w") {
+					report(call.Pos(), "fmt.Errorf without %w drops the sentinel chain; wrap an errs sentinel or the underlying error")
+				}
+			case "errors":
+				if sel.Sel.Name == "New" {
+					report(call.Pos(), "errors.New inside a function is unclassifiable by errors.Is; wrap an errs sentinel with fmt.Errorf(...: %w)")
+				}
+			}
+			return true
+		})
+	}
+}

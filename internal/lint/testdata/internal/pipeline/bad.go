@@ -1,0 +1,13 @@
+// Package pipeline mirrors internal/pipeline under testdata: the raw go
+// statement below is the gospawn seed violation.
+package pipeline
+
+import "sync"
+
+// Leak launches a goroutine without the spawn helper.
+func Leak(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // gospawn: raw go statement
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,37 @@
+// Package sim mirrors internal/sim under testdata: every construct below
+// is a seeded violation the golden test expects mepipe-lint to report.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Seed exercises the determinism, noprint and errwrap rules.
+func Seed() error {
+	t0 := time.Now()                    // determinism: wall clock
+	dur := time.Since(t0)               // determinism: wall clock
+	n := rand.Intn(10)                  // determinism: global rand stream
+	ok := rand.New(rand.NewSource(1))   // allowed: seeded local generator
+	fmt.Println("progress", n, dur, ok) // noprint: stdout from a library
+	if n > 5 {
+		return errors.New("too big") // errwrap: unclassifiable
+	}
+	return fmt.Errorf("n=%d after %v", n, dur) // errwrap: no %w
+}
+
+// Shadow proves identifier resolution: these locals shadow the package
+// names, so nothing here may be reported.
+func Shadow() {
+	time := clock{}
+	time.Now()
+	rand := clock{}
+	rand.Intn()
+}
+
+type clock struct{}
+
+func (clock) Now()  {}
+func (clock) Intn() {}

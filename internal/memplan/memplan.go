@@ -10,6 +10,7 @@ import (
 
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
+	"mepipe/internal/errs"
 	"mepipe/internal/model"
 	"mepipe/internal/sched"
 )
@@ -104,14 +105,14 @@ func (p *Plan) Feasible() bool {
 // work is drainable (pass 0 for fused-backward schedules).
 func ChooseF(par config.Parallel, familyBytes, gradBytes, budget int64) (int, error) {
 	if familyBytes <= 0 {
-		return 0, fmt.Errorf("memplan: non-positive family footprint %d", familyBytes)
+		return 0, fmt.Errorf("memplan: non-positive family footprint %d: %w", familyBytes, errs.ErrIncompatible)
 	}
 	usable := budget - 2*gradBytes
 	lo := par.VP * par.SPP
 	hi := sched.DefaultF(par.PP, par.VP, par.SPP)
 	f := int(usable / familyBytes)
 	if f < lo {
-		return 0, fmt.Errorf("memplan: budget %d fits only %d forwards, below the v·s=%d minimum (§4.2)", budget, f, lo)
+		return 0, fmt.Errorf("memplan: budget %d fits only %d forwards, below the v·s=%d minimum (§4.2): %w", budget, f, lo, errs.ErrOOM)
 	}
 	if f > hi {
 		f = hi

@@ -1,0 +1,26 @@
+package pipeline
+
+import "time"
+
+// Clock supplies the runtime's wall-clock readings: the trace time base
+// and every span timestamp flow through it. The default is the real
+// clock; tests pin it with WithClock to make trace timestamps
+// deterministic.
+//
+// This file is the package's only wall-clock access point — mepipe-lint's
+// determinism rule forbids time.Now/time.Since elsewhere in the runtime,
+// and the allowlist entry for this file is the single audited exception.
+type Clock func() time.Time
+
+// realClock is the production clock.
+func realClock() time.Time { return time.Now() }
+
+// WithClock replaces the runner's wall-clock source and returns the
+// receiver. A nil clock restores the real one.
+func (r *Runner) WithClock(c Clock) *Runner {
+	if c == nil {
+		c = realClock
+	}
+	r.clock = c
+	return r
+}

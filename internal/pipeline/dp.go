@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mepipe/internal/errs"
 	"mepipe/internal/nn"
 	"mepipe/internal/sched"
 	"mepipe/internal/tensor"
@@ -23,7 +24,7 @@ type DataParallel struct {
 // deterministic.
 func NewDataParallel(ref *nn.Model, dp int) (*DataParallel, error) {
 	if dp < 1 {
-		return nil, fmt.Errorf("pipeline: dp %d must be >= 1", dp)
+		return nil, fmt.Errorf("pipeline: dp %d must be >= 1: %w", dp, errs.ErrIncompatible)
 	}
 	d := &DataParallel{}
 	for i := 0; i < dp; i++ {
@@ -56,27 +57,26 @@ func (d *DataParallel) StepAll(lr float32) {
 func (d *DataParallel) Run(s *sched.Schedule, batch [][]int) (float64, error) {
 	dp := len(d.replicas)
 	if len(batch)%dp != 0 {
-		return 0, fmt.Errorf("pipeline: %d samples do not shard across dp=%d", len(batch), dp)
+		return 0, fmt.Errorf("pipeline: %d samples do not shard across dp=%d: %w", len(batch), dp, errs.ErrIncompatible)
 	}
 	per := len(batch) / dp
 	losses := make([]float64, dp)
-	errs := make([]error, dp)
+	runErrs := make([]error, dp)
 	var wg sync.WaitGroup
 	for i := range d.replicas {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		i := i
+		spawn(&wg, func() {
 			d.replicas[i].ZeroGrads()
 			r, err := New(d.replicas[i], s, batch[i*per:(i+1)*per])
 			if err != nil {
-				errs[i] = err
+				runErrs[i] = err
 				return
 			}
-			losses[i], errs[i] = r.Run()
-		}(i)
+			losses[i], runErrs[i] = r.Run()
+		})
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range runErrs {
 		if err != nil {
 			return 0, err
 		}

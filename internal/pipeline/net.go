@@ -108,12 +108,9 @@ func (r *Runner) RunOverLinks(dial func(a, b int) (net.Conn, net.Conn, error)) (
 		conns = append(conns, ca, cb)
 		wires[a].out[b] = bufio.NewWriter(ca)
 		wires[b].out[a] = bufio.NewWriter(cb)
-		for _, end := range []struct {
-			conn net.Conn
-		}{{ca}, {cb}} {
-			demux.Add(1)
-			go func(c net.Conn) {
-				defer demux.Done()
+		for _, end := range []net.Conn{ca, cb} {
+			c := end
+			spawn(&demux, func() {
 				br := bufio.NewReader(c)
 				for {
 					_, e, m, err := readFrame(br)
@@ -122,7 +119,7 @@ func (r *Runner) RunOverLinks(dial func(a, b int) (net.Conn, net.Conn, error)) (
 					}
 					r.recv[e] <- m
 				}
-			}(end.conn)
+			})
 		}
 	}
 	r.wires = wires
@@ -157,10 +154,10 @@ func (r *Runner) RunOverTCP() (float64, error) {
 			err error
 		}
 		ch := make(chan accepted, 1)
-		go func() {
+		spawn(nil, func() {
 			c, err := l.Accept()
 			ch <- accepted{c, err}
-		}()
+		})
 		out, err := net.Dial("tcp", l.Addr().String())
 		if err != nil {
 			return nil, nil, err

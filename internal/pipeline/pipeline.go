@@ -24,6 +24,7 @@ import (
 	"mepipe/internal/obs"
 	"mepipe/internal/sched"
 	"mepipe/internal/tensor"
+	"mepipe/internal/verify"
 )
 
 // famKey identifies an activation family.
@@ -58,8 +59,10 @@ type Runner struct {
 	// trace, when non-nil, receives wall-clock op and comm events as the
 	// stages execute (see WithTrace).
 	trace obs.Sink
-	// t0 is the wall-clock origin of the run's trace timestamps.
-	t0 time.Time
+	// clock is the runtime's wall-clock source (see clock.go); t0 is the
+	// clock origin of the run's trace timestamps.
+	clock Clock
+	t0    time.Time
 
 	// Resilience (see resilience.go). hook and transport are the fault
 	// injection seams; ckptEvery enables restore-and-replay recovery;
@@ -75,10 +78,17 @@ type Runner struct {
 	failErr   error
 }
 
-// New validates shapes and wires the channel fabric.
+// New certifies the schedule, validates shapes, and wires the channel
+// fabric. Uncertified schedules — a dependency cycle, an incomplete op
+// family, a cross-stage dependency with no sender — are rejected up
+// front with an error wrapping errs.ErrUncertified rather than
+// discovered as a deadlocked goroutine fleet at run time.
 func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if _, err := verify.Certify(s, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	if len(batch) != s.N {
 		return nil, fmt.Errorf("pipeline: %d micro-batches for schedule with n=%d: %w", len(batch), s.N, errs.ErrIncompatible)
@@ -101,6 +111,7 @@ func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
 		recv:        map[edgeKey]chan *tensor.Matrix{},
 		sends:       map[edgeKey][]chan *tensor.Matrix{},
 		ctx:         context.Background(),
+		clock:       realClock,
 		retry:       DefaultRetry(),
 		failed:      make(chan struct{}),
 	}
@@ -199,38 +210,15 @@ func (f failPanic) String() string {
 // left behind.
 func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 	r.ctx = ctx
-	r.t0 = time.Now()
+	r.t0 = r.clock()
 	stages := make([]*stage, r.s.P)
 	for k := range stages {
 		stages[k] = r.newStage(k)
 	}
 	var wg sync.WaitGroup
 	for k := 0; k < r.s.P; k++ {
-		wg.Add(1)
-		go func(st *stage) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					switch v := p.(type) {
-					case cancelPanic:
-						st.err = fmt.Errorf("pipeline: stage %d: %w", st.k, errs.ErrCancelled)
-					case abortPanic:
-						st.err = fmt.Errorf("pipeline: stage %d aborted after a peer stage failed: %w", st.k, errs.ErrStageFailed)
-					case failPanic:
-						st.err = &StageFailure{Stage: st.k, OpIndex: v.idx, Op: v.op, Err: v.err}
-						r.fail(st.err)
-					default:
-						st.err = fmt.Errorf("pipeline: stage %d panicked: %v", st.k, p)
-						r.fail(st.err)
-					}
-					return
-				}
-				if st.err != nil {
-					r.fail(st.err)
-				}
-			}()
-			r.runStage(st)
-		}(stages[k])
+		st := stages[k]
+		spawn(&wg, func() { r.runStageGuarded(st) })
 	}
 	wg.Wait()
 	if r.failErr != nil {
@@ -244,6 +232,33 @@ func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 		total += st.loss
 	}
 	return total, nil
+}
+
+// runStageGuarded is the latch-guarded body of one stage goroutine: it
+// converts the stage's control-flow panics into classified errors and
+// latches unrecoverable failures so every blocked peer unwinds.
+func (r *Runner) runStageGuarded(st *stage) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch v := p.(type) {
+			case cancelPanic:
+				st.err = fmt.Errorf("pipeline: stage %d: %w", st.k, errs.ErrCancelled)
+			case abortPanic:
+				st.err = fmt.Errorf("pipeline: stage %d aborted after a peer stage failed: %w", st.k, errs.ErrStageFailed)
+			case failPanic:
+				st.err = &StageFailure{Stage: st.k, OpIndex: v.idx, Op: v.op, Err: v.err}
+				r.fail(st.err)
+			default:
+				st.err = fmt.Errorf("pipeline: stage %d panicked: %v: %w", st.k, p, errs.ErrStageFailed)
+				r.fail(st.err)
+			}
+			return
+		}
+		if st.err != nil {
+			r.fail(st.err)
+		}
+	}()
+	r.runStage(st)
 }
 
 // fail latches the run's first unrecoverable failure and releases every
@@ -264,8 +279,9 @@ func (r *Runner) checkAborted() {
 	}
 }
 
-// now returns seconds since the run started, the trace time base.
-func (r *Runner) now() float64 { return time.Since(r.t0).Seconds() }
+// now returns seconds since the run started (by the runner's clock), the
+// trace time base.
+func (r *Runner) now() float64 { return r.clock().Sub(r.t0).Seconds() }
 
 // newStage allocates the mutable execution state of one stage.
 func (r *Runner) newStage(k int) *stage {
@@ -525,7 +541,7 @@ func (r *Runner) weight(st *stage, op sched.Op, p, of int) {
 	fam := famKey{op.Micro, op.Slice, op.Chunk}
 	tasks := st.tasks[fam]
 	if tasks == nil {
-		st.err = fmt.Errorf("pipeline: stage %d: weight op %v before its backward", st.k, op)
+		st.err = fmt.Errorf("pipeline: stage %d: weight op %v before its backward: %w", st.k, op, errs.ErrUncertified)
 		return
 	}
 	lo := len(tasks) * p / of

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"mepipe/internal/errs"
 	"mepipe/internal/nn"
 	"mepipe/internal/sched"
 )
@@ -25,7 +26,7 @@ type StageWorker struct {
 // NewStageWorker validates and prepares one stage's worker.
 func NewStageWorker(m *nn.Model, s *sched.Schedule, batch [][]int, stage int) (*StageWorker, error) {
 	if stage < 0 || stage >= s.P {
-		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d)", stage, s.P)
+		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d): %w", stage, s.P, errs.ErrIncompatible)
 	}
 	r, err := New(m, s, batch)
 	if err != nil {
@@ -72,7 +73,7 @@ func (w *StageWorker) Peers() []int {
 func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
 	for _, peer := range w.Peers() {
 		if conns[peer] == nil {
-			return 0, fmt.Errorf("pipeline: stage %d missing connection to peer %d", w.stage, peer)
+			return 0, fmt.Errorf("pipeline: stage %d missing connection to peer %d: %w", w.stage, peer, errs.ErrIncompatible)
 		}
 	}
 	wires := make([]wire, w.r.s.P)
@@ -80,9 +81,8 @@ func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
 	var demux sync.WaitGroup
 	for peer, conn := range conns {
 		wires[w.stage].out[peer] = bufio.NewWriter(conn)
-		demux.Add(1)
-		go func(c net.Conn) {
-			defer demux.Done()
+		c := conn
+		spawn(&demux, func() {
 			br := bufio.NewReader(c)
 			for {
 				_, e, m, err := readFrame(br)
@@ -94,7 +94,7 @@ func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
 				}
 				w.r.recv[e] <- m
 			}
-		}(conn)
+		})
 	}
 	w.r.wires = wires
 	defer func() { w.r.wires = nil }()
@@ -103,7 +103,7 @@ func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				st.err = fmt.Errorf("pipeline: stage %d panicked: %v", w.stage, p)
+				st.err = fmt.Errorf("pipeline: stage %d panicked: %v: %w", w.stage, p, errs.ErrStageFailed)
 			}
 		}()
 		w.r.runStage(st)
@@ -131,7 +131,7 @@ type StageLoop struct {
 // NewStageLoop prepares a multi-step worker for one stage.
 func NewStageLoop(m *nn.Model, s *sched.Schedule, stage int) (*StageLoop, error) {
 	if stage < 0 || stage >= s.P {
-		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d)", stage, s.P)
+		return nil, fmt.Errorf("pipeline: stage %d out of range [0,%d): %w", stage, s.P, errs.ErrIncompatible)
 	}
 	return &StageLoop{model: m, s: s, stage: stage}, nil
 }
@@ -157,9 +157,8 @@ func (l *StageLoop) RunSteps(conns map[int]net.Conn, batches [][][]int, lr float
 	// One demux per conn, shared across steps.
 	var demux sync.WaitGroup
 	for _, conn := range conns {
-		demux.Add(1)
-		go func(c net.Conn) {
-			defer demux.Done()
+		c := conn
+		spawn(&demux, func() {
 			br := bufio.NewReader(c)
 			for {
 				iter, e, m, err := readFrame(br)
@@ -171,7 +170,7 @@ func (l *StageLoop) RunSteps(conns map[int]net.Conn, batches [][][]int, lr float
 				}
 				workers[iter].r.recv[e] <- m
 			}
-		}(conn)
+		})
 	}
 	losses := make([]float64, len(batches))
 	for i, w := range workers {
@@ -189,7 +188,7 @@ func (l *StageLoop) RunSteps(conns map[int]net.Conn, batches [][][]int, lr float
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
-					runErr = fmt.Errorf("pipeline: stage %d step %d panicked: %v", l.stage, i, p)
+					runErr = fmt.Errorf("pipeline: stage %d step %d panicked: %v: %w", l.stage, i, p, errs.ErrStageFailed)
 				}
 			}()
 			w.r.runStage(st)

@@ -1,16 +1,19 @@
-package sched
+package sched_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/verify"
 )
 
 // FuzzLoad hardens the schedule decoder: arbitrary bytes must never panic,
 // and anything that loads must validate.
 func FuzzLoad(f *testing.F) {
 	// Seed with a real schedule and some near-misses.
-	s, err := MEPipe(2, 1, 2, 2, 0, 2, nil)
+	s, err := sched.MEPipe(2, 1, 2, 2, 0, 2, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -24,7 +27,7 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte(strings.Replace(buf.String(), `"n":2`, `"n":99`, 1)))
 	f.Add([]byte(`not json at all`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := Load(bytes.NewReader(data))
+		got, err := sched.Load(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
@@ -35,13 +38,14 @@ func FuzzLoad(f *testing.F) {
 }
 
 // FuzzGenerateShapes drives the generator across arbitrary small shapes and
-// cap functions: it must either error cleanly or emit a valid schedule.
+// cap functions: it must either error cleanly or emit a schedule that both
+// validates and passes static certification (deadlock-free, complete).
 func FuzzGenerateShapes(f *testing.F) {
 	f.Add(uint8(4), uint8(2), uint8(2), uint8(3), uint8(5), true, true, uint8(3))
 	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(0), false, false, uint8(0))
 	f.Add(uint8(6), uint8(3), uint8(4), uint8(6), uint8(2), true, false, uint8(0))
 	f.Fuzz(func(t *testing.T, p, v, s, n, fcap uint8, split, resched bool, pieces uint8) {
-		opt := GenOptions{
+		opt := sched.GenOptions{
 			Name: "fuzz",
 			P:    int(p%6) + 1, V: int(v%3) + 1, S: int(s%4) + 1, N: int(n%5) + 1,
 			SplitBW:    split,
@@ -52,13 +56,17 @@ func FuzzGenerateShapes(f *testing.F) {
 		}
 		cap := int(fcap)
 		opt.InFlightCap = func(k int) int { return cap - k }
-		opt.Place = RoundRobin{P: opt.P, V: opt.V}
-		sch, err := Generate(opt)
+		opt.Place = sched.RoundRobin{P: opt.P, V: opt.V}
+		sch, err := sched.Generate(opt)
 		if err != nil {
 			t.Fatalf("generator failed on p=%d v=%d s=%d n=%d cap=%d: %v", opt.P, opt.V, opt.S, opt.N, cap, err)
 		}
 		if err := sch.Validate(); err != nil {
 			t.Fatal(err)
+		}
+		if _, err := verify.Certify(sch, verify.Options{}); err != nil {
+			t.Fatalf("generator emitted an uncertifiable schedule on p=%d v=%d s=%d n=%d cap=%d: %v",
+				opt.P, opt.V, opt.S, opt.N, cap, err)
 		}
 	})
 }

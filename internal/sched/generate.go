@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"math"
+
+	"mepipe/internal/errs"
 )
 
 // Estimator supplies the relative durations the generator uses to order
@@ -138,7 +140,7 @@ func Generate(opt GenOptions) (*Schedule, error) {
 		opt.Est = Unit()
 	}
 	if opt.P <= 0 || opt.V <= 0 || opt.S <= 0 || opt.N <= 0 {
-		return nil, fmt.Errorf("sched: generate %s: non-positive shape p=%d v=%d s=%d n=%d", opt.Name, opt.P, opt.V, opt.S, opt.N)
+		return nil, fmt.Errorf("sched: generate %s: non-positive shape p=%d v=%d s=%d n=%d: %w", opt.Name, opt.P, opt.V, opt.S, opt.N, errs.ErrIncompatible)
 	}
 	g := newGenerator(s, opt)
 	if err := g.run(); err != nil {
@@ -417,7 +419,7 @@ func (g *generator) run() error {
 			// limits, never for the paper's configurations.
 			bestStage, best = g.forceProgress()
 			if bestStage < 0 {
-				return fmt.Errorf("sched: generate %s: deadlocked with %d/%d ops scheduled\n%s", g.s, g.done, g.total, g.dumpStall())
+				return fmt.Errorf("sched: generate %s: deadlocked with %d/%d ops scheduled: %w\n%s", g.s, g.done, g.total, errs.ErrUncertified, g.dumpStall())
 			}
 		}
 		g.commit(bestStage, best, stageIDs)

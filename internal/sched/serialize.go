@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"mepipe/internal/errs"
 )
 
 // Serialization lets schedules travel as artifacts: a generated (and
@@ -43,7 +45,7 @@ func (s *Schedule) Save(w io.Writer) error {
 	case Wave:
 		doc.Place = placeWave
 	default:
-		return fmt.Errorf("sched: cannot serialise custom placement %T", s.Place)
+		return fmt.Errorf("sched: cannot serialise custom placement %T: %w", s.Place, errs.ErrIncompatible)
 	}
 	for _, ops := range s.Stages {
 		row := make([]ated, len(ops))
@@ -72,11 +74,11 @@ func Load(r io.Reader) (*Schedule, error) {
 		s.Place = RoundRobin{P: doc.P, V: doc.V}
 	case placeWave:
 		if doc.V != 2 {
-			return nil, fmt.Errorf("sched: wave placement requires v=2, got %d", doc.V)
+			return nil, fmt.Errorf("sched: wave placement requires v=2, got %d: %w", doc.V, errs.ErrIncompatible)
 		}
 		s.Place = Wave{P: doc.P}
 	default:
-		return nil, fmt.Errorf("sched: unknown placement %q", doc.Place)
+		return nil, fmt.Errorf("sched: unknown placement %q: %w", doc.Place, errs.ErrIncompatible)
 	}
 	for _, row := range doc.Stages {
 		ops := make([]Op, len(row))

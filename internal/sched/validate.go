@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"mepipe/internal/errs"
+)
 
 // Validate checks that the schedule is complete and executable:
 //
@@ -15,13 +19,13 @@ import "fmt"
 // to completion.
 func (s *Schedule) Validate() error {
 	if s.P <= 0 || s.V <= 0 || s.S <= 0 || s.N <= 0 {
-		return fmt.Errorf("sched: %s has non-positive shape", s)
+		return fmt.Errorf("sched: %s has non-positive shape: %w", s, errs.ErrIncompatible)
 	}
 	if len(s.Stages) != s.P {
-		return fmt.Errorf("sched: %s has %d stage lists, want %d", s, len(s.Stages), s.P)
+		return fmt.Errorf("sched: %s has %d stage lists, want %d: %w", s, len(s.Stages), s.P, errs.ErrIncompatible)
 	}
 	if s.Place == nil {
-		return fmt.Errorf("sched: %s has no chunk placement", s)
+		return fmt.Errorf("sched: %s has no chunk placement: %w", s, errs.ErrIncompatible)
 	}
 	if err := s.checkComplete(); err != nil {
 		return err
@@ -42,13 +46,13 @@ func (s *Schedule) checkComplete() error {
 				return err
 			}
 			if seen[op] {
-				return fmt.Errorf("sched: %s stage %d: duplicate op %s", s, k, op)
+				return fmt.Errorf("sched: %s stage %d: duplicate op %s: %w", s, k, op, errs.ErrIncompatible)
 			}
 			seen[op] = true
 		}
 		want := s.OpsPerStage()
 		if len(ops) != want {
-			return fmt.Errorf("sched: %s stage %d: %d ops, want %d", s, k, len(ops), want)
+			return fmt.Errorf("sched: %s stage %d: %d ops, want %d: %w", s, k, len(ops), want, errs.ErrIncompatible)
 		}
 		// Completeness: every (kind, m, i, j[, piece]) present.
 		for m := 0; m < s.N; m++ {
@@ -66,28 +70,28 @@ func (s *Schedule) checkComplete() error {
 
 func (s *Schedule) checkShape(stage int, op Op) error {
 	if op.Micro < 0 || op.Micro >= s.N || op.Slice < 0 || op.Slice >= s.S || op.Chunk < 0 || op.Chunk >= s.V {
-		return fmt.Errorf("sched: %s stage %d: op %s out of range", s, stage, op)
+		return fmt.Errorf("sched: %s stage %d: op %s out of range: %w", s, stage, op, errs.ErrIncompatible)
 	}
 	switch op.Kind {
 	case F:
 	case B:
 		if s.SplitBW {
-			return fmt.Errorf("sched: %s stage %d: fused %s in split schedule", s, stage, op)
+			return fmt.Errorf("sched: %s stage %d: fused %s in split schedule: %w", s, stage, op, errs.ErrIncompatible)
 		}
 	case BAct:
 		if !s.SplitBW {
-			return fmt.Errorf("sched: %s stage %d: %s in fused schedule", s, stage, op)
+			return fmt.Errorf("sched: %s stage %d: %s in fused schedule: %w", s, stage, op, errs.ErrIncompatible)
 		}
 	case W:
 		if !s.SplitBW || s.WPieces > 0 {
-			return fmt.Errorf("sched: %s stage %d: unexpected whole %s", s, stage, op)
+			return fmt.Errorf("sched: %s stage %d: unexpected whole %s: %w", s, stage, op, errs.ErrIncompatible)
 		}
 	case WPiece:
 		if !s.SplitBW || s.WPieces == 0 || op.Piece < 0 || op.Piece >= s.WPieces {
-			return fmt.Errorf("sched: %s stage %d: unexpected %s", s, stage, op)
+			return fmt.Errorf("sched: %s stage %d: unexpected %s: %w", s, stage, op, errs.ErrIncompatible)
 		}
 	default:
-		return fmt.Errorf("sched: %s stage %d: unknown kind in %s", s, stage, op)
+		return fmt.Errorf("sched: %s stage %d: unknown kind in %s: %w", s, stage, op, errs.ErrIncompatible)
 	}
 	return nil
 }
@@ -109,7 +113,7 @@ func (s *Schedule) checkFamily(seen map[Op]bool, stage, m, i, j int) error {
 	}
 	for _, op := range need {
 		if !seen[op] {
-			return fmt.Errorf("sched: %s stage %d: missing op %s", s, stage, op)
+			return fmt.Errorf("sched: %s stage %d: missing op %s: %w", s, stage, op, errs.ErrIncompatible)
 		}
 	}
 	return nil
@@ -150,7 +154,7 @@ func (s *Schedule) checkAcyclic() error {
 			for _, d := range deps {
 				from, ok := index[stageOp{d.Stage, d.Op}]
 				if !ok {
-					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d", s, k, op, d.Op, d.Stage)
+					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d: %w", s, k, op, d.Op, d.Stage, errs.ErrIncompatible)
 				}
 				addEdge(from, to)
 			}
@@ -177,7 +181,7 @@ func (s *Schedule) checkAcyclic() error {
 	if done != len(nodes) {
 		for i, d := range indeg {
 			if d > 0 {
-				return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle", s, nodes[i].op, nodes[i].stage)
+				return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle: %w", s, nodes[i].op, nodes[i].stage, errs.ErrUncertified)
 			}
 		}
 	}

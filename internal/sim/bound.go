@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"mepipe/internal/errs"
 	"mepipe/internal/sched"
 )
 
@@ -40,7 +41,7 @@ func CriticalPathBound(s *sched.Schedule, costs Costs) (float64, error) {
 		for _, d := range deps {
 			from, ok := index[node{d.Stage, d.Op}]
 			if !ok {
-				return 0, fmt.Errorf("sim: dangling dependency %v@%d", d.Op, d.Stage)
+				return 0, fmt.Errorf("sim: dangling dependency %v@%d: %w", d.Op, d.Stage, errs.ErrIncompatible)
 			}
 			adj[from] = append(adj[from], int32(id))
 			indeg[id]++

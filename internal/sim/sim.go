@@ -128,7 +128,7 @@ func Run(opt Options) (*Result, error) {
 func RunContext(ctx context.Context, opt Options) (*Result, error) {
 	s := opt.Sched
 	if s == nil {
-		return nil, fmt.Errorf("sim: nil schedule")
+		return nil, fmt.Errorf("sim: nil schedule: %w", errs.ErrIncompatible)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -214,7 +214,7 @@ func (r *runner) run() error {
 		}
 		k, _, ok := r.nextStage()
 		if !ok {
-			return fmt.Errorf("sim: deadlock with %d/%d ops executed (schedule order violates dependencies)", done, total)
+			return fmt.Errorf("sim: deadlock with %d/%d ops executed (schedule order violates dependencies): %w", done, total, errs.ErrUncertified)
 		}
 		done += r.execute(k)
 	}

@@ -22,6 +22,7 @@ import (
 	"mepipe/internal/perf"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
+	"mepipe/internal/verify"
 )
 
 // Option tunes an Evaluate or Search call.
@@ -169,6 +170,13 @@ func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster
 		ev.OOMWhy = err.Error()
 		return ev, nil
 	}
+	// Pre-flight gate: prove the schedule deadlock-free and complete
+	// before spending simulation time on it. Generators always emit
+	// certifiable tables, so a failure here is a bug — surfaced with the
+	// certifier's minimal counterexample rather than a mid-run deadlock.
+	if _, err := verify.Certify(s, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("strategy: %s schedule rejected: %w", sys, err)
+	}
 	var simCosts sim.Costs = costs
 	if o.costWrap != nil {
 		simCosts = o.costWrap(s, costs)
@@ -263,7 +271,7 @@ func buildSchedule(sys System, par config.Parallel, n int, costs *perf.Costs, pl
 		})
 		dynamicW = true
 	default:
-		err = fmt.Errorf("strategy: unknown system %v", sys)
+		err = fmt.Errorf("strategy: unknown system %v: %w", sys, errs.ErrIncompatible)
 	}
 	return s, dynamicW, f, err
 }

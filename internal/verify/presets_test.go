@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// TestPresets certifies the three preset families the paper's memory
+// argument covers — SVPP (fused), MEPipe (split backward + fine-grained
+// W), and interleaved VPP — across P ∈ {2, 4, 8}, against their analytic
+// per-stage retention bounds: f−k for the slice-level schedules (§4.2's
+// memory knob) and v·p+p−1−k for VPP (Table 3's memory row). It also
+// proves the bounds tight: shrinking stage 0's budget by one slot must
+// produce a BudgetError naming stage 0.
+func TestPresets(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		v, s, n := 2, 4, 2*p
+		f := sched.DefaultF(p, v, s)
+
+		svppBound := make([]int, p)
+		vppBound := make([]int, p)
+		for k := 0; k < p; k++ {
+			svppBound[k] = f - k
+			vppBound[k] = v*p + p - 1 - k
+		}
+
+		type preset struct {
+			name  string
+			build func() (*sched.Schedule, error)
+			bound []int
+		}
+		presets := []preset{
+			{"svpp", func() (*sched.Schedule, error) {
+				return sched.SVPP(sched.SVPPOptions{P: p, V: v, S: s, N: n, Reschedule: true})
+			}, svppBound},
+			{"mepipe-split", func() (*sched.Schedule, error) {
+				return sched.MEPipe(p, v, s, n, 0, 3, nil)
+			}, svppBound},
+			{"vpp", func() (*sched.Schedule, error) {
+				return sched.VPP(p, v, n, nil)
+			}, vppBound},
+		}
+		for _, pr := range presets {
+			sc, err := pr.build()
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", p, pr.name, err)
+			}
+			cert, err := Certify(sc, Options{Budget: SlotBudget(pr.bound)})
+			if err != nil {
+				t.Fatalf("p=%d %s: certification failed: %v", p, pr.name, err)
+			}
+			for k, peak := range cert.PeakFamilies {
+				if peak > pr.bound[k] {
+					t.Errorf("p=%d %s stage %d: peak %d exceeds analytic bound %d", p, pr.name, k, peak, pr.bound[k])
+				}
+			}
+
+			// Tightness: one slot less on stage 0 must fail with an
+			// actionable counterexample.
+			tight := append([]int(nil), pr.bound...)
+			tight[0]--
+			_, err = Certify(sc, Options{Budget: SlotBudget(tight)})
+			if err == nil {
+				t.Fatalf("p=%d %s: certified below the analytic bound", p, pr.name)
+			}
+			var be *BudgetError
+			if !errors.As(err, &be) {
+				t.Fatalf("p=%d %s: want *BudgetError, got %T (%v)", p, pr.name, err, err)
+			}
+			if be.Stage != 0 {
+				t.Errorf("p=%d %s: overflow on stage %d, want 0", p, pr.name, be.Stage)
+			}
+			if !errors.Is(err, errs.ErrUncertified) {
+				t.Errorf("p=%d %s: budget error does not wrap ErrUncertified", p, pr.name)
+			}
+		}
+	}
+}
+
+// TestPresetsBaselines certifies the remaining generator presets
+// structurally (no budget): GPipe, DAPPLE, TeraPipe, ZB-1P, ZBV, Hanayo.
+func TestPresetsBaselines(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		n := 2 * p
+		builds := map[string]func() (*sched.Schedule, error){
+			"gpipe":    func() (*sched.Schedule, error) { return sched.GPipe(p, n, nil) },
+			"dapple":   func() (*sched.Schedule, error) { return sched.DAPPLE(p, n, nil) },
+			"terapipe": func() (*sched.Schedule, error) { return sched.TeraPipe(p, 4, n, nil) },
+			"zb1p":     func() (*sched.Schedule, error) { return sched.ZB1P(p, n, nil) },
+			"zbv":      func() (*sched.Schedule, error) { return sched.ZBV(p, n, nil) },
+			"hanayo":   func() (*sched.Schedule, error) { return sched.Hanayo(p, n, nil) },
+		}
+		for name, build := range builds {
+			sc, err := build()
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+			cert, err := Certify(sc, Options{})
+			if err != nil {
+				t.Fatalf("p=%d %s: certification failed: %v", p, name, err)
+			}
+			if cert.Nodes == 0 || cert.Edges == 0 {
+				t.Errorf("p=%d %s: empty certificate %v", p, name, cert)
+			}
+			if p > 1 && cert.CrossEdges == 0 {
+				t.Errorf("p=%d %s: no cross-stage edges in a %d-stage schedule", p, name, p)
+			}
+		}
+	}
+}
+
+// TestDAPPLESlots proves DAPPLE's textbook memory property statically:
+// stage k retains at most p−k micro-batches.
+func TestDAPPLESlots(t *testing.T) {
+	p, n := 4, 8
+	s, err := sched.DAPPLE(p, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := make([]int, p)
+	for k := range bound {
+		bound[k] = p - k
+	}
+	cert, err := Certify(s, Options{Budget: SlotBudget(bound)})
+	if err != nil {
+		t.Fatalf("DAPPLE does not fit its 1F1B bound: %v", err)
+	}
+	for k, peak := range cert.PeakFamilies {
+		if peak != p-k {
+			t.Errorf("stage %d: peak %d, want exactly %d", k, peak, p-k)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"mepipe/internal/strategy"
 	"mepipe/internal/timeline"
 	"mepipe/internal/tune"
+	"mepipe/internal/verify"
 )
 
 // Sentinel errors. Every failure the engines and the strategy search report
@@ -55,6 +56,11 @@ var (
 	// communication faults absorbed by the runtime's bounded backoff.
 	ErrStageFailed = errs.ErrStageFailed
 	ErrTransient   = errs.ErrTransient
+	// ErrUncertified classifies schedules rejected by the static
+	// certifier (see docs/VERIFICATION.md): a dependency cycle, a swept
+	// activation peak over budget, or an incomplete op family. Both
+	// execution engines and the strategy search certify before running.
+	ErrUncertified = errs.ErrUncertified
 )
 
 // Model, parallelism and training configuration.
@@ -83,8 +89,30 @@ type (
 )
 
 // LoadSchedule deserialises and validates a schedule saved with
-// Schedule.Save — schedules are portable JSON artifacts.
+// Schedule.Save — schedules are portable JSON artifacts. Invalid files
+// are rejected with an error wrapping ErrIncompatible (malformed shape)
+// or ErrUncertified (deadlocking order).
 var LoadSchedule = sched.Load
+
+// Static certification (docs/VERIFICATION.md): CertifySchedule proves a
+// schedule deadlock-free, complete, and — when a budget is supplied —
+// within its per-stage activation budget, returning a Certificate with
+// the swept peaks or an error wrapping ErrUncertified that carries a
+// minimal counterexample (the cycle, or the first over-budget op).
+type (
+	Certificate    = verify.Certificate
+	CertifyOptions = verify.Options
+	CertifyBudget  = verify.Budget
+)
+
+var (
+	CertifySchedule = verify.Certify
+	// SlotBudget builds a CertifyBudget from per-stage family-slot
+	// counts (unit footprints); PlanBudget derives one from a memory
+	// plan and a cost model's activation footprints.
+	SlotBudget = verify.SlotBudget
+	PlanBudget = verify.PlanBudget
+)
 
 // Schedule constructors: the paper's system and its baselines.
 var (
