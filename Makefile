@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify-presets race-hot race bench report figures artifact check ci smoke clean
+.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke report figures artifact check ci smoke clean
 
 all: build test
 
@@ -32,10 +32,11 @@ verify-presets:
 	$(GO) test ./internal/verify -run Presets
 
 # The concurrency-sensitive packages (goroutine runtime with
-# crash-recovery, shared trace sinks, fault injector) under the race
-# detector — fast enough for every commit.
+# crash-recovery, parallel GEMM kernels + scratch arena, shared trace
+# sinks, fault injector) under the race detector — fast enough for
+# every commit.
 race-hot:
-	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/...
+	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/... ./internal/tensor/... ./internal/nn/...
 
 race:
 	$(GO) test -race ./internal/...
@@ -50,10 +51,21 @@ smoke:
 	$(GO) run ./cmd/mepipe-chaos
 
 # Mirror of the GitHub Actions pipeline (.github/workflows/ci.yml).
-ci: build vet test lint verify-presets race-hot smoke
+ci: build vet test lint verify-presets race-hot bench-smoke smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Kernel micro-benchmarks: regenerate the machine-readable perf baseline
+# (BENCH_kernels.json) future PRs regress against, then print the suite.
+bench-kernels:
+	$(GO) test ./internal/tensor -run TestWriteKernelBaseline -args -bench-json=$(CURDIR)/BENCH_kernels.json
+	$(GO) test ./internal/tensor -run NONE -bench 'BenchmarkKernels|BenchmarkMatMul256'
+
+# One-iteration smoke of the kernel benchmarks (CI: proves they run).
+bench-smoke:
+	$(GO) test ./internal/tensor -run NONE -bench BenchmarkKernels -benchtime 1x
+	$(GO) test ./internal/nn -run NONE -bench BenchmarkTrainStep -benchtime 1x
 
 # Regenerate every paper table/figure as text.
 eval:

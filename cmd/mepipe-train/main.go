@@ -38,8 +38,12 @@ func main() {
 		verify    = flag.Bool("verify", false, "check gradients against sequential execution every step")
 		transport = flag.String("transport", "channels", "stage links: channels, pipes (net.Pipe), or tcp (loopback sockets)")
 		useAdam   = flag.Bool("adam", false, "optimise with Adam instead of SGD")
+		kworkers  = flag.Int("kernel-workers", 0, "GEMM kernel workers per process (0 = GOMAXPROCS); results are bitwise identical for any count")
 	)
 	flag.Parse()
+	if *kworkers > 0 {
+		tensor.Configure(tensor.KernelConfig{Workers: *kworkers})
+	}
 
 	cfg := nn.Config{Hidden: *hidden, Heads: 2, FFN: *hidden * 2, Vocab: *vocab, Layers: *layers, SeqLen: *seqLen}
 	m, err := nn.NewModel(cfg, *seed)

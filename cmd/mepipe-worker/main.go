@@ -41,6 +41,7 @@ type jobFlags struct {
 	lr                            float64
 	seed                          int64
 	verify                        bool
+	kernelWorkers                 int
 }
 
 func main() {
@@ -61,7 +62,11 @@ func main() {
 	flag.Float64Var(&jf.lr, "lr", 0.05, "SGD learning rate")
 	flag.Int64Var(&jf.seed, "seed", 42, "weights and data seed")
 	flag.BoolVar(&jf.verify, "verify", false, "check owned gradients against a local sequential reference")
+	flag.IntVar(&jf.kernelWorkers, "kernel-workers", 0, "GEMM kernel workers per process (0 = GOMAXPROCS); results are bitwise identical for any count")
 	flag.Parse()
+	if jf.kernelWorkers > 0 {
+		tensor.Configure(tensor.KernelConfig{Workers: jf.kernelWorkers})
+	}
 
 	if *spawn {
 		fatal(coordinator(jf))
@@ -231,6 +236,9 @@ func coordinator(jf jobFlags) error {
 		}
 		if jf.verify {
 			args = append(args, "-verify")
+		}
+		if jf.kernelWorkers > 0 {
+			args = append(args, "-kernel-workers", fmt.Sprint(jf.kernelWorkers))
 		}
 		cmd := exec.Command(self, args...)
 		cmd.Stderr = os.Stderr

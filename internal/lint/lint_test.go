@@ -97,7 +97,7 @@ func TestRuleFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 1 || diags[0].Rule != "gospawn" {
-		t.Errorf("want exactly the gospawn violation, got %v", diags)
+	if len(diags) != 2 || diags[0].Rule != "gospawn" || diags[1].Rule != "gospawn" {
+		t.Errorf("want exactly the two gospawn violations, got %v", diags)
 	}
 }

@@ -17,7 +17,7 @@ var rules = []struct {
 	check   func(fc *fileCtx, report reporter)
 }{
 	{name: "determinism", applies: deterministicPkg, check: checkDeterminism},
-	{name: "gospawn", applies: pkgUnder("internal/pipeline"), check: checkGoSpawn},
+	{name: "gospawn", applies: anyPkg(pkgUnder("internal/pipeline"), pkgUnder("internal/tensor")), check: checkGoSpawn},
 	{name: "noprint", applies: pkgUnder("internal"), check: checkNoPrint},
 	{name: "errwrap", applies: boundaryPkg, check: checkErrWrap},
 }
@@ -29,6 +29,18 @@ func Rules() []string {
 		out[i] = r.name
 	}
 	return out
+}
+
+// anyPkg matches when any of the given package predicates matches.
+func anyPkg(preds ...func(string) bool) func(string) bool {
+	return func(rel string) bool {
+		for _, p := range preds {
+			if p(rel) {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // pkgUnder matches directories at or below the given root-relative path.
@@ -103,13 +115,15 @@ func checkDeterminism(fc *fileCtx, report reporter) {
 	})
 }
 
-// checkGoSpawn flags raw go statements in the pipeline runtime: every
-// goroutine must launch through the spawn helper so it is either joined
-// by a WaitGroup or unwinds through the runner's failure latch.
+// checkGoSpawn flags raw go statements in the concurrency-bearing runtime
+// packages (the pipeline and the kernel pool): every goroutine must launch
+// through the spawn helper — or an allowlisted chokepoint such as
+// tensor.spawnKernelWorker — so it is either joined by a WaitGroup or
+// unwinds through the runner's failure latch.
 func checkGoSpawn(fc *fileCtx, report reporter) {
 	ast.Inspect(fc.file, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
-			report(g.Pos(), "raw go statement in the pipeline runtime; launch goroutines through the spawn helper (internal/pipeline/spawn.go)")
+			report(g.Pos(), "raw go statement in a runtime package; launch goroutines through the spawn helper (internal/pipeline/spawn.go) or an allowlisted chokepoint")
 		}
 		return true
 	})

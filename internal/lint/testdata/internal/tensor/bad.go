@@ -1,0 +1,14 @@
+// Package tensor mirrors internal/tensor under testdata: the raw go
+// statement below is the gospawn seed violation for the kernel-pool
+// extension of the rule.
+package tensor
+
+import "sync"
+
+// Leak launches a kernel worker without a registered chokepoint.
+func Leak(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // gospawn: raw go statement
+		defer wg.Done()
+	}()
+}

@@ -5,15 +5,21 @@ package nn
 // boundaries so an injected (or real) crash can restore-and-replay instead
 // of losing the iteration. Only in-place-mutated buffers need deep copies:
 // the dK/dV accumulators grow by addHead during backward slices. The KV
-// cache matrices are rebound (never written) on append, and slice/head
-// saves are immutable once stored — lean saves are rebuilt during replay
-// with bit-identical values — so both are shared by reference.
+// cache grows in place but is append-only — rows below the snapshot's
+// high-water mark are never rewritten, and replayed appends write
+// bit-identical values — so a snapshot is a fresh header (freezing Rows)
+// over the shared backing array. Slice/head saves are immutable once
+// stored (lean saves are rebuilt during replay with bit-identical values)
+// and shared by reference; the resilient runtime therefore runs without a
+// scratch arena, which would recycle them.
 
 // Clone returns a checkpoint copy of the state. The returned state shares
-// the append-only KV cache matrices and the save entries with the
-// original; the dK/dV accumulators are deep-copied.
+// the append-only KV cache storage (via independent headers) and the save
+// entries with the original; the dK/dV accumulators are deep-copied.
 func (st *LayerState) Clone() *LayerState {
-	out := &LayerState{K: st.K, V: st.V, saves: make(map[int]*sliceSave, len(st.saves))}
+	kHead := *st.K
+	vHead := *st.V
+	out := &LayerState{K: &kHead, V: &vHead, saves: make(map[int]*sliceSave, len(st.saves))}
 	for k, sv := range st.saves {
 		out.saves[k] = sv
 	}

@@ -19,9 +19,10 @@ func newEmbedding(rng *rand.Rand, cfg Config) *Embedding {
 	return e
 }
 
-// Forward gathers the rows for the given tokens.
-func (e *Embedding) Forward(tokens []int) *tensor.Matrix {
-	out := tensor.New(len(tokens), e.Table.Cols)
+// Forward gathers the rows for the given tokens into an arena buffer (or a
+// fresh matrix when sc is nil). The caller owns the result.
+func (e *Embedding) Forward(sc *tensor.Scratch, tokens []int) *tensor.Matrix {
+	out := sc.GetRaw(len(tokens), e.Table.Cols)
 	for i, t := range tokens {
 		copy(out.Row(i), e.Table.Row(t))
 	}
@@ -55,33 +56,65 @@ type headSave struct {
 }
 
 // HeadState is the per-micro-batch bookkeeping of the head (one save per
-// slice start position).
+// slice start position). Reusable across samples via Reset.
 type HeadState struct {
 	saves map[int]*headSave
+	pool  []*headSave
 }
 
 // NewHeadState returns an empty head state.
 func NewHeadState() *HeadState { return &HeadState{saves: map[int]*headSave{}} }
 
-// Forward computes logits and retains state under the given key (the
-// slice's start position).
-func (h *Head) Forward(x *tensor.Matrix, st *HeadState, key int) *tensor.Matrix {
-	sv := &headSave{x: x.Clone(), xn: tensor.New(x.Rows, x.Cols)}
-	sv.inv = tensor.RMSNorm(sv.xn, x, h.Norm)
-	st.saves[key] = sv
-	return h.W.Forward(sv.xn)
+// Reset drops any leftover saves so the state can serve the next sample.
+func (st *HeadState) Reset() { clear(st.saves) }
+
+func (st *HeadState) getSave() *headSave {
+	if n := len(st.pool); n > 0 {
+		sv := st.pool[n-1]
+		st.pool[n-1] = nil
+		st.pool = st.pool[:n-1]
+		return sv
+	}
+	return &headSave{}
 }
 
-// Backward consumes dLogits for the slice saved under key, returning dX and
-// the head's deferred weight-gradient task.
-func (h *Head) Backward(dLogits *tensor.Matrix, st *HeadState, key int, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
+func (st *HeadState) putSave(sv *headSave) {
+	*sv = headSave{}
+	st.pool = append(st.pool, sv)
+}
+
+// Forward computes logits and retains state under the given key (the
+// slice's start position). The head takes ownership of x; the caller owns
+// the returned logits.
+func (h *Head) Forward(sc *tensor.Scratch, x *tensor.Matrix, st *HeadState, key int) *tensor.Matrix {
+	sv := st.getSave()
+	sv.x = x
+	sv.xn = sc.GetRaw(x.Rows, x.Cols)
+	sv.inv = tensor.RMSNorm(sv.xn, x, h.Norm, sc.GetVec(x.Rows))
+	st.saves[key] = sv
+	logits := sc.Get(x.Rows, h.W.W.Cols)
+	sc.MatMul(logits, sv.xn, h.W.W)
+	return logits
+}
+
+// Backward consumes dLogits for the slice saved under key (taking ownership
+// of it), returning dX and the head's deferred weight-gradient task.
+func (h *Head) Backward(sc *tensor.Scratch, dLogits *tensor.Matrix, st *HeadState, key int, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
 	sv := st.saves[key]
 	delete(st.saves, key)
-	dXn := tensor.New(sv.xn.Rows, sv.xn.Cols)
-	h.W.BackwardAct(dXn, dLogits)
-	tasks = append(tasks, WeightTask{&h.W, sv.xn, dLogits.Clone()})
-	dX := tensor.New(sv.x.Rows, sv.x.Cols)
+	dXn := sc.Get(sv.xn.Rows, sv.xn.Cols)
+	sc.MatMulBT(dXn, dLogits, h.W.W)
+	tasks = append(tasks, WeightTask{lin: &h.W, x: sv.xn, dy: dLogits, freeX: true, freeDY: true})
+	dX := sc.Get(sv.x.Rows, sv.x.Cols)
 	tensor.RMSNormBackward(dX, h.DNorm, dXn, sv.x, h.Norm, sv.inv)
+	sc.Put(dXn)
+	sc.Put(sv.x)
+	sc.PutVec(sv.inv)
+	if sc != nil {
+		// As with LayerState saves: snapshots share these pointers, so
+		// only recycle when running with an arena (never under resilience).
+		st.putSave(sv)
+	}
 	return dX, tasks
 }
 
@@ -185,62 +218,11 @@ func (m *Model) GradNorm() float64 {
 // returns the mean loss. It is the single-device reference the pipeline
 // runtime is validated against. batch[i] is one sample of SeqLen+1 tokens
 // (inputs plus next-token targets); slices is the sequence pipeline size.
+//
+// Each call builds a throwaway Trainer; callers stepping in a loop should
+// hold a Trainer themselves to reuse its buffers across steps.
 func (m *Model) TrainSequential(batch [][]int, slices int) (float64, error) {
-	if m.Cfg.SeqLen%slices != 0 {
-		return 0, fmt.Errorf("nn: seq len %d not divisible by %d slices", m.Cfg.SeqLen, slices)
-	}
-	t := m.Cfg.SeqLen / slices
-	var total float64
-	for _, sample := range batch {
-		if len(sample) != m.Cfg.SeqLen+1 {
-			return 0, fmt.Errorf("nn: sample has %d tokens, want %d", len(sample), m.Cfg.SeqLen+1)
-		}
-		states := make([]*LayerState, len(m.Layers))
-		for i := range states {
-			states[i] = NewLayerState(m.Cfg)
-		}
-		headSaves := NewHeadState()
-		logits := make([]*tensor.Matrix, slices)
-		// Forward, slice by slice.
-		for s := 0; s < slices; s++ {
-			start := s * t
-			x := m.Embed.Forward(sample[start : start+t])
-			for li, l := range m.Layers {
-				if m.LeanActivations {
-					x = l.ForwardSliceLean(states[li], x, start)
-				} else {
-					x = l.ForwardSlice(states[li], x, start)
-				}
-			}
-			logits[s] = m.Head.Forward(x, headSaves, start)
-		}
-		// Loss per slice (targets are the next tokens). The reported
-		// loss is the mean over samples and slices; the gradient is
-		// scaled to match it exactly, so finite-difference checks and
-		// pipelined replays agree with the sequential reference.
-		dLogits := make([]*tensor.Matrix, slices)
-		norm := float64(slices * len(batch))
-		for s := 0; s < slices; s++ {
-			start := s * t
-			dLogits[s] = tensor.New(t, m.Cfg.Vocab)
-			total += tensor.CrossEntropy(dLogits[s], logits[s], sample[start+1:start+t+1]) / norm
-			dLogits[s].Scale(float32(1 / norm))
-		}
-		// Backward, slices in reverse; weight gradients inline.
-		var tasks []WeightTask
-		for s := slices - 1; s >= 0; s-- {
-			start := s * t
-			dx, tasks2 := m.Head.Backward(dLogits[s], headSaves, start, nil)
-			tasks = tasks2
-			for li := len(m.Layers) - 1; li >= 0; li-- {
-				dx, tasks = m.Layers[li].BackwardSlice(states[li], start, dx, tasks)
-			}
-			m.Embed.Backward(sample[start:start+t], dx)
-			for _, task := range tasks {
-				task.Run()
-			}
-			tasks = tasks[:0]
-		}
-	}
-	return total, nil
+	t := NewTrainer(m)
+	defer t.Close()
+	return t.Step(batch, slices)
 }

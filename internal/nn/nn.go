@@ -12,6 +12,14 @@
 //     BackwardSlice produces dX and *stashes* the seven per-layer GEMMs
 //     (Wq, Wk, Wv, Wo, gate, up, down) as WeightTasks that can run at any
 //     later time, in any order — exactly the §5 decomposition.
+//
+// Every slice-level entry point takes a *tensor.Scratch arena (nil for
+// plain allocation). With an arena, the passes follow a strict ownership
+// protocol: ForwardSlice and Head.Forward take ownership of their input x,
+// BackwardSlice and Head.Backward take ownership of their incoming
+// gradient, and buffers retained by deferred WeightTasks are returned to
+// the arena by Release once the whole task family has run. Steady-state
+// training then allocates nothing per microbatch (see Trainer).
 package nn
 
 import (
@@ -66,14 +74,43 @@ func (l *Linear) BackwardWeight(x, dy *tensor.Matrix) {
 	tensor.MatMulAT(l.DW, x, dy)
 }
 
-// WeightTask is one deferred weight-gradient GEMM.
+// WeightTask is one deferred weight-gradient GEMM. The freeX/freeDY flags
+// mark the task that is the last user of each retained buffer; Release
+// consults them once the family has run.
 type WeightTask struct {
-	lin   *Linear
-	x, dy *tensor.Matrix
+	lin           *Linear
+	x, dy         *tensor.Matrix
+	freeX, freeDY bool
 }
 
 // Run executes the deferred GEMM.
 func (t WeightTask) Run() { t.lin.BackwardWeight(t.x, t.dy) }
+
+// RunCounted is Run with the GEMM's FLOPs counted against sc (nil-safe).
+func (t WeightTask) RunCounted(sc *tensor.Scratch) {
+	sc.MatMulAT(t.lin.DW, t.x, t.dy)
+}
+
+// Release returns the buffers retained by a family of weight tasks to the
+// arena. Call it exactly once per family, only after every task in the
+// family has Run — tasks may share buffers (Wq/Wk/Wv share the normed
+// input), so releasing earlier would corrupt still-pending GEMMs. With a
+// nil scratch it is a no-op (the garbage collector takes over).
+func Release(sc *tensor.Scratch, tasks []WeightTask) {
+	if sc == nil {
+		return
+	}
+	for i := range tasks {
+		t := &tasks[i]
+		if t.freeX {
+			sc.Put(t.x)
+		}
+		if t.freeDY {
+			sc.Put(t.dy)
+		}
+		t.x, t.dy = nil, nil
+	}
+}
 
 // Layer is one transformer block.
 type Layer struct {
@@ -128,67 +165,146 @@ type sliceSave struct {
 }
 
 // LayerState is the per-micro-batch runtime state of one layer: the KV
-// cache grown by forward slices and the dK/dV accumulators filled by
-// backward slices in reverse order.
+// cache grown in place by forward slices (capacity preallocated for the
+// full sequence) and the dK/dV accumulators filled by backward slices in
+// reverse order. States are reusable: Reset rewinds one for the next
+// sample without giving up its buffers.
 type LayerState struct {
 	K, V   *tensor.Matrix // [cachedTokens × hidden]
 	dK, dV *tensor.Matrix
 	saves  map[int]*sliceSave // by slice start position
+	pool   []*sliceSave       // recycled saves
 }
 
 // NewLayerState returns an empty state for one micro-batch.
 func NewLayerState(cfg Config) *LayerState {
 	return &LayerState{
-		K: tensor.New(0, cfg.Hidden), V: tensor.New(0, cfg.Hidden),
+		K:     tensor.NewWithRowCap(0, cfg.Hidden, cfg.SeqLen),
+		V:     tensor.NewWithRowCap(0, cfg.Hidden, cfg.SeqLen),
 		saves: map[int]*sliceSave{},
 	}
 }
 
-func appendRows(dst, rows *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(dst.Rows+rows.Rows, rows.Cols)
-	copy(out.Data, dst.Data)
-	copy(out.Data[len(dst.Data):], rows.Data)
-	return out
+// Reset rewinds the state for a fresh sample, keeping every buffer.
+func (st *LayerState) Reset() {
+	st.K.Rows, st.K.Data = 0, st.K.Data[:0]
+	st.V.Rows, st.V.Data = 0, st.V.Data[:0]
+	if st.dK != nil {
+		st.dK.Rows, st.dK.Data = 0, st.dK.Data[:0]
+		st.dV.Rows, st.dV.Data = 0, st.dV.Data[:0]
+	}
+	clear(st.saves)
+}
+
+func (st *LayerState) getSave() *sliceSave {
+	if n := len(st.pool); n > 0 {
+		sv := st.pool[n-1]
+		st.pool[n-1] = nil
+		st.pool = st.pool[:n-1]
+		return sv
+	}
+	return &sliceSave{}
+}
+
+func (st *LayerState) putSave(sv *sliceSave) {
+	*sv = sliceSave{probs: sv.probs[:0]}
+	st.pool = append(st.pool, sv)
+}
+
+// ensureGrads sizes the dK/dV accumulators to the current cache (zeroed)
+// the first time a micro-batch's backward touches them.
+func (st *LayerState) ensureGrads() {
+	if st.dK == nil {
+		st.dK = tensor.New(st.K.Rows, st.K.Cols)
+		st.dV = tensor.New(st.V.Rows, st.V.Cols)
+		return
+	}
+	if st.dK.Rows != st.K.Rows {
+		growZero(st.dK, st.K.Rows)
+		growZero(st.dV, st.V.Rows)
+	}
+}
+
+// growZero resizes m to rows (reusing capacity when possible) and zeroes it.
+func growZero(m *tensor.Matrix, rows int) {
+	need := rows * m.Cols
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	} else {
+		m.Data = m.Data[:cap(m.Data)][:need]
+	}
+	m.Rows = rows
+	clear(m.Data)
 }
 
 // ForwardSlice runs one slice of tokens (x: [t×hidden], first token at
-// absolute position start) through the layer, growing the KV cache. With
-// lean set, only the slice input is retained — the recomputation technique
-// (§2): the backward pass rebuilds the intermediates from xIn and the KV
-// cache at the cost of replaying the forward math.
-func (l *Layer) ForwardSlice(st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
-	return l.forwardSlice(st, x, start, false)
+// absolute position start) through the layer, growing the KV cache. The
+// layer takes ownership of x (it is retained for the backward pass and
+// eventually returned to the arena). With lean set, only the slice input is
+// retained — the recomputation technique (§2): the backward pass rebuilds
+// the intermediates from xIn and the KV cache at the cost of replaying the
+// forward math.
+func (l *Layer) ForwardSlice(sc *tensor.Scratch, st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
+	return l.forwardSlice(sc, st, x, start, false)
 }
 
 // ForwardSliceLean is ForwardSlice under activation recomputation.
-func (l *Layer) ForwardSliceLean(st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
-	return l.forwardSlice(st, x, start, true)
+func (l *Layer) ForwardSliceLean(sc *tensor.Scratch, st *LayerState, x *tensor.Matrix, start int) *tensor.Matrix {
+	return l.forwardSlice(sc, st, x, start, true)
 }
 
-func (l *Layer) forwardSlice(st *LayerState, x *tensor.Matrix, start int, lean bool) *tensor.Matrix {
+func (l *Layer) forwardSlice(sc *tensor.Scratch, st *LayerState, x *tensor.Matrix, start int, lean bool) *tensor.Matrix {
 	if st.K.Rows != start {
 		panic(fmt.Sprintf("nn: slice at %d but cache holds %d tokens (slices must arrive in order)", start, st.K.Rows))
 	}
-	sv := &sliceSave{start: start, xIn: x.Clone()}
+	t := x.Rows
+	sv := st.getSave()
+	sv.start, sv.xIn = start, x
 	// Project and append this slice's keys/values; later slices need them
 	// regardless of recomputation.
-	xn1 := tensor.New(x.Rows, l.cfg.Hidden)
-	inv1 := tensor.RMSNorm(xn1, x, l.AttnNorm)
-	st.K = appendRows(st.K, l.Wk.Forward(xn1))
-	st.V = appendRows(st.V, l.Wv.Forward(xn1))
-	y := l.computeSlice(st, sv, xn1, inv1)
+	xn1 := sc.GetRaw(t, l.cfg.Hidden)
+	inv1 := tensor.RMSNorm(xn1, x, l.AttnNorm, sc.GetVec(t))
+	proj := sc.Get(t, l.cfg.Hidden)
+	sc.MatMul(proj, xn1, l.Wk.W)
+	st.K.AppendRows(proj)
+	proj.Zero()
+	sc.MatMul(proj, xn1, l.Wv.W)
+	st.V.AppendRows(proj)
+	sc.Put(proj)
+	y := l.computeSlice(sc, st, sv, xn1, inv1)
 	if lean {
 		// Drop everything but the input; BackwardSlice rebuilds it.
-		*sv = sliceSave{start: start, xIn: sv.xIn}
+		l.releaseCompute(sc, sv)
 	}
 	st.saves[start] = sv
 	return y
 }
 
+// releaseCompute returns every intermediate of a save except xIn to the
+// arena and clears the fields (so sv.q == nil marks a lean save).
+func (l *Layer) releaseCompute(sc *tensor.Scratch, sv *sliceSave) {
+	sc.Put(sv.xn1)
+	sc.Put(sv.q)
+	sc.Put(sv.ctx)
+	sc.Put(sv.xMid)
+	sc.Put(sv.xn2)
+	sc.Put(sv.g)
+	sc.Put(sv.u)
+	sc.Put(sv.act)
+	sc.PutVec(sv.inv1)
+	sc.PutVec(sv.inv2)
+	for i, p := range sv.probs {
+		sc.Put(p)
+		sv.probs[i] = nil
+	}
+	*sv = sliceSave{start: sv.start, xIn: sv.xIn, probs: sv.probs[:0]}
+}
+
 // computeSlice runs attention and the MLP for the slice described by sv
 // (whose xIn is set and whose K/V rows are already in the cache up to
-// start+t), filling the save and returning the layer output.
-func (l *Layer) computeSlice(st *LayerState, sv *sliceSave, xn1 *tensor.Matrix, inv1 []float32) *tensor.Matrix {
+// start+t), filling the save and returning the layer output. The layer
+// takes ownership of xn1 and inv1 (stored in the save).
+func (l *Layer) computeSlice(sc *tensor.Scratch, st *LayerState, sv *sliceSave, xn1 *tensor.Matrix, inv1 []float32) *tensor.Matrix {
 	h := l.cfg.Hidden
 	nh := l.cfg.Heads
 	hd := h / nh
@@ -196,53 +312,68 @@ func (l *Layer) computeSlice(st *LayerState, sv *sliceSave, xn1 *tensor.Matrix, 
 	cached := sv.start + t
 
 	sv.xn1, sv.inv1 = xn1, inv1
-	sv.q = l.Wq.Forward(sv.xn1)
-	kAll := rowsView(st.K, 0, cached)
-	vAll := rowsView(st.V, 0, cached)
+	sv.q = sc.Get(t, h)
+	sc.MatMul(sv.q, sv.xn1, l.Wq.W)
 
 	// Per-head causal attention against the cache as of this slice.
-	sv.ctx = tensor.New(t, h)
-	sv.probs = make([]*tensor.Matrix, nh)
+	sv.ctx = sc.GetRaw(t, h)
+	sv.probs = sv.probs[:0]
 	scale := float32(1 / math.Sqrt(float64(hd)))
+	qh := sc.GetRaw(t, hd)
+	kh := sc.GetRaw(cached, hd)
+	vh := sc.GetRaw(cached, hd)
+	ctxh := sc.Get(t, hd)
 	for hI := 0; hI < nh; hI++ {
-		qh := headView(sv.q, hI, hd)
-		kh := headView(kAll, hI, hd)
-		vh := headView(vAll, hI, hd)
-		scores := tensor.New(t, cached)
-		tensor.MatMulBT(scores, qh, kh)
+		gatherHead(qh, sv.q.Data, t, h, hI, hd)
+		gatherHead(kh, st.K.Data, cached, h, hI, hd)
+		gatherHead(vh, st.V.Data, cached, h, hI, hd)
+		scores := sc.Get(t, cached)
+		sc.MatMulBT(scores, qh, kh)
 		scores.Scale(scale)
 		tensor.SoftmaxRowsCausal(scores, sv.start)
-		sv.probs[hI] = scores
-		ctxh := tensor.New(t, hd)
-		tensor.MatMul(ctxh, scores, vh)
+		sv.probs = append(sv.probs, scores)
+		ctxh.Zero()
+		sc.MatMul(ctxh, scores, vh)
 		writeHead(sv.ctx, ctxh, hI, hd)
 	}
-	attnOut := l.Wo.Forward(sv.ctx)
+	sc.Put(qh)
+	sc.Put(kh)
+	sc.Put(vh)
+	// ctxh was zeroed before each use; its last contents are dead.
+	sc.Put(ctxh)
+	attnOut := sc.Get(t, h)
+	sc.MatMul(attnOut, sv.ctx, l.Wo.W)
 
-	sv.xMid = sv.xIn.Clone()
+	sv.xMid = sc.GetRaw(t, h)
+	sv.xMid.CopyFrom(sv.xIn)
 	sv.xMid.Add(attnOut)
+	sc.Put(attnOut)
 
-	sv.xn2 = tensor.New(t, h)
-	sv.inv2 = tensor.RMSNorm(sv.xn2, sv.xMid, l.MLPNorm)
-	sv.g = l.Wg.Forward(sv.xn2)
-	sv.u = l.Wu.Forward(sv.xn2)
-	sv.act = tensor.New(t, l.cfg.FFN)
+	sv.xn2 = sc.GetRaw(t, h)
+	sv.inv2 = tensor.RMSNorm(sv.xn2, sv.xMid, l.MLPNorm, sc.GetVec(t))
+	sv.g = sc.Get(t, l.cfg.FFN)
+	sc.MatMul(sv.g, sv.xn2, l.Wg.W)
+	sv.u = sc.Get(t, l.cfg.FFN)
+	sc.MatMul(sv.u, sv.xn2, l.Wu.W)
+	sv.act = sc.GetRaw(t, l.cfg.FFN)
 	tensor.SiLU(sv.act, sv.g)
 	tensor.Mul(sv.act, sv.act, sv.u)
-	mlpOut := l.Wd.Forward(sv.act)
+	mlpOut := sc.Get(t, h)
+	sc.MatMul(mlpOut, sv.act, l.Wd.W)
 
-	y := sv.xMid.Clone()
+	y := sc.GetRaw(t, h)
+	y.CopyFrom(sv.xMid)
 	y.Add(mlpOut)
+	sc.Put(mlpOut)
 	return y
 }
 
-// headView copies head hI's columns out of a [rows×hidden] matrix.
-func headView(m *tensor.Matrix, hI, hd int) *tensor.Matrix {
-	out := tensor.New(m.Rows, hd)
-	for r := 0; r < m.Rows; r++ {
-		copy(out.Row(r), m.Row(r)[hI*hd:(hI+1)*hd])
+// gatherHead copies head hI's columns of the first dst.Rows rows of a
+// row-major [·×stride] buffer into dst (fully overwriting it).
+func gatherHead(dst *tensor.Matrix, data []float32, rows, stride, hI, hd int) {
+	for r := 0; r < rows; r++ {
+		copy(dst.Row(r), data[r*stride+hI*hd:r*stride+(hI+1)*hd])
 	}
-	return out
 }
 
 // writeHead copies a [rows×hd] block into head hI's columns (overwriting).
@@ -264,12 +395,18 @@ func addHead(dst, src *tensor.Matrix, rowOff, hI, hd int) {
 	}
 }
 
+// copyRows copies rows [off, off+dst.Rows) of src into dst (overwriting).
+func copyRows(dst, src *tensor.Matrix, off int) {
+	copy(dst.Data, src.Data[off*src.Cols:(off+dst.Rows)*src.Cols])
+}
+
 // BackwardSlice consumes dY for the slice that starts at `start`, returning
 // dX and appending the layer's seven deferred weight-gradient GEMMs to
-// tasks. Slices MUST be processed in reverse order: the dK/dV contributions
-// of later slices land in the state's accumulators before earlier slices
-// read their own rows.
-func (l *Layer) BackwardSlice(st *LayerState, start int, dy *tensor.Matrix, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
+// tasks. The layer takes ownership of dy (it is retained by the Wd task
+// until Release). Slices MUST be processed in reverse order: the dK/dV
+// contributions of later slices land in the state's accumulators before
+// earlier slices read their own rows.
+func (l *Layer) BackwardSlice(sc *tensor.Scratch, st *LayerState, start int, dy *tensor.Matrix, tasks []WeightTask) (*tensor.Matrix, []WeightTask) {
 	sv, ok := st.saves[start]
 	if !ok {
 		panic(fmt.Sprintf("nn: backward for unseen slice at %d", start))
@@ -278,96 +415,130 @@ func (l *Layer) BackwardSlice(st *LayerState, start int, dy *tensor.Matrix, task
 	if sv.q == nil {
 		// Lean forward: replay the forward math to rebuild the
 		// intermediates (identical inputs, identical results).
-		xn1 := tensor.New(sv.xIn.Rows, l.cfg.Hidden)
-		inv1 := tensor.RMSNorm(xn1, sv.xIn, l.AttnNorm)
-		l.computeSlice(st, sv, xn1, inv1)
+		xn1 := sc.GetRaw(sv.xIn.Rows, l.cfg.Hidden)
+		inv1 := tensor.RMSNorm(xn1, sv.xIn, l.AttnNorm, sc.GetVec(sv.xIn.Rows))
+		sc.Put(l.computeSlice(sc, st, sv, xn1, inv1))
 	}
 	h, nh := l.cfg.Hidden, l.cfg.Heads
 	hd := h / nh
 	t := dy.Rows
-	if st.dK == nil {
-		st.dK = tensor.New(st.K.Rows, h)
-		st.dV = tensor.New(st.V.Rows, h)
-	}
+	st.ensureGrads()
 
 	// MLP backward. y = xMid + Wd(silu(Wg xn2) ⊙ Wu xn2).
-	dXmid := dy.Clone()
-	dAct := tensor.New(t, l.cfg.FFN)
-	l.Wd.BackwardAct(dAct, dy)
-	tasks = append(tasks, WeightTask{&l.Wd, sv.act, dy.Clone()})
+	dXmid := sc.GetRaw(t, h)
+	dXmid.CopyFrom(dy)
+	dAct := sc.Get(t, l.cfg.FFN)
+	sc.MatMulBT(dAct, dy, l.Wd.W)
+	tasks = append(tasks, WeightTask{lin: &l.Wd, x: sv.act, dy: dy, freeX: true, freeDY: true})
 	// act = silu(g) ⊙ u
-	dG := tensor.New(t, l.cfg.FFN)
-	siluG := tensor.New(t, l.cfg.FFN)
+	dG := sc.Get(t, l.cfg.FFN)
+	siluG := sc.GetRaw(t, l.cfg.FFN)
 	tensor.SiLU(siluG, sv.g)
-	dU := tensor.New(t, l.cfg.FFN)
+	dU := sc.Get(t, l.cfg.FFN)
 	tensor.MulAdd(dU, dAct, siluG)
-	dActSilu := tensor.New(t, l.cfg.FFN)
+	dActSilu := sc.GetRaw(t, l.cfg.FFN)
 	tensor.Mul(dActSilu, dAct, sv.u)
 	tensor.SiLUBackward(dG, dActSilu, sv.g)
-	dXn2 := tensor.New(t, h)
-	l.Wg.BackwardAct(dXn2, dG)
-	l.Wu.BackwardAct(dXn2, dU)
-	tasks = append(tasks, WeightTask{&l.Wg, sv.xn2, dG})
-	tasks = append(tasks, WeightTask{&l.Wu, sv.xn2, dU})
+	sc.Put(siluG)
+	sc.Put(dActSilu)
+	sc.Put(dAct)
+	sc.Put(sv.g)
+	sc.Put(sv.u)
+	dXn2 := sc.Get(t, h)
+	sc.MatMulBT(dXn2, dG, l.Wg.W)
+	sc.MatMulBT(dXn2, dU, l.Wu.W)
+	tasks = append(tasks, WeightTask{lin: &l.Wg, x: sv.xn2, dy: dG, freeDY: true})
+	tasks = append(tasks, WeightTask{lin: &l.Wu, x: sv.xn2, dy: dU, freeX: true, freeDY: true})
 	tensor.RMSNormBackward(dXmid, l.DMLPNorm, dXn2, sv.xMid, l.MLPNorm, sv.inv2)
+	sc.Put(dXn2)
+	sc.Put(sv.xMid)
+	sc.PutVec(sv.inv2)
 
 	// Attention backward. xMid = xIn + Wo·ctx.
-	dCtx := tensor.New(t, h)
-	l.Wo.BackwardAct(dCtx, dXmid)
-	tasks = append(tasks, WeightTask{&l.Wo, sv.ctx, dXmid.Clone()})
-	dQ := tensor.New(t, h)
+	dCtx := sc.Get(t, h)
+	sc.MatMulBT(dCtx, dXmid, l.Wo.W)
+	tasks = append(tasks, WeightTask{lin: &l.Wo, x: sv.ctx, dy: dXmid, freeX: true, freeDY: true})
+	dQ := sc.GetRaw(t, h)
 	// The slice attended to the cache as it stood at its forward pass —
 	// exactly `cached` tokens — so the K/V views must be truncated even
 	// though later slices have grown the cache since.
 	cached := sv.probs[0].Cols
 	scale := float32(1 / math.Sqrt(float64(hd)))
+	dCtxh := sc.GetRaw(t, hd)
+	kh := sc.GetRaw(cached, hd)
+	vh := sc.GetRaw(cached, hd)
+	qh := sc.GetRaw(t, hd)
+	dVh := sc.Get(cached, hd)
+	dKh := sc.Get(cached, hd)
+	dQh := sc.Get(t, hd)
 	for hI := 0; hI < nh; hI++ {
-		dCtxh := headView(dCtx, hI, hd)
+		gatherHead(dCtxh, dCtx.Data, t, h, hI, hd)
 		probs := sv.probs[hI]
-		kh := headView(rowsView(st.K, 0, cached), hI, hd)
-		vh := headView(rowsView(st.V, 0, cached), hI, hd)
+		gatherHead(kh, st.K.Data, cached, h, hI, hd)
+		gatherHead(vh, st.V.Data, cached, h, hI, hd)
 		// dV_cache += probsᵀ · dCtxh
-		dVh := tensor.New(cached, hd)
-		tensor.MatMulAT(dVh, probs, dCtxh)
+		dVh.Zero()
+		sc.MatMulAT(dVh, probs, dCtxh)
 		addHead(st.dV, dVh, 0, hI, hd)
 		// dProbs = dCtxh · Vᵀ, then softmax backward in place.
-		dProbs := tensor.New(t, cached)
-		tensor.MatMulBT(dProbs, dCtxh, vh)
+		dProbs := sc.Get(t, cached)
+		sc.MatMulBT(dProbs, dCtxh, vh)
 		tensor.SoftmaxBackwardCausal(dProbs, probs, sv.start)
 		// dQ_h += dScores · K · scale; dK_cache += dScoresᵀ · Q · scale.
-		dQh := tensor.New(t, hd)
-		tensor.MatMul(dQh, dProbs, kh)
+		dQh.Zero()
+		sc.MatMul(dQh, dProbs, kh)
 		dQh.Scale(scale)
 		writeHead(dQ, dQh, hI, hd)
-		qh := headView(sv.q, hI, hd)
-		dKh := tensor.New(cached, hd)
-		tensor.MatMulAT(dKh, dProbs, qh)
+		gatherHead(qh, sv.q.Data, t, h, hI, hd)
+		dKh.Zero()
+		sc.MatMulAT(dKh, dProbs, qh)
 		dKh.Scale(scale)
 		addHead(st.dK, dKh, 0, hI, hd)
+		sc.Put(dProbs)
+		if sc != nil {
+			// Recycling only: a nil arena means checkpoint snapshots may
+			// share this save, and replay needs the probs intact.
+			sc.Put(probs)
+			sv.probs[hI] = nil
+		}
 	}
+	sc.Put(dCtxh)
+	sc.Put(kh)
+	sc.Put(vh)
+	sc.Put(qh)
+	sc.Put(dVh)
+	sc.Put(dKh)
+	sc.Put(dQh)
+	sc.Put(dCtx)
+	sc.Put(sv.q)
 
 	// The slice's own K/V rows now hold every contribution (this slice's
 	// plus all later slices'); project them back.
-	dKslice := rowsView(st.dK, sv.start, t)
-	dVslice := rowsView(st.dV, sv.start, t)
-	dXn1 := tensor.New(t, h)
-	l.Wq.BackwardAct(dXn1, dQ)
-	l.Wk.BackwardAct(dXn1, dKslice)
-	l.Wv.BackwardAct(dXn1, dVslice)
-	tasks = append(tasks, WeightTask{&l.Wq, sv.xn1, dQ})
-	tasks = append(tasks, WeightTask{&l.Wk, sv.xn1, dKslice})
-	tasks = append(tasks, WeightTask{&l.Wv, sv.xn1, dVslice})
+	dKslice := sc.GetRaw(t, h)
+	copyRows(dKslice, st.dK, sv.start)
+	dVslice := sc.GetRaw(t, h)
+	copyRows(dVslice, st.dV, sv.start)
+	dXn1 := sc.Get(t, h)
+	sc.MatMulBT(dXn1, dQ, l.Wq.W)
+	sc.MatMulBT(dXn1, dKslice, l.Wk.W)
+	sc.MatMulBT(dXn1, dVslice, l.Wv.W)
+	tasks = append(tasks, WeightTask{lin: &l.Wq, x: sv.xn1, dy: dQ, freeDY: true})
+	tasks = append(tasks, WeightTask{lin: &l.Wk, x: sv.xn1, dy: dKslice, freeDY: true})
+	tasks = append(tasks, WeightTask{lin: &l.Wv, x: sv.xn1, dy: dVslice, freeX: true, freeDY: true})
 
-	dX := dXmid.Clone()
+	dX := sc.GetRaw(t, h)
+	dX.CopyFrom(dXmid)
 	tensor.RMSNormBackward(dX, l.DAttnNorm, dXn1, sv.xIn, l.AttnNorm, sv.inv1)
+	sc.Put(dXn1)
+	sc.Put(sv.xIn)
+	sc.PutVec(sv.inv1)
+	if sc != nil {
+		// Recycling zeroes *sv, so skip it in scratch-free mode: the
+		// resilient runtime's snapshots share save pointers and must be
+		// able to replay from them.
+		st.putSave(sv)
+	}
 	return dX, tasks
-}
-
-// rowsView copies rows [off, off+n) into a fresh matrix.
-func rowsView(m *tensor.Matrix, off, n int) *tensor.Matrix {
-	out := tensor.New(n, m.Cols)
-	copy(out.Data, m.Data[off*m.Cols:(off+n)*m.Cols])
-	return out
 }
 
 // WeightGradGEMMs is the per-layer fine-grained decomposition width

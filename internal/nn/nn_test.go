@@ -211,20 +211,20 @@ func TestDeferredWeightTasks(t *testing.T) {
 	headSaves := NewHeadState()
 	logits := make([]*tensor.Matrix, 2)
 	for s := 0; s < 2; s++ {
-		x := deferred.Embed.Forward(sample[s*tTok : s*tTok+tTok])
+		x := deferred.Embed.Forward(nil, sample[s*tTok:s*tTok+tTok])
 		for li, l := range deferred.Layers {
-			x = l.ForwardSlice(states[li], x, s*tTok)
+			x = l.ForwardSlice(nil, states[li], x, s*tTok)
 		}
-		logits[s] = deferred.Head.Forward(x, headSaves, s*tTok)
+		logits[s] = deferred.Head.Forward(nil, x, headSaves, s*tTok)
 	}
 	var all []WeightTask
 	for s := 1; s >= 0; s-- {
 		dl := tensor.New(tTok, cfgM.Vocab)
 		tensor.CrossEntropy(dl, logits[s], sample[s*tTok+1:s*tTok+tTok+1])
 		dl.Scale(0.5) // match TrainSequential's 1/(slices·batch) loss scaling
-		dx, tasks := deferred.Head.Backward(dl, headSaves, s*tTok, nil)
+		dx, tasks := deferred.Head.Backward(nil, dl, headSaves, s*tTok, nil)
 		for li := len(deferred.Layers) - 1; li >= 0; li-- {
-			dx, tasks = deferred.Layers[li].BackwardSlice(states[li], s*tTok, dx, tasks)
+			dx, tasks = deferred.Layers[li].BackwardSlice(nil, states[li], s*tTok, dx, tasks)
 		}
 		deferred.Embed.Backward(sample[s*tTok:s*tTok+tTok], dx)
 		all = append(all, tasks...)

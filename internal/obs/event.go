@@ -97,8 +97,9 @@ type Event struct {
 	Op    sched.Op // the op executed / fed / charged
 	Start float64  // seconds
 	End   float64  // seconds (== Start for instants)
-	Bytes int64    // payload (EvComm) or delta (EvAlloc/EvFree)
+	Bytes int64    // payload (EvComm), delta (EvAlloc/EvFree), or bytes freshly allocated during an EvOp
 	Live  int64    // retained bytes on Stage after the event (memory kinds)
+	FLOPs int64    // floating-point work of an EvOp's GEMMs (runtime only)
 	Cause string   // stall/drain cause, empty otherwise
 }
 

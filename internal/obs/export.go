@@ -52,8 +52,17 @@ func (c ChromeTrace) Export(w io.Writer, t *Trace) error {
 				TS: e.Start * 1e6, Dur: e.Dur() * 1e6,
 				PID: 0, TID: e.Stage,
 			}
-			if e.Cause != "" {
-				ce.Args = map[string]any{"cause": e.Cause}
+			if e.Cause != "" || e.FLOPs > 0 {
+				ce.Args = map[string]any{}
+				if e.Cause != "" {
+					ce.Args["cause"] = e.Cause
+				}
+				if e.FLOPs > 0 {
+					ce.Args["gflop"] = float64(e.FLOPs) / 1e9
+					if d := e.Dur(); d > 0 {
+						ce.Args["gflops"] = float64(e.FLOPs) / 1e9 / d
+					}
+				}
 			}
 			evs = append(evs, ce)
 		case EvStall:
@@ -132,6 +141,7 @@ type jsonlEvent struct {
 	End   float64 `json:"end"`
 	Bytes int64   `json:"bytes,omitempty"`
 	Live  int64   `json:"live,omitempty"`
+	FLOPs int64   `json:"flops,omitempty"`
 	Cause string  `json:"cause,omitempty"`
 }
 
@@ -149,7 +159,7 @@ func (JSONL) Export(w io.Writer, t *Trace) error {
 			Op: e.Op.Kind.String(), Micro: e.Op.Micro, Slice: e.Op.Slice,
 			Chunk: e.Op.Chunk, Piece: e.Op.Piece,
 			Start: e.Start, End: e.End,
-			Bytes: e.Bytes, Live: e.Live, Cause: e.Cause,
+			Bytes: e.Bytes, Live: e.Live, FLOPs: e.FLOPs, Cause: e.Cause,
 		}
 		if e.Kind == EvComm {
 			rec.From = e.From

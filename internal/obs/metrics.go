@@ -87,6 +87,10 @@ type StageMetrics struct {
 	PeakBytes  int64
 	AllocBytes int64
 
+	// GemmFLOPs is the floating-point work of the stage's GEMMs (runtime
+	// traces only; the simulator does not model FLOPs).
+	GemmFLOPs int64
+
 	// Dynamic §5 engine behaviour: weight-gradient ops drained into
 	// stalls, and forwards deferred by the activation budget.
 	Drained      int
@@ -115,6 +119,8 @@ type Snapshot struct {
 	CommBytes int64
 	// StallTime is the total idle seconds by cause across stages.
 	StallTime map[string]float64
+	// GemmFLOPs is the total GEMM work across stages (runtime traces).
+	GemmFLOPs int64
 }
 
 // Snapshot aggregates the trace into per-stage counters and histograms.
@@ -150,6 +156,9 @@ func (t *Trace) Snapshot() *Snapshot {
 			if e.Cause == "replay" {
 				m.Replayed++
 			}
+			m.GemmFLOPs += e.FLOPs
+			s.GemmFLOPs += e.FLOPs
+			m.AllocBytes += e.Bytes
 		case EvStall:
 			m.StallTime[e.Cause] += e.Dur()
 			m.QueueWait.Observe(e.Dur())
@@ -198,6 +207,11 @@ func (s *Snapshot) Summary() []string {
 	out := []string{fmt.Sprintf(
 		"makespan %.4g s, bubble %.1f%%, peak %.0f MiB retained, %.1f MiB cross-stage traffic",
 		s.Makespan, 100*s.Bubble, float64(s.PeakBytes)/(1<<20), float64(s.CommBytes)/(1<<20))}
+	if s.GemmFLOPs > 0 && s.Makespan > 0 {
+		out = append(out, fmt.Sprintf(
+			"compute: %.3g GFLOP at %.2f GFLOP/s aggregate",
+			float64(s.GemmFLOPs)/1e9, float64(s.GemmFLOPs)/1e9/s.Makespan))
+	}
 	causes := make([]string, 0, len(s.StallTime))
 	for c := range s.StallTime {
 		causes = append(causes, c)

@@ -63,6 +63,9 @@ type Runner struct {
 	// clock origin of the run's trace timestamps.
 	clock Clock
 	t0    time.Time
+	// kernels, when non-nil, is applied to the shared GEMM pool before the
+	// stages start (see WithKernels).
+	kernels *tensor.KernelConfig
 
 	// Resilience (see resilience.go). hook and transport are the fault
 	// injection seams; ckptEvery enables restore-and-replay recovery;
@@ -151,6 +154,10 @@ func New(m *nn.Model, s *sched.Schedule, batch [][]int) (*Runner, error) {
 // stage is the per-goroutine execution state.
 type stage struct {
 	k int
+	// sc is the stage's scratch arena; nil when checkpointing is enabled
+	// (snapshots share activation references, so recycling would corrupt
+	// replay) — the passes then fall back to plain allocation.
+	sc *tensor.Scratch
 	// layer states per (layer index, micro).
 	layers map[int][]*nn.LayerState
 	heads  []*nn.HeadState
@@ -178,9 +185,20 @@ func (r *Runner) Run() (float64, error) {
 // transfer events as the stages execute, and returns the receiver. The sink
 // must be safe for concurrent emission (obs.Recorder is). Runtime op spans
 // include any time spent blocked on the op's input; that wait is also
-// reported separately as a stall event.
+// reported separately as a stall event. Op events carry the op's GEMM
+// FLOPs and freshly-allocated bytes (both zero under checkpointing, where
+// stages run without a scratch arena).
 func (r *Runner) WithTrace(sink obs.Sink) *Runner {
 	r.trace = sink
+	return r
+}
+
+// WithKernels applies a GEMM kernel configuration (worker count, tile
+// sizes) to the shared kernel pool when the run starts. Kernel parallelism
+// never changes results: work is partitioned by destination-row ownership,
+// so outputs are bitwise identical to serial execution.
+func (r *Runner) WithKernels(cfg tensor.KernelConfig) *Runner {
+	r.kernels = &cfg
 	return r
 }
 
@@ -211,6 +229,7 @@ func (f failPanic) String() string {
 func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 	r.ctx = ctx
 	r.t0 = r.clock()
+	r.applyKernels()
 	stages := make([]*stage, r.s.P)
 	for k := range stages {
 		stages[k] = r.newStage(k)
@@ -221,6 +240,9 @@ func (r *Runner) RunContext(ctx context.Context) (float64, error) {
 		spawn(&wg, func() { r.runStageGuarded(st) })
 	}
 	wg.Wait()
+	for _, st := range stages {
+		r.releaseStage(st)
+	}
 	if r.failErr != nil {
 		return 0, r.failErr
 	}
@@ -308,9 +330,29 @@ func (r *Runner) newStage(k int) *stage {
 	}
 	if r.ckptEvery > 0 {
 		st.res = &resilience{every: r.ckptEvery}
+	} else {
+		st.sc = tensor.GrabScratch()
 	}
 	st.rng = rand.New(rand.NewSource(0x5eed + int64(k)))
 	return st
+}
+
+// applyKernels installs the runner's kernel configuration on the shared
+// pool, skipping the swap when it is already in effect (per-step runner
+// construction must not churn worker pools).
+func (r *Runner) applyKernels() {
+	if r.kernels == nil {
+		return
+	}
+	if want := tensor.NormalizeKernelConfig(*r.kernels); want != tensor.CurrentConfig() {
+		tensor.Configure(want)
+	}
+}
+
+// releaseStage returns the stage's arena to the shared pool.
+func (r *Runner) releaseStage(st *stage) {
+	tensor.ReleaseScratch(st.sc)
+	st.sc = nil
 }
 
 func (r *Runner) runStage(st *stage) {
@@ -331,6 +373,7 @@ func (r *Runner) runStage(st *stage) {
 			}
 		}
 		start := r.now()
+		before := st.sc.Stats()
 		switch op.Kind {
 		case sched.F:
 			r.forward(st, op)
@@ -351,9 +394,12 @@ func (r *Runner) runStage(st *stage) {
 			if st.res != nil && i < st.res.replayUntil {
 				cause = "replay"
 			}
+			after := st.sc.Stats()
 			r.trace.Emit(obs.Event{
 				Kind: obs.EvOp, Stage: st.k, From: st.k, Op: op,
 				Start: start, End: r.now(), Cause: cause,
+				Bytes: after.AllocBytes - before.AllocBytes,
+				FLOPs: after.FLOPs - before.FLOPs,
 			})
 		}
 	}
@@ -368,19 +414,19 @@ func (r *Runner) forward(st *stage, op sched.Op) {
 	var x *tensor.Matrix
 	if g == 0 {
 		tokens := r.batch[op.Micro][start : start+r.sliceTokens]
-		x = r.model.Embed.Forward(tokens)
+		x = r.model.Embed.Forward(st.sc, tokens)
 	} else {
 		x = r.receive(st, op)
 	}
 	for _, li := range r.chunkLayers[g] {
 		if r.model.LeanActivations {
-			x = r.model.Layers[li].ForwardSliceLean(st.layers[li][op.Micro], x, start)
+			x = r.model.Layers[li].ForwardSliceLean(st.sc, st.layers[li][op.Micro], x, start)
 		} else {
-			x = r.model.Layers[li].ForwardSlice(st.layers[li][op.Micro], x, start)
+			x = r.model.Layers[li].ForwardSlice(st.sc, st.layers[li][op.Micro], x, start)
 		}
 	}
 	if g == r.s.TotalChunks()-1 {
-		logits := r.model.Head.Forward(x, st.heads[op.Micro], start)
+		logits := r.model.Head.Forward(st.sc, x, st.heads[op.Micro], start)
 		st.logits[famKey{op.Micro, op.Slice, op.Chunk}] = logits
 		return
 	}
@@ -476,11 +522,19 @@ func (r *Runner) deliver(st *stage, ns int, consumer, producer sched.Op, x *tens
 	r.sendRetrying(st, ns, producer)
 	if r.wires != nil {
 		r.sendWire(st.k, edgeKey{ns, consumer}, x)
+		// The frame is serialised; the local buffer can be recycled.
+		st.sc.Put(x)
 		return
 	}
-	for _, ch := range r.sends[edgeKey{st.k, producer}] {
+	for i, ch := range r.sends[edgeKey{st.k, producer}] {
+		out := x
+		if i > 0 && st.sc != nil {
+			// Ownership of x transfers to the first consumer (which will
+			// recycle it); further consumers need their own copy.
+			out = x.Clone()
+		}
 		select {
-		case ch <- x:
+		case ch <- out:
 		case <-r.ctx.Done():
 			panic(cancelPanic{})
 		case <-r.failed:
@@ -501,22 +555,24 @@ func (r *Runner) backward(st *stage, op sched.Op, fused bool) {
 		logits := st.logits[fam]
 		delete(st.logits, fam)
 		targets := r.batch[op.Micro][start+1 : start+r.sliceTokens+1]
-		dLogits := tensor.New(r.sliceTokens, r.model.Cfg.Vocab)
+		dLogits := st.sc.GetRaw(r.sliceTokens, r.model.Cfg.Vocab)
 		norm := float64(r.s.S * r.s.N)
 		st.loss += tensor.CrossEntropy(dLogits, logits, targets) / norm
 		dLogits.Scale(float32(1 / norm))
-		dy, tasks = r.model.Head.Backward(dLogits, st.heads[op.Micro], start, nil)
+		st.sc.Put(logits)
+		dy, tasks = r.model.Head.Backward(st.sc, dLogits, st.heads[op.Micro], start, nil)
 	} else {
 		dy = r.receive(st, op)
 	}
 	layers := r.chunkLayers[g]
 	for i := len(layers) - 1; i >= 0; i-- {
 		li := layers[i]
-		dy, tasks = r.model.Layers[li].BackwardSlice(st.layers[li][op.Micro], start, dy, tasks)
+		dy, tasks = r.model.Layers[li].BackwardSlice(st.sc, st.layers[li][op.Micro], start, dy, tasks)
 	}
 	if g == 0 {
 		tokens := r.batch[op.Micro][start : start+r.sliceTokens]
 		r.model.Embed.Backward(tokens, dy)
+		st.sc.Put(dy)
 	} else {
 		ps, pl := r.s.Place.Host(g - 1)
 		kind := sched.B
@@ -528,8 +584,9 @@ func (r *Runner) backward(st *stage, op sched.Op, fused bool) {
 	}
 	if fused {
 		for _, t := range tasks {
-			t.Run()
+			t.RunCounted(st.sc)
 		}
+		nn.Release(st.sc, tasks)
 		return
 	}
 	st.tasks[fam] = tasks
@@ -547,9 +604,12 @@ func (r *Runner) weight(st *stage, op sched.Op, p, of int) {
 	lo := len(tasks) * p / of
 	hi := len(tasks) * (p + 1) / of
 	for _, t := range tasks[lo:hi] {
-		t.Run()
+		t.RunCounted(st.sc)
 	}
 	if p == of-1 {
+		// Last piece of the family: every task has run, so the buffers the
+		// family retained (shared across pieces) can go back to the arena.
+		nn.Release(st.sc, tasks)
 		delete(st.tasks, fam)
 	}
 }

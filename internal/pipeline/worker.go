@@ -108,6 +108,7 @@ func (w *StageWorker) Run(conns map[int]net.Conn) (float64, error) {
 		}()
 		w.r.runStage(st)
 	}()
+	w.r.releaseStage(st)
 	// The demux goroutines drain until the caller closes the conns; they
 	// hold no state this iteration needs, so we do not wait on them.
 	if st.err != nil {
@@ -193,6 +194,7 @@ func (l *StageLoop) RunSteps(conns map[int]net.Conn, batches [][][]int, lr float
 			}()
 			w.r.runStage(st)
 		}()
+		w.r.releaseStage(st)
 		w.r.wires = nil
 		if runErr != nil {
 			return nil, runErr

@@ -80,12 +80,12 @@ func (lt *LayerTimer) timeOnce(width int) (fwd, bwd float64) {
 		x.Data[i] = float32(i%7) * 0.01
 	}
 	t0 := time.Now()
-	y := l.ForwardSlice(st, x, 0)
+	y := l.ForwardSlice(nil, st, x, 0)
 	fwd = time.Since(t0).Seconds()
 	dy := tensor.New(width, lt.Model.Cfg.Hidden)
 	copy(dy.Data, y.Data)
 	t1 := time.Now()
-	_, tasks := l.BackwardSlice(st, 0, dy, nil)
+	_, tasks := l.BackwardSlice(nil, st, 0, dy, nil)
 	for _, task := range tasks {
 		task.Run()
 	}
@@ -171,13 +171,6 @@ func RelativeError(samples []Sample, tau, perToken float64) float64 {
 	return worst
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // OpTable is a table-driven estimator built from direct measurements of
 // every (slice, op-kind) at its true shape — what MEPipe's profiler
 // actually records (§6), with no curve fitting in between.
@@ -233,14 +226,14 @@ func MeasureSliceOps(m *nn.Model, slices, layersPerChunk, reps int) (*OpTable, e
 				x.Data[j] = float32((j+i)%11) * 0.01
 			}
 			t0 := time.Now()
-			outs[i] = l.ForwardSlice(st, x, i*width)
+			outs[i] = l.ForwardSlice(nil, st, x, i*width)
 			fs[i] = append(fs[i], time.Since(t0).Seconds())
 		}
 		for i := slices - 1; i >= 0; i-- {
 			dy := tensor.New(width, m.Cfg.Hidden)
 			copy(dy.Data, outs[i].Data)
 			t0 := time.Now()
-			_, tasks := l.BackwardSlice(st, i*width, dy, nil)
+			_, tasks := l.BackwardSlice(nil, st, i*width, dy, nil)
 			bs[i] = append(bs[i], time.Since(t0).Seconds())
 			t1 := time.Now()
 			for _, task := range tasks {

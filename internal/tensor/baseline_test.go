@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+var benchJSON = flag.String("bench-json", "", "write the kernel benchmark baseline to this file (see make bench-kernels)")
+
+// BenchmarkMatMul256 is the acceptance benchmark of the kernel rewrite: the
+// 256×256×256 GEMM through the naive baseline, the tiled serial kernel, and
+// the pooled 4-worker kernel. The parallel speedup target (≥3× vs serial)
+// is only observable on a machine with ≥4 cores; the recorded baseline
+// carries the core count so readers can interpret the ratio.
+func BenchmarkMatMul256(b *testing.B) {
+	serial := NewPool(KernelConfig{Workers: 1})
+	defer serial.Close()
+	par := NewPool(KernelConfig{Workers: 4})
+	defer par.Close()
+	b.Run("naive", func(b *testing.B) { benchGemm(b, 256, NaiveMatMul) })
+	b.Run("serial", func(b *testing.B) { benchGemm(b, 256, serial.MatMul) })
+	b.Run("workers4", func(b *testing.B) { benchGemm(b, 256, par.MatMul) })
+}
+
+// baselineEntry is one measured kernel configuration in BENCH_kernels.json.
+type baselineEntry struct {
+	Kernel  string  `json:"kernel"`
+	Variant string  `json:"variant"`
+	Size    int     `json:"size"`
+	NsPerOp int64   `json:"ns_per_op"`
+	GFLOPs  float64 `json:"gflops"`
+}
+
+// TestWriteKernelBaseline measures the kernel suite and writes the
+// machine-readable baseline subsequent PRs regress against. It only runs
+// when -bench-json names an output file (wired by `make bench-kernels`).
+func TestWriteKernelBaseline(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("no -bench-json target; run via make bench-kernels")
+	}
+	serial := NewPool(KernelConfig{Workers: 1})
+	defer serial.Close()
+	par := NewPool(KernelConfig{Workers: 4})
+	defer par.Close()
+
+	type kernelSet struct {
+		name                 string
+		naive, tiled, pooled func(dst, a, b *Matrix)
+	}
+	sets := []kernelSet{
+		{"MatMul", NaiveMatMul, serial.MatMul, par.MatMul},
+		{"MatMulBT", NaiveMatMulBT, serial.MatMulBT, par.MatMulBT},
+		{"MatMulAT", NaiveMatMulAT, serial.MatMulAT, par.MatMulAT},
+	}
+	var entries []baselineEntry
+	measure := func(kernel, variant string, size int, f func(dst, a, b *Matrix)) int64 {
+		r := testing.Benchmark(func(b *testing.B) { benchGemm(b, size, f) })
+		ns := r.NsPerOp()
+		flops := 2 * float64(size) * float64(size) * float64(size)
+		entries = append(entries, baselineEntry{
+			Kernel: kernel, Variant: variant, Size: size,
+			NsPerOp: ns, GFLOPs: flops / float64(ns),
+		})
+		return ns
+	}
+	var serial256, workers256 int64
+	for _, s := range sets {
+		for _, size := range []int{64, 256} {
+			measure(s.name, "naive", size, s.naive)
+			ns := measure(s.name, "serial", size, s.tiled)
+			nw := measure(s.name, "workers4", size, s.pooled)
+			if s.name == "MatMul" && size == 256 {
+				serial256, workers256 = ns, nw
+			}
+		}
+	}
+	out := struct {
+		Note    string          `json:"note"`
+		Go      string          `json:"go"`
+		Arch    string          `json:"arch"`
+		Cores   int             `json:"cores"`
+		Entries []baselineEntry `json:"entries"`
+		// SpeedupWorkers4 is serial/workers4 time on the 256³ MatMul — the
+		// ≥3× acceptance ratio, meaningful only when cores >= 4.
+		SpeedupWorkers4 float64 `json:"speedup_workers4_matmul256"`
+	}{
+		Note:            "kernel perf baseline; regenerate with `make bench-kernels`",
+		Go:              runtime.Version(),
+		Arch:            runtime.GOARCH,
+		Cores:           runtime.NumCPU(),
+		Entries:         entries,
+		SpeedupWorkers4: float64(serial256) / float64(workers256),
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d cores, speedup(4w, 256³)=%.2fx)", *benchJSON, out.Cores, out.SpeedupWorkers4)
+}

@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGemm runs one kernel over square size³ operands.
+func benchGemm(b *testing.B, size int, f func(dst, a, bm *Matrix)) {
+	rng := rand.New(rand.NewSource(77))
+	a, bm := randMat(rng, size, size), randMat(rng, size, size)
+	dst := New(size, size)
+	b.SetBytes(int64(size) * int64(size) * int64(size) * 2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		f(dst, a, bm)
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkKernels compares the naive baseline, the tiled serial kernel, and
+// the pooled parallel kernel on the paper-relevant GEMM shapes. The
+// "workers4" variants are the ≥3×-at-4-workers target of the kernel rewrite
+// (meaningful only on a machine with ≥4 cores).
+func BenchmarkKernels(b *testing.B) {
+	serial := NewPool(KernelConfig{Workers: 1})
+	defer serial.Close()
+	par := NewPool(KernelConfig{Workers: 4})
+	defer par.Close()
+	for _, size := range []int{64, 256} {
+		b.Run(fmt.Sprintf("MatMul/naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, NaiveMatMul)
+		})
+		b.Run(fmt.Sprintf("MatMul/tiled/%d", size), func(b *testing.B) {
+			benchGemm(b, size, serial.MatMul)
+		})
+		b.Run(fmt.Sprintf("MatMul/workers4/%d", size), func(b *testing.B) {
+			benchGemm(b, size, par.MatMul)
+		})
+		b.Run(fmt.Sprintf("MatMulBT/naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, NaiveMatMulBT)
+		})
+		b.Run(fmt.Sprintf("MatMulBT/tiled/%d", size), func(b *testing.B) {
+			benchGemm(b, size, serial.MatMulBT)
+		})
+		b.Run(fmt.Sprintf("MatMulBT/workers4/%d", size), func(b *testing.B) {
+			benchGemm(b, size, par.MatMulBT)
+		})
+		b.Run(fmt.Sprintf("MatMulAT/naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, NaiveMatMulAT)
+		})
+		b.Run(fmt.Sprintf("MatMulAT/tiled/%d", size), func(b *testing.B) {
+			benchGemm(b, size, serial.MatMulAT)
+		})
+		b.Run(fmt.Sprintf("MatMulAT/workers4/%d", size), func(b *testing.B) {
+			benchGemm(b, size, par.MatMulAT)
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package tensor
+
+import "fmt"
+
+// The three GEMM variants below are cache-tiled and may run on the shared
+// worker pool (pool.go). Parallelism always partitions the destination rows
+// into tiles owned by exactly one worker, and within every destination
+// element the reduction order over k is strictly ascending with a single
+// accumulator — so the result is bitwise identical for any worker count,
+// any tile size, and identical to the naive reference kernels kept at the
+// bottom of this file.
+
+// gemmKind selects which transpose variant a row range executes.
+type gemmKind uint8
+
+const (
+	kindMM gemmKind = iota // dst += a·b
+	kindBT                 // dst += a·bᵀ
+	kindAT                 // dst += aᵀ·b
+)
+
+// MatMul computes dst += a·b with a [m×k], b [k×n], dst [m×n]. dst is
+// accumulated so gradient sums compose naturally; call dst.Zero() first for
+// a plain product.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dispatch(kindMM, dst, a, b, dst.Rows, 2*int64(a.Rows)*int64(a.Cols)*int64(b.Cols))
+}
+
+// MatMulBT computes dst += a·bᵀ with a [m×k], b [n×k], dst [m×n] — the shape
+// of activation-gradient GEMMs (dX = dY·Wᵀ) and attention scores (Q·Kᵀ).
+func MatMulBT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulBT shape mismatch (%dx%d)·(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dispatch(kindBT, dst, a, b, dst.Rows, 2*int64(a.Rows)*int64(a.Cols)*int64(b.Rows))
+}
+
+// MatMulAT computes dst += aᵀ·b with a [k×m], b [k×n], dst [m×n] — the shape
+// of weight-gradient GEMMs (dW = Xᵀ·dY) and attention value gathers.
+func MatMulAT(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulAT shape mismatch (%dx%d)T·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dispatch(kindAT, dst, a, b, dst.Rows, 2*int64(a.Rows)*int64(a.Cols)*int64(b.Cols))
+}
+
+// gemmRange executes one variant over destination rows [i0, i1) — the unit
+// of work a pool worker owns. Serial execution is gemmRange over [0, Rows).
+func gemmRange(kind gemmKind, dst, a, b *Matrix, i0, i1 int, cfg KernelConfig) {
+	switch kind {
+	case kindMM:
+		matMulRange(dst, a, b, i0, i1, cfg)
+	case kindBT:
+		matMulBTRange(dst, a, b, i0, i1)
+	case kindAT:
+		matMulATRange(dst, a, b, i0, i1)
+	}
+}
+
+// matMulRange tiles over k (operand reuse) and n (dst-row working set); the
+// per-element accumulation order stays ascending in k because k tiles are
+// visited in order and each (i, j) is touched once per k step.
+func matMulRange(dst, a, b *Matrix, i0, i1 int, cfg KernelConfig) {
+	k, n := a.Cols, b.Cols
+	for j0 := 0; j0 < n; j0 += cfg.TileN {
+		j1 := min(j0+cfg.TileN, n)
+		for k0 := 0; k0 < k; k0 += cfg.TileK {
+			k1 := min(k0+cfg.TileK, k)
+			for i := i0; i < i1; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				dr := dst.Data[i*n+j0 : i*n+j1]
+				for kk := k0; kk < k1; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					axpy(dr, b.Data[kk*n+j0:kk*n+j1], av)
+				}
+			}
+		}
+	}
+}
+
+// axpy computes dr += av·br, 4×-unrolled. Each dr[j] is written by exactly
+// one statement, so the unroll does not change accumulation order.
+func axpy(dr, br []float32, av float32) {
+	dr = dr[:len(br)]
+	j := 0
+	for ; j+4 <= len(br); j += 4 {
+		dr[j] += av * br[j]
+		dr[j+1] += av * br[j+1]
+		dr[j+2] += av * br[j+2]
+		dr[j+3] += av * br[j+3]
+	}
+	for ; j < len(br); j++ {
+		dr[j] += av * br[j]
+	}
+}
+
+// matMulBTRange processes destination columns in panels of four rows of b,
+// streaming each a-row once per panel (the packed-B reuse that makes the
+// dot-product variant cache friendly). Each output element is one dot
+// product with ascending k, identical to the reference kernel.
+func matMulBTRange(dst, a, b *Matrix, i0, i1 int) {
+	k, n := a.Cols, b.Rows
+	for i := i0; i < i1; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		dr := dst.Data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			b2 := b.Data[(j+2)*k : (j+3)*k]
+			b3 := b.Data[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for kk, av := range ar {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			dr[j] += s0
+			dr[j+1] += s1
+			dr[j+2] += s2
+			dr[j+3] += s3
+		}
+		for ; j < n; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range ar {
+				s += av * br[kk]
+			}
+			dr[j] += s
+		}
+	}
+}
+
+// matMulATRange keeps the reference loop order (outer k so a and b stream
+// row-wise) but restricted to dst rows [i0, i1); a narrow row range keeps
+// the dst tile resident across the k sweep.
+func matMulATRange(dst, a, b *Matrix, i0, i1 int) {
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for kk := 0; kk < k; kk++ {
+		ar := a.Data[kk*m : (kk+1)*m]
+		br := b.Data[kk*n : (kk+1)*n]
+		for i := i0; i < i1; i++ {
+			av := ar[i]
+			if av == 0 {
+				continue
+			}
+			axpy(dst.Data[i*n:(i+1)*n], br, av)
+		}
+	}
+}
+
+// Naive reference kernels — the pre-tiling implementations, retained as the
+// oracle for the bitwise-equality property tests and as the baseline the
+// kernel benchmarks measure speedups against. Not used by the runtime.
+
+// NaiveMatMul is the straightforward blocked dst += a·b.
+func NaiveMatMul(dst, a, b *Matrix) {
+	const blk = 32
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i0 := 0; i0 < m; i0 += blk {
+		i1 := min(i0+blk, m)
+		for k0 := 0; k0 < k; k0 += blk {
+			k1 := min(k0+blk, k)
+			for i := i0; i < i1; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				dr := dst.Data[i*n : (i+1)*n]
+				for kk := k0; kk < k1; kk++ {
+					av := ar[kk]
+					if av == 0 {
+						continue
+					}
+					br := b.Data[kk*n : (kk+1)*n]
+					for j, bv := range br {
+						dr[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// NaiveMatMulBT is the straightforward per-element dot product dst += a·bᵀ.
+func NaiveMatMulBT(dst, a, b *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Rows
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		dr := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range ar {
+				s += av * br[kk]
+			}
+			dr[j] += s
+		}
+	}
+}
+
+// NaiveMatMulAT is the straightforward outer-k dst += aᵀ·b.
+func NaiveMatMulAT(dst, a, b *Matrix) {
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for kk := 0; kk < k; kk++ {
+		ar := a.Data[kk*m : (kk+1)*m]
+		br := b.Data[kk*n : (kk+1)*n]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Data[i*n : (i+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}

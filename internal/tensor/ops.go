@@ -48,9 +48,13 @@ func MulAdd(dst, a, b *Matrix) {
 
 // RMSNorm normalises each row of x by its root-mean-square and scales by g
 // (a 1×Cols vector), writing into dst. It returns the per-row inverse RMS
-// needed by the backward pass.
-func RMSNorm(dst, x *Matrix, g []float32) []float32 {
-	inv := make([]float32, x.Rows)
+// needed by the backward pass, written into inv when the caller provides a
+// buffer of length x.Rows (so hot paths can reuse scratch storage) and into
+// a fresh slice when inv is nil.
+func RMSNorm(dst, x *Matrix, g, inv []float32) []float32 {
+	if inv == nil {
+		inv = make([]float32, x.Rows)
+	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		var ss float64

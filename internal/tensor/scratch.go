@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch is an arena of reusable matrix and vector buffers for one
+// goroutine (one pipeline stage, one sequential trainer). Forward and
+// backward passes check buffers out with Get/GetRaw/GetVec and return them
+// with Put/PutVec at slice boundaries, so steady-state training allocates
+// nothing per microbatch.
+//
+// Buffers are binned by power-of-two capacity class. Ownership of a buffer
+// may migrate between scratches (a stage frees an activation its upstream
+// stage allocated); to keep producer stages from endlessly allocating while
+// consumer stages hoard, each local free list is capped and overflows into
+// a global per-class sync.Pool that any scratch refills from.
+//
+// A nil *Scratch is valid everywhere and falls back to plain allocation
+// with no recycling — the pre-arena behaviour.
+type Scratch struct {
+	mats [numClasses][]*Matrix
+	vecs [numClasses][][]float32
+	st   ScratchStats
+}
+
+// ScratchStats counts arena traffic. AllocBytes is the number of bytes
+// freshly allocated through this scratch (cache misses); FLOPs accumulates
+// the floating-point work of GEMMs routed through the scratch's counted
+// kernel wrappers. Both are deltas the caller can sample per operation.
+type ScratchStats struct {
+	Gets, Hits int64
+	AllocBytes int64
+	FLOPs      int64
+}
+
+const (
+	numClasses = 36
+	// localCap bounds each local free list; beyond it buffers spill to the
+	// shared per-class pools.
+	localCap = 64
+)
+
+// globalMats shares surplus buffers across scratches, class-indexed.
+var globalMats [numClasses]sync.Pool
+
+// scratchPool recycles whole arenas so GrabScratch after ReleaseScratch
+// returns a warm one.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GrabScratch checks a scratch arena out of the shared pool.
+func GrabScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// ReleaseScratch returns an arena to the shared pool. s may be nil.
+func ReleaseScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// classFor returns the smallest class c with 1<<c >= n (for Get).
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// classOf returns the largest class c with 1<<c <= capacity (for Put), so
+// every buffer filed under class c can serve any Get of up to 1<<c items.
+func classOf(capacity int) int {
+	return bits.Len(uint(capacity)) - 1
+}
+
+// NewScratch returns an empty arena (prefer GrabScratch/ReleaseScratch,
+// which recycle warm arenas).
+func NewScratch() *Scratch { return new(Scratch) }
+
+// Get checks out a zeroed rows×cols matrix.
+func (s *Scratch) Get(rows, cols int) *Matrix {
+	m := s.GetRaw(rows, cols)
+	clear(m.Data)
+	return m
+}
+
+// GetRaw checks out a rows×cols matrix with undefined contents. Use only
+// when every element is overwritten before being read.
+func (s *Scratch) GetRaw(rows, cols int) *Matrix {
+	if s == nil {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+	}
+	n := rows * cols
+	if n == 0 {
+		return &Matrix{Rows: rows, Cols: cols}
+	}
+	s.st.Gets++
+	c := classFor(n)
+	if l := s.mats[c]; len(l) > 0 {
+		m := l[len(l)-1]
+		l[len(l)-1] = nil
+		s.mats[c] = l[:len(l)-1]
+		s.st.Hits++
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:cap(m.Data)][:n]
+		return m
+	}
+	if v := globalMats[c].Get(); v != nil {
+		m := v.(*Matrix)
+		s.st.Hits++
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:cap(m.Data)][:n]
+		return m
+	}
+	sz := 1 << c
+	s.st.AllocBytes += int64(sz) * 4
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, sz)[:n]}
+}
+
+// Put returns a matrix to the arena. Matrices from any source are accepted
+// (they are binned by actual capacity), and nil is a no-op. The caller must
+// not use m afterwards.
+func (s *Scratch) Put(m *Matrix) {
+	if s == nil || m == nil || cap(m.Data) == 0 {
+		return
+	}
+	c := classOf(cap(m.Data))
+	if len(s.mats[c]) < localCap {
+		s.mats[c] = append(s.mats[c], m)
+		return
+	}
+	globalMats[c].Put(m)
+}
+
+// GetVec checks out a zeroed length-n slice.
+func (s *Scratch) GetVec(n int) []float32 {
+	if s == nil {
+		return make([]float32, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	s.st.Gets++
+	c := classFor(n)
+	if l := s.vecs[c]; len(l) > 0 {
+		v := l[len(l)-1]
+		l[len(l)-1] = nil
+		s.vecs[c] = l[:len(l)-1]
+		s.st.Hits++
+		v = v[:cap(v)][:n]
+		clear(v)
+		return v
+	}
+	sz := 1 << c
+	s.st.AllocBytes += int64(sz) * 4
+	return make([]float32, sz)[:n]
+}
+
+// PutVec returns a slice to the arena; nil/empty and nil scratch are no-ops.
+func (s *Scratch) PutVec(v []float32) {
+	if s == nil || cap(v) == 0 {
+		return
+	}
+	c := classOf(cap(v))
+	if len(s.vecs[c]) < localCap {
+		s.vecs[c] = append(s.vecs[c], v)
+	}
+}
+
+// Stats returns a snapshot of the arena counters. A nil scratch reports
+// zeros.
+func (s *Scratch) Stats() ScratchStats {
+	if s == nil {
+		return ScratchStats{}
+	}
+	return s.st
+}
+
+// AddFLOPs adds floating-point work to the arena counters (nil-safe).
+func (s *Scratch) AddFLOPs(n int64) {
+	if s != nil {
+		s.st.FLOPs += n
+	}
+}
+
+// MatMul is the package-level MatMul with the GEMM's 2·m·k·n FLOPs counted
+// against the scratch (nil-safe).
+func (s *Scratch) MatMul(dst, a, b *Matrix) {
+	s.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols))
+	MatMul(dst, a, b)
+}
+
+// MatMulBT is the counted package-level MatMulBT.
+func (s *Scratch) MatMulBT(dst, a, b *Matrix) {
+	s.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Rows))
+	MatMulBT(dst, a, b)
+}
+
+// MatMulAT is the counted package-level MatMulAT.
+func (s *Scratch) MatMulAT(dst, a, b *Matrix) {
+	s.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols))
+	MatMulAT(dst, a, b)
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import "testing"
+
+func TestScratchReuse(t *testing.T) {
+	s := NewScratch()
+	m := s.Get(8, 8)
+	if m.Rows != 8 || m.Cols != 8 {
+		t.Fatalf("Get shape %dx%d", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Get returned a dirty buffer")
+		}
+	}
+	m.Data[0] = 7
+	s.Put(m)
+	m2 := s.GetRaw(4, 16) // same 64-element class, different shape
+	if &m2.Data[0] != &m.Data[0] {
+		t.Fatal("same-class Get after Put did not reuse the buffer")
+	}
+	if m2.Rows != 4 || m2.Cols != 16 {
+		t.Fatalf("reused buffer shape %dx%d", m2.Rows, m2.Cols)
+	}
+	st := s.Stats()
+	if st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 2 gets 1 hit", st)
+	}
+}
+
+func TestScratchClasses(t *testing.T) {
+	if c := classFor(1); c != 0 {
+		t.Fatalf("classFor(1) = %d", c)
+	}
+	if c := classFor(65); c != 7 {
+		t.Fatalf("classFor(65) = %d", c)
+	}
+	if c := classOf(64); c != 6 {
+		t.Fatalf("classOf(64) = %d", c)
+	}
+	// Foreign non-pow2 buffers (e.g. wire frames) bin at the floor class so
+	// reuse never hands out a buffer too small for its class.
+	if c := classOf(100); c != 6 {
+		t.Fatalf("classOf(100) = %d", c)
+	}
+	s := NewScratch()
+	s.Put(&Matrix{Rows: 10, Cols: 10, Data: make([]float32, 100)})
+	m := s.GetRaw(8, 8)
+	if cap(m.Data) != 100 {
+		t.Fatalf("floor-classed foreign buffer not reused (cap %d)", cap(m.Data))
+	}
+}
+
+func TestScratchNilSafe(t *testing.T) {
+	var s *Scratch
+	m := s.Get(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("nil scratch Get: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	s.Put(m)
+	v := s.GetVec(9)
+	if len(v) != 9 {
+		t.Fatalf("nil scratch GetVec len %d", len(v))
+	}
+	s.PutVec(v)
+	if s.Stats() != (ScratchStats{}) {
+		t.Fatal("nil scratch stats not zero")
+	}
+	s.AddFLOPs(5)
+	s.MatMul(New(1, 1), New(1, 1), New(1, 1)) // counted wrappers nil-safe too
+}
+
+func TestScratchZeroSize(t *testing.T) {
+	s := NewScratch()
+	m := s.GetRaw(0, 8)
+	if m.Rows != 0 || m.Cols != 8 || len(m.Data) != 0 {
+		t.Fatalf("zero-row Get: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	s.Put(m) // cap 0: dropped, not binned
+	s.Put(nil)
+}
+
+func TestScratchCountedFLOPs(t *testing.T) {
+	s := NewScratch()
+	a, b := New(4, 6), New(6, 8)
+	s.MatMul(New(4, 8), a, b)
+	if got := s.Stats().FLOPs; got != 2*4*6*8 {
+		t.Fatalf("counted FLOPs %d, want %d", got, 2*4*6*8)
+	}
+}
+
+func TestGrabScratchWarm(t *testing.T) {
+	s := GrabScratch()
+	m := s.Get(16, 16)
+	s.Put(m)
+	ReleaseScratch(s)
+	s2 := GrabScratch()
+	defer ReleaseScratch(s2)
+	m2 := s2.GetRaw(16, 16)
+	if s2 == s && &m2.Data[0] != &m.Data[0] {
+		t.Fatal("recycled scratch lost its buffers")
+	}
+}

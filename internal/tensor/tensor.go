@@ -1,9 +1,11 @@
-// Package tensor provides the minimal dense float32 kernels the executable
-// runtime needs: blocked matrix multiplication in the three transpose
-// variants used by forward passes, activation-gradient passes, and
-// weight-gradient passes, plus element-wise helpers. It is deliberately
-// simple — correctness and determinism over speed — because the runtime's
-// job is to prove schedule equivalence, not to race BLAS.
+// Package tensor provides the dense float32 kernels the executable runtime
+// needs: cache-tiled matrix multiplication in the three transpose variants
+// used by forward passes, activation-gradient passes, and weight-gradient
+// passes (optionally parallelised over a persistent worker pool — see
+// pool.go), plus element-wise helpers and a scratch arena for
+// allocation-free training steps (scratch.go). Parallel execution partitions
+// work by row-tile ownership, so results are bitwise identical to serial
+// execution — the property the sim-vs-runtime equivalence tests rely on.
 package tensor
 
 import (
@@ -25,6 +27,15 @@ func New(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
+// NewWithRowCap returns a zeroed rows×cols matrix whose backing array can
+// hold rowCap rows, so AppendRows can grow it in place without reallocating.
+func NewWithRowCap(rows, cols, rowCap int) *Matrix {
+	if rows < 0 || cols < 0 || rowCap < rows {
+		panic(fmt.Sprintf("tensor: bad capacity shape %dx%d cap %d rows", rows, cols, rowCap))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols, rowCap*cols)}
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 
@@ -43,15 +54,13 @@ func (m *Matrix) Clone() *Matrix {
 
 // Zero clears the matrix in place.
 func (m *Matrix) Zero() {
-	for i := range m.Data {
-		m.Data[i] = 0
-	}
+	clear(m.Data)
 }
 
 // CopyFrom copies src into m (shapes must match).
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
-		panic(fmt.Sprintf("tensor: copy shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+		panic(fmt.Sprintf("tensor: copy shape mismatch (%dx%d)<-(%dx%d)", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
 	copy(m.Data, src.Data)
 }
@@ -59,11 +68,32 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 // Add accumulates src into m element-wise.
 func (m *Matrix) Add(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
-		panic(fmt.Sprintf("tensor: add shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+		panic(fmt.Sprintf("tensor: add shape mismatch (%dx%d)+=(%dx%d)", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
 	for i, v := range src.Data {
 		m.Data[i] += v
 	}
+}
+
+// AppendRows appends src's rows to m in place, growing the backing array
+// geometrically when capacity runs out. Matrices built with NewWithRowCap
+// (or checked out of a Scratch, whose buffers are power-of-two sized) append
+// without allocating once warm.
+func (m *Matrix) AppendRows(src *Matrix) {
+	if m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: append shape mismatch (%dx%d)<<(%dx%d)", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	used := m.Rows * m.Cols
+	need := used + src.Rows*src.Cols
+	if cap(m.Data) < need {
+		grown := make([]float32, need, max(need, 2*cap(m.Data)))
+		copy(grown, m.Data[:used])
+		m.Data = grown
+	} else {
+		m.Data = m.Data[:need]
+	}
+	copy(m.Data[used:], src.Data[:src.Rows*src.Cols])
+	m.Rows += src.Rows
 }
 
 // Scale multiplies every element by a.
@@ -78,97 +108,12 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return math.Inf(1)
 	}
-	max := 0.0
+	maxd := 0.0
 	for i := range a.Data {
 		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
-		if d > max {
-			max = d
+		if d > maxd {
+			maxd = d
 		}
 	}
-	return max
-}
-
-const blk = 32
-
-// MatMul computes dst += a·b with a [m×k], b [k×n], dst [m×n], using simple
-// cache blocking. dst is accumulated so gradient sums compose naturally;
-// call dst.Zero() first for a plain product.
-func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	m, k, n := a.Rows, a.Cols, b.Cols
-	for i0 := 0; i0 < m; i0 += blk {
-		i1 := min(i0+blk, m)
-		for k0 := 0; k0 < k; k0 += blk {
-			k1 := min(k0+blk, k)
-			for i := i0; i < i1; i++ {
-				ar := a.Data[i*k : (i+1)*k]
-				dr := dst.Data[i*n : (i+1)*n]
-				for kk := k0; kk < k1; kk++ {
-					av := ar[kk]
-					if av == 0 {
-						continue
-					}
-					br := b.Data[kk*n : (kk+1)*n]
-					for j, bv := range br {
-						dr[j] += av * bv
-					}
-				}
-			}
-		}
-	}
-}
-
-// MatMulBT computes dst += a·bᵀ with a [m×k], b [n×k], dst [m×n] — the shape
-// of activation-gradient GEMMs (dX = dY·Wᵀ) and attention scores (Q·Kᵀ).
-func MatMulBT(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulBT shape mismatch (%dx%d)·(%dx%d)T->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	m, k, n := a.Rows, a.Cols, b.Rows
-	for i := 0; i < m; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		dr := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			br := b.Data[j*k : (j+1)*k]
-			var s float32
-			for kk, av := range ar {
-				s += av * br[kk]
-			}
-			dr[j] += s
-		}
-	}
-}
-
-// MatMulAT computes dst += aᵀ·b with a [k×m], b [k×n], dst [m×n] — the shape
-// of weight-gradient GEMMs (dW = Xᵀ·dY) and attention value gathers.
-func MatMulAT(dst, a, b *Matrix) {
-	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulAT shape mismatch (%dx%d)T·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	k, m, n := a.Rows, a.Cols, b.Cols
-	for kk := 0; kk < k; kk++ {
-		ar := a.Data[kk*m : (kk+1)*m]
-		br := b.Data[kk*n : (kk+1)*n]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			dr := dst.Data[i*n : (i+1)*n]
-			for j, bv := range br {
-				dr[j] += av * bv
-			}
-		}
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return maxd
 }

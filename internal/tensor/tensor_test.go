@@ -160,7 +160,7 @@ func TestRMSNormBackwardNumeric(t *testing.T) {
 	w := randMat(rng, rows, cols)
 	obj := func(x *Matrix, g []float32) float64 {
 		y := New(rows, cols)
-		RMSNorm(y, x, g)
+		RMSNorm(y, x, g, nil)
 		var s float64
 		for i := range y.Data {
 			s += float64(y.Data[i]) * float64(w.Data[i])
@@ -168,7 +168,7 @@ func TestRMSNormBackwardNumeric(t *testing.T) {
 		return s
 	}
 	y := New(rows, cols)
-	inv := RMSNorm(y, x, g)
+	inv := RMSNorm(y, x, g, make([]float32, rows))
 	dx := New(rows, cols)
 	dg := make([]float32, cols)
 	RMSNormBackward(dx, dg, w, x, g, inv)

@@ -1,0 +1,71 @@
+package mepipe_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mepipe"
+)
+
+// TestTrainPipelinedFacade drives a real pipelined iteration through the
+// facade with an explicit kernel worker count and a trace sink, and checks
+// the op events carry GEMM FLOPs.
+func TestTrainPipelinedFacade(t *testing.T) {
+	s, err := mepipe.NewSVPP(mepipe.SVPPOptions{P: 2, V: 1, S: 2, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mepipe.DecoderConfig{Hidden: 8, Heads: 2, FFN: 16, Vocab: 11, Layers: 2, SeqLen: 8}
+	rng := rand.New(rand.NewSource(1))
+	batch := make([][]int, 2)
+	for i := range batch {
+		sample := make([]int, cfg.SeqLen+1)
+		for j := range sample {
+			sample[j] = rng.Intn(cfg.Vocab)
+		}
+		batch[i] = sample
+	}
+
+	ref, err := mepipe.NewDecoderModel(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoss, err := ref.TrainSequential(batch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := mepipe.NewDecoderModel(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mepipe.NewRecorder()
+	loss, err := mepipe.TrainPipelined(context.Background(), m, s, batch,
+		mepipe.WithTrace(rec), mepipe.WithKernelWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != wantLoss {
+		t.Fatalf("pipelined loss %v != sequential %v", loss, wantLoss)
+	}
+	var flops int64
+	for _, m := range rec.Trace().Snapshot().Stages {
+		flops += m.GemmFLOPs
+	}
+	if flops <= 0 {
+		t.Fatalf("trace carries no GEMM FLOPs (got %d)", flops)
+	}
+	if got := mepipe.CurrentKernelConfig().Workers; got != 2 {
+		t.Fatalf("kernel pool has %d workers after WithKernelWorkers(2)", got)
+	}
+}
+
+func TestConfigureKernelsFacade(t *testing.T) {
+	old := mepipe.CurrentKernelConfig()
+	defer mepipe.ConfigureKernels(old)
+	got := mepipe.ConfigureKernels(mepipe.KernelConfig{Workers: 1, TileM: 16})
+	if got.Workers != 1 || got.TileM != 16 {
+		t.Fatalf("ConfigureKernels did not apply: %+v", got)
+	}
+}

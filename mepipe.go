@@ -178,6 +178,9 @@ type runConfig struct {
 	tail      func(stage int) float64
 	faults    *chaos.Plan
 	ckptEvery int
+	// kernels sizes the GEMM pool for calls that execute real tensor
+	// kernels (see WithKernelWorkers in kernels.go).
+	kernels *KernelConfig
 }
 
 // WithTrace attaches a sink receiving the run's structured span events.
