@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke report figures artifact check ci smoke clean
+.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke bench-serve serve-smoke report figures artifact check ci smoke clean
 
 all: build test
 
@@ -50,8 +50,20 @@ smoke:
 	sh artifact/e0_check.sh
 	$(GO) run ./cmd/mepipe-chaos
 
+# Planning-server smoke (docs/SERVE.md): boots mepipe-serve on an
+# ephemeral port in-process, proves a /v1/search answers certified, the
+# identical repeat is a cache hit, and the stats reflect both.
+serve-smoke:
+	$(GO) run ./cmd/mepipe-serve -selfcheck
+
+# Planning-server load benchmark: drives an in-process server with
+# concurrent clients and regenerates the machine-readable latency/cache
+# baseline (BENCH_serve.json) future PRs regress against.
+bench-serve:
+	$(GO) run ./cmd/mepipe-bench -serve-load -serve-out $(CURDIR)/BENCH_serve.json
+
 # Mirror of the GitHub Actions pipeline (.github/workflows/ci.yml).
-ci: build vet test lint verify-presets race-hot bench-smoke smoke
+ci: build vet test lint verify-presets race-hot bench-smoke serve-smoke smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,279 @@
+package v1
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/hw"
+	"mepipe/internal/strategy"
+)
+
+// SystemByName parses a wire system name (case-insensitive).
+func SystemByName(name string) (strategy.System, error) {
+	switch strings.ToLower(name) {
+	case "mepipe":
+		return strategy.MEPipe, nil
+	case "dapple":
+		return strategy.DAPPLE, nil
+	case "vpp":
+		return strategy.VPP, nil
+	case "zb":
+		return strategy.ZB, nil
+	case "zbv":
+		return strategy.ZBV, nil
+	case "terapipe":
+		return strategy.TeraPipe, nil
+	case "gpipe":
+		return strategy.GPipe, nil
+	}
+	return 0, fmt.Errorf("%w: unknown system %q (want mepipe, dapple, vpp, zb, zbv, terapipe or gpipe)", ErrBadRequest, name)
+}
+
+// SystemName renders a system in canonical wire form (lower-case).
+func SystemName(sys strategy.System) string { return strings.ToLower(sys.String()) }
+
+// recomputeByName parses a wire recompute mode.
+func recomputeByName(name string) (config.RecomputeMode, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return config.RecomputeNone, nil
+	case "selective":
+		return config.RecomputeSelective, nil
+	case "full":
+		return config.RecomputeFull, nil
+	}
+	return 0, fmt.Errorf("%w: unknown recompute mode %q (want none, selective or full)", ErrBadRequest, name)
+}
+
+// recomputeName renders a recompute mode in canonical wire form; the
+// default mode is the empty string so it stays omitted from canonical
+// documents.
+func recomputeName(m config.RecomputeMode) string {
+	switch m {
+	case config.RecomputeSelective:
+		return "selective"
+	case config.RecomputeFull:
+		return "full"
+	}
+	return ""
+}
+
+// Model converts the spec to a validated config.Model.
+func (s ModelSpec) Model() (config.Model, error) {
+	if s.Preset != "" {
+		if s.HiddenSize != 0 || s.NumLayers != 0 || s.NumHeads != 0 || s.NumKVHeads != 0 ||
+			s.FFNHidden != 0 || s.VocabSize != 0 || s.SeqLen != 0 || s.Name != "" {
+			return config.Model{}, fmt.Errorf("%w: model preset %q cannot be combined with explicit dimensions", ErrBadRequest, s.Preset)
+		}
+		m, err := config.ModelByName(s.Preset)
+		if err != nil {
+			return config.Model{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return m, nil
+	}
+	m := config.Model{
+		Name: s.Name, HiddenSize: s.HiddenSize, NumLayers: s.NumLayers,
+		NumHeads: s.NumHeads, NumKVHeads: s.NumKVHeads, FFNHidden: s.FFNHidden,
+		VocabSize: s.VocabSize, SeqLen: s.SeqLen,
+	}
+	if m.NumKVHeads == 0 {
+		m.NumKVHeads = m.NumHeads
+	}
+	if err := m.Validate(); err != nil {
+		return config.Model{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}
+
+// ModelFrom builds the canonical explicit spec for a model.
+func ModelFrom(m config.Model) ModelSpec {
+	return ModelSpec{
+		Name: m.Name, HiddenSize: m.HiddenSize, NumLayers: m.NumLayers,
+		NumHeads: m.NumHeads, NumKVHeads: m.NumKVHeads, FFNHidden: m.FFNHidden,
+		VocabSize: m.VocabSize, SeqLen: m.SeqLen,
+	}
+}
+
+// Cluster converts the spec to a modelled cluster.
+func (s ClusterSpec) Cluster() (cluster.Cluster, error) {
+	if s.Preset != "" && s.GPU != "" {
+		return cluster.Cluster{}, fmt.Errorf("%w: cluster preset %q cannot be combined with an explicit gpu", ErrBadRequest, s.Preset)
+	}
+	switch strings.ToLower(s.Preset) {
+	case "rtx4090", "4090":
+		servers := s.Servers
+		if servers == 0 {
+			servers = 8
+		}
+		cl := cluster.RTX4090Cluster(servers)
+		if s.GPUsPerServer != 0 {
+			cl.GPUsPerServer = s.GPUsPerServer
+		}
+		return cl, nil
+	case "a100":
+		servers := s.Servers
+		if servers == 0 {
+			servers = 4
+		}
+		cl := cluster.A100Cluster(servers)
+		if s.GPUsPerServer != 0 {
+			cl.GPUsPerServer = s.GPUsPerServer
+		}
+		return cl, nil
+	case "":
+	default:
+		return cluster.Cluster{}, fmt.Errorf("%w: unknown cluster preset %q (want rtx4090 or a100)", ErrBadRequest, s.Preset)
+	}
+	if s.GPU == "" {
+		return cluster.Cluster{}, fmt.Errorf("%w: cluster needs a preset or a gpu name", ErrBadRequest)
+	}
+	gpu, err := hw.GPUByName(s.GPU)
+	if err != nil {
+		return cluster.Cluster{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Explicit clusters reuse the preset testbed matching the GPU so the
+	// interconnect model stays calibrated; only the shape is overridden.
+	var cl cluster.Cluster
+	if gpu.Name == hw.A100().Name {
+		cl = cluster.A100Cluster(4)
+	} else {
+		cl = cluster.RTX4090Cluster(8)
+	}
+	if s.Servers != 0 {
+		cl.Servers = s.Servers
+	}
+	if s.GPUsPerServer != 0 {
+		cl.GPUsPerServer = s.GPUsPerServer
+	}
+	if cl.Servers <= 0 || cl.GPUsPerServer <= 0 {
+		return cluster.Cluster{}, fmt.Errorf("%w: cluster shape %dx%d must be positive", ErrBadRequest, cl.Servers, cl.GPUsPerServer)
+	}
+	return cl, nil
+}
+
+// ClusterFrom builds the canonical explicit spec for a cluster.
+func ClusterFrom(cl cluster.Cluster) ClusterSpec {
+	name := "rtx4090"
+	if cl.GPU.Name == hw.A100().Name {
+		name = "a100"
+	}
+	return ClusterSpec{GPU: name, GPUsPerServer: cl.GPUsPerServer, Servers: cl.Servers}
+}
+
+// Parallel converts the spec to a config.Parallel. Zero DP/CP/SPP/VP are
+// left for Normalize to default; callers converting un-normalized specs
+// get the literal values.
+func (s ParallelSpec) Parallel() (config.Parallel, error) {
+	rec, err := recomputeByName(s.Recompute)
+	if err != nil {
+		return config.Parallel{}, err
+	}
+	return config.Parallel{
+		PP: s.PP, DP: s.DP, CP: s.CP, SPP: s.SPP, VP: s.VP, TP: s.TP,
+		Recompute: rec,
+	}, nil
+}
+
+// ParallelFrom builds the wire spec for a strategy.
+func ParallelFrom(p config.Parallel) ParallelSpec {
+	return ParallelSpec{
+		PP: p.PP, DP: p.DP, CP: p.CP, SPP: p.SPP, VP: p.VP, TP: p.TP,
+		Recompute: recomputeName(p.Recompute),
+	}
+}
+
+// Training converts the spec to a config.Training.
+func (s TrainingSpec) Training() config.Training {
+	mb := s.MicroBatch
+	if mb == 0 {
+		mb = 1
+	}
+	return config.Training{GlobalBatch: s.GlobalBatch, MicroBatch: mb}
+}
+
+// TrainingFrom builds the wire spec for a training config.
+func TrainingFrom(t config.Training) TrainingSpec {
+	return TrainingSpec{GlobalBatch: t.GlobalBatch, MicroBatch: t.MicroBatch}
+}
+
+// Space converts the spec to a strategy.SearchSpace; a nil spec is the
+// paper's default space.
+func (s *SpaceSpec) Space() strategy.SearchSpace {
+	if s == nil {
+		return strategy.DefaultSpace()
+	}
+	sp := strategy.SearchSpace{
+		PP: append([]int(nil), s.PP...), CP: append([]int(nil), s.CP...),
+		SPP: append([]int(nil), s.SPP...), VP: append([]int(nil), s.VP...),
+		MinDP: s.MinDP, Prune: s.Prune,
+	}
+	d := strategy.DefaultSpace()
+	if len(sp.PP) == 0 {
+		sp.PP = d.PP
+	}
+	if len(sp.CP) == 0 {
+		sp.CP = d.CP
+	}
+	if len(sp.SPP) == 0 {
+		sp.SPP = d.SPP
+	}
+	if len(sp.VP) == 0 {
+		sp.VP = d.VP
+	}
+	if sp.MinDP == 0 {
+		sp.MinDP = d.MinDP
+	}
+	return sp
+}
+
+// SpaceFrom builds the wire spec for a search space.
+func SpaceFrom(sp strategy.SearchSpace) *SpaceSpec {
+	return &SpaceSpec{
+		PP: sortedUnique(sp.PP), CP: sortedUnique(sp.CP),
+		SPP: sortedUnique(sp.SPP), VP: sortedUnique(sp.VP),
+		MinDP: sp.MinDP, Prune: sp.Prune,
+	}
+}
+
+// sortedUnique returns a sorted copy with duplicates removed — the
+// canonical list form used by hashing (the ranked search result is
+// independent of enumeration order, so this is semantics-preserving).
+func sortedUnique(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// CandidateFrom builds the wire form of one evaluated configuration,
+// deriving throughput figures from the job context.
+func CandidateFrom(ev *strategy.Eval, m config.Model, cl cluster.Cluster, tr config.Training) Candidate {
+	c := Candidate{
+		Parallel:     ParallelFrom(ev.Par),
+		MicroBatches: ev.N,
+		OOM:          ev.OOM,
+		OOMWhy:       ev.OOMWhy,
+		BudgetBytes:  ev.Budget,
+		F:            ev.F,
+	}
+	if !ev.OOM {
+		c.IterTimeS = ev.IterTime
+		c.Bubble = ev.Bubble
+		c.PeakActBytes = ev.PeakAct
+		c.TFLOPSPerGPU = ev.TFLOPSPerGPU(m, tr, cl.GPUs())
+		c.MFU = ev.MFU(m, tr, cl)
+	}
+	return c
+}

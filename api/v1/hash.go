@@ -1,0 +1,171 @@
+package v1
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/strategy"
+)
+
+// Plan is a compiled request: the domain values every entry point
+// ultimately consumes.
+type Plan struct {
+	System   strategy.System
+	Model    config.Model
+	Cluster  cluster.Cluster
+	Training config.Training
+	// Parallel is nil for pure search documents.
+	Parallel *config.Parallel
+	Space    strategy.SearchSpace
+	// Top caps the candidates carried by a search response (0 = all).
+	Top int
+}
+
+// Normalize returns the canonical form of the request: version pinned,
+// presets expanded to explicit dimensions, defaults filled (micro batch,
+// SPP/VP system defaults, derived DP, default search space with sorted
+// lists). Two documents that mean the same job normalize to byte-identical
+// canonical JSON, which is what Key hashes. The receiver is not modified;
+// failures wrap ErrBadRequest.
+func (r *PlanRequest) Normalize() (*PlanRequest, error) {
+	if r == nil {
+		return nil, fmt.Errorf("%w: empty request", ErrBadRequest)
+	}
+	if r.API != "" && r.API != Version {
+		return nil, fmt.Errorf("%w: unsupported api version %q (this server speaks %q)", ErrBadRequest, r.API, Version)
+	}
+	sys, err := SystemByName(r.System)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model.Model()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := r.Cluster.Cluster()
+	if err != nil {
+		return nil, err
+	}
+	if r.Training.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("%w: training.global_batch %d must be positive", ErrBadRequest, r.Training.GlobalBatch)
+	}
+	tr := r.Training.Training()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	out := &PlanRequest{
+		API:      Version,
+		System:   SystemName(sys),
+		Model:    ModelFrom(m),
+		Cluster:  ClusterFrom(cl),
+		Training: TrainingFrom(tr),
+		Top:      r.Top,
+	}
+	if r.Top < 0 {
+		return nil, fmt.Errorf("%w: top %d must be non-negative", ErrBadRequest, r.Top)
+	}
+	if r.Parallel != nil {
+		par, err := r.Parallel.Parallel()
+		if err != nil {
+			return nil, err
+		}
+		par = defaultParallel(par, sys, cl)
+		if err := par.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		spec := ParallelFrom(par)
+		out.Parallel = &spec
+	}
+	if r.Space != nil || r.Parallel == nil {
+		sp := r.Space.Space()
+		out.Space = SpaceFrom(sp)
+	}
+	return out, nil
+}
+
+// defaultParallel fills the zero fields of a pinned strategy the way the
+// CLIs always have: SPP defaults to 4 for the slice-level systems and 1
+// otherwise, VP to the system's natural depth, CP to 1, and DP to
+// whatever is left of the cluster.
+func defaultParallel(par config.Parallel, sys strategy.System, cl cluster.Cluster) config.Parallel {
+	if par.CP == 0 {
+		par.CP = 1
+	}
+	if par.SPP == 0 {
+		par.SPP = 1
+		if sys == strategy.MEPipe || sys == strategy.TeraPipe {
+			par.SPP = 4
+		}
+	}
+	if par.VP == 0 {
+		par.VP = 1
+		if sys == strategy.VPP || sys == strategy.ZBV {
+			par.VP = 2
+		}
+	}
+	if par.DP == 0 && par.PP > 0 {
+		if div := par.PP * par.CP * par.TPSize(); div > 0 && cl.GPUs()%div == 0 {
+			par.DP = cl.GPUs() / div
+		}
+	}
+	return par
+}
+
+// Compile normalizes the request and converts it to domain values.
+func (r *PlanRequest) Compile() (*Plan, error) {
+	norm, err := r.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := SystemByName(norm.System)
+	if err != nil {
+		return nil, err
+	}
+	m, err := norm.Model.Model()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := norm.Cluster.Cluster()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		System: sys, Model: m, Cluster: cl,
+		Training: norm.Training.Training(),
+		Space:    norm.Space.Space(),
+		Top:      norm.Top,
+	}
+	if norm.Parallel != nil {
+		par, err := norm.Parallel.Parallel()
+		if err != nil {
+			return nil, err
+		}
+		p.Parallel = &par
+	}
+	return p, nil
+}
+
+// Key returns the request's content address for one operation ("search",
+// "simulate", …): the hex SHA-256 of the operation tag plus the canonical
+// JSON of the normalized document. Equivalent requests — preset vs
+// explicit model, shuffled search lists, defaulted vs spelled-out fields —
+// share a key; any semantic difference changes it.
+func (r *PlanRequest) Key(op string) (string, error) {
+	norm, err := r.Normalize()
+	if err != nil {
+		return "", err
+	}
+	doc, err := json.Marshal(struct {
+		Op  string       `json:"op"`
+		Req *PlanRequest `json:"req"`
+	}{Op: op, Req: norm})
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}

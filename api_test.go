@@ -20,8 +20,8 @@ func svpp(t *testing.T) *mepipe.Schedule {
 	return s
 }
 
-// TestSimulateWithTrace: the context-aware entry point simulates, traces,
-// and agrees with the deprecated options-struct form.
+// TestSimulateWithTrace: the context-aware entry point simulates and
+// traces, and attaching a trace does not perturb the result.
 func TestSimulateWithTrace(t *testing.T) {
 	s := svpp(t)
 	rec := mepipe.NewRecorder()
@@ -32,13 +32,13 @@ func TestSimulateWithTrace(t *testing.T) {
 	if rec.Len() == 0 {
 		t.Fatal("WithTrace recorded no events")
 	}
-	old, err := mepipe.SimulateOpts(mepipe.SimOptions{Sched: s, Costs: mepipe.UnitCosts()})
+	plain, err := mepipe.Simulate(context.Background(), s, mepipe.UnitCosts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.IterTime != old.IterTime || res.BubbleRatio != old.BubbleRatio {
-		t.Errorf("Simulate (%g, %g) != SimulateOpts (%g, %g)",
-			res.IterTime, res.BubbleRatio, old.IterTime, old.BubbleRatio)
+	if res.IterTime != plain.IterTime || res.BubbleRatio != plain.BubbleRatio {
+		t.Errorf("traced Simulate (%g, %g) != untraced (%g, %g)",
+			res.IterTime, res.BubbleRatio, plain.IterTime, plain.BubbleRatio)
 	}
 
 	snap := rec.Trace().Snapshot()
@@ -75,43 +75,30 @@ func TestEvaluateSentinels(t *testing.T) {
 	if !errors.Is(err, mepipe.ErrIncompatible) {
 		t.Errorf("Evaluate with slices under DAPPLE: %v, want ErrIncompatible", err)
 	}
-	// The deprecated wrapper classifies identically.
-	_, err = mepipe.EvaluateConfig(mepipe.DAPPLE, m, cl,
-		mepipe.Parallel{PP: 8, DP: 8, CP: 1, SPP: 4, VP: 1}, tr)
-	if !errors.Is(err, mepipe.ErrIncompatible) {
-		t.Errorf("EvaluateConfig: %v, want ErrIncompatible", err)
-	}
 }
 
-// TestExporterUnification: the deprecated render functions and the Exporter
-// interface produce identical output for every format that predates it.
+// TestExporterUnification: every output format flows through the single
+// Exporter interface.
 func TestExporterUnification(t *testing.T) {
 	res, err := mepipe.Simulate(context.Background(), svpp(t), mepipe.UnitCosts())
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	var oldASCII, newASCII bytes.Buffer
-	mepipe.RenderTimeline(&oldASCII, res)
-	if err := mepipe.Export(&newASCII, mepipe.ASCIITimeline{}, res); err != nil {
+	var ascii bytes.Buffer
+	if err := mepipe.Export(&ascii, mepipe.ASCIITimeline{}, res); err != nil {
 		t.Fatal(err)
 	}
-	if oldASCII.String() != newASCII.String() {
-		t.Error("ASCII exporter output differs from RenderTimeline")
-	}
-	if !strings.Contains(newASCII.String(), "stage") {
+	if !strings.Contains(ascii.String(), "stage") {
 		t.Error("ASCII output empty")
 	}
 
-	var oldSVG, newSVG bytes.Buffer
-	if err := mepipe.RenderSVG(&oldSVG, res); err != nil {
+	var svg bytes.Buffer
+	if err := mepipe.Export(&svg, mepipe.SVGTimeline{}, res); err != nil {
 		t.Fatal(err)
 	}
-	if err := mepipe.Export(&newSVG, mepipe.SVGTimeline{}, res); err != nil {
-		t.Fatal(err)
-	}
-	if oldSVG.String() != newSVG.String() {
-		t.Error("SVG exporter output differs from RenderSVG")
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("SVG output empty")
 	}
 
 	var chrome bytes.Buffer
@@ -137,16 +124,17 @@ func TestExporterUnification(t *testing.T) {
 	}
 }
 
-// TestSearchGridWrapper: the deprecated Search wrapper still finds the
-// paper's optimum.
-func TestSearchGridWrapper(t *testing.T) {
-	res, err := mepipe.SearchGrid(mepipe.MEPipe, mepipe.Llama13B(), mepipe.RTX4090Cluster(8),
+// TestSearchFindsOptimum: the search entry point finds the paper's
+// optimum on a pinned slice of the grid.
+func TestSearchFindsOptimum(t *testing.T) {
+	res, err := mepipe.Search(context.Background(), mepipe.MEPipe, mepipe.Llama13B(),
+		mepipe.RTX4090Cluster(8),
 		mepipe.Training{GlobalBatch: 64, MicroBatch: 1},
 		mepipe.SearchSpace{PP: []int{8}, SPP: []int{4}, MinDP: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Best() == nil {
-		t.Fatal("SearchGrid found no feasible candidate")
+		t.Fatal("Search found no feasible candidate")
 	}
 }

@@ -262,7 +262,9 @@ func TestFacade(t *testing.T) {
 		t.Errorf("facade simulation bubble %v != analytic %v", res.BubbleRatio, want)
 	}
 	var sb strings.Builder
-	RenderTimeline(&sb, res)
+	if err := Export(&sb, ASCIITimeline{}, res); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(sb.String(), "stage") {
 		t.Error("timeline rendering empty")
 	}

@@ -1,10 +1,15 @@
 // Command mepipe-search grid-searches the parallel-strategy space (§7.3)
 // for one or all scheduling systems and prints the ranked candidates.
 //
-// Example:
+// With -f it searches exactly what a v1 request document describes — the
+// same JSON POST /v1/search consumes on the mepipe-serve planning server,
+// including a bounded search space. See docs/SERVE.md for the schema.
+//
+// Examples:
 //
 //	mepipe-search -model 13b -gbs 64
 //	mepipe-search -model 34b -gbs 128 -system mepipe -top 10
+//	mepipe-search -f request.json
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	v1 "mepipe/api/v1"
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
 	"mepipe/internal/strategy"
@@ -21,6 +27,7 @@ import (
 
 func main() {
 	var (
+		file      = flag.String("f", "", "read a v1 request document (JSON) instead of building one from flags")
 		modelName = flag.String("model", "13b", "model preset: 7b, 13b, 34b")
 		gbs       = flag.Int("gbs", 64, "global batch size")
 		system    = flag.String("system", "all", "system to search, or 'all'")
@@ -29,24 +36,48 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := config.ModelByName(*modelName)
-	fatal(err)
-	cl := cluster.RTX4090Cluster(8)
-	if strings.EqualFold(*gpu, "a100") {
-		cl = cluster.A100Cluster(4)
-	}
-	tr := config.Training{GlobalBatch: *gbs, MicroBatch: 1}
-
-	systems := strategy.Systems()
-	if !strings.EqualFold(*system, "all") {
-		sys, err := systemByName(*system)
+	var (
+		m       config.Model
+		cl      cluster.Cluster
+		tr      config.Training
+		space   strategy.SearchSpace
+		systems []strategy.System
+	)
+	if *file != "" {
+		f, err := os.Open(*file)
 		fatal(err)
-		systems = []strategy.System{sys}
+		req, err := v1.DecodePlanRequest(f)
+		fatal(err)
+		fatal(f.Close())
+		plan, err := req.Compile()
+		fatal(err)
+		m, cl, tr, space = plan.Model, plan.Cluster, plan.Training, plan.Space
+		systems = []strategy.System{plan.System}
+		if plan.Top > 0 {
+			*top = plan.Top
+		}
+	} else {
+		var err error
+		m, err = config.ModelByName(*modelName)
+		fatal(err)
+		cl = cluster.RTX4090Cluster(8)
+		if strings.EqualFold(*gpu, "a100") {
+			cl = cluster.A100Cluster(4)
+		}
+		tr = config.Training{GlobalBatch: *gbs, MicroBatch: 1}
+		space = strategy.DefaultSpace()
+		systems = strategy.Systems()
+		if !strings.EqualFold(*system, "all") {
+			sys, err := v1.SystemByName(*system)
+			fatal(err)
+			systems = []strategy.System{sys}
+		}
 	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "system\trank\tstrategy\tn\titeration\tbubble\tpeak act\tstatus")
 	for _, sys := range systems {
-		res, err := strategy.Search(sys, m, cl, tr, strategy.DefaultSpace())
+		res, err := strategy.Search(sys, m, cl, tr, space)
 		if err != nil && res == nil {
 			fmt.Fprintf(w, "%s\t-\t%v\t\t\t\t\t\n", sys, err)
 			continue
@@ -68,26 +99,6 @@ func main() {
 		}
 	}
 	fatal(w.Flush())
-}
-
-func systemByName(s string) (strategy.System, error) {
-	switch strings.ToLower(s) {
-	case "mepipe":
-		return strategy.MEPipe, nil
-	case "dapple":
-		return strategy.DAPPLE, nil
-	case "vpp":
-		return strategy.VPP, nil
-	case "zb":
-		return strategy.ZB, nil
-	case "zbv":
-		return strategy.ZBV, nil
-	case "terapipe":
-		return strategy.TeraPipe, nil
-	case "gpipe":
-		return strategy.GPipe, nil
-	}
-	return 0, fmt.Errorf("unknown system %q", s)
 }
 
 func fatal(err error) {

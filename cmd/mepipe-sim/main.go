@@ -2,27 +2,32 @@
 // cluster and reports iteration time, bubble ratio, memory, and (optionally)
 // the stage timeline.
 //
+// The configuration comes either from flags or from a v1 request document
+// (-f), the same JSON the mepipe-serve planning server consumes — a request
+// is a portable artifact that means the same thing on the command line and
+// over HTTP. See docs/SERVE.md for the schema.
+//
 // Examples:
 //
 //	mepipe-sim -model 13b -gbs 64 -system mepipe -pp 8 -spp 4
 //	mepipe-sim -model 13b -gbs 64 -system dapple -pp 8 -cp 2 -timeline
-//	mepipe-sim -model 34b -gbs 128 -system mepipe -pp 16 -spp 16 -trace out.json
+//	mepipe-sim -f request.json -trace out.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"mepipe/internal/cluster"
-	"mepipe/internal/config"
+	v1 "mepipe/api/v1"
 	"mepipe/internal/strategy"
 	"mepipe/internal/timeline"
 )
 
 func main() {
 	var (
+		file      = flag.String("f", "", "read a v1 request document (JSON) instead of building one from flags")
 		modelName = flag.String("model", "13b", "model preset: 7b, 13b, 34b")
 		gbs       = flag.Int("gbs", 64, "global batch size")
 		system    = flag.String("system", "mepipe", "scheduler: mepipe, dapple, vpp, zb, zbv, terapipe, gpipe")
@@ -37,37 +42,28 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := config.ModelByName(*modelName)
-	fatal(err)
-	var cl cluster.Cluster
-	switch strings.ToLower(*gpu) {
-	case "4090":
-		cl = cluster.RTX4090Cluster(8)
-	case "a100":
-		cl = cluster.A100Cluster(4)
-	default:
-		fatal(fmt.Errorf("unknown cluster %q", *gpu))
-	}
-	sys, err := systemByName(*system)
-	fatal(err)
-
-	rec, err := recomputeByName(*recompute)
-	fatal(err)
-	par := config.Parallel{PP: *pp, CP: *cp, SPP: *spp, VP: *vp, Recompute: rec}
-	if par.SPP == 0 {
-		par.SPP = 1
-		if sys == strategy.MEPipe || sys == strategy.TeraPipe {
-			par.SPP = 4
+	var req *v1.PlanRequest
+	if *file != "" {
+		f, err := os.Open(*file)
+		fatal(err)
+		req, err = v1.DecodePlanRequest(f)
+		fatal(err)
+		fatal(f.Close())
+	} else {
+		req = &v1.PlanRequest{
+			System:   *system,
+			Model:    v1.ModelSpec{Preset: *modelName},
+			Cluster:  v1.ClusterSpec{Preset: *gpu},
+			Training: v1.TrainingSpec{GlobalBatch: *gbs},
+			Parallel: &v1.ParallelSpec{PP: *pp, CP: *cp, SPP: *spp, VP: *vp, Recompute: *recompute},
 		}
 	}
-	if par.VP == 0 {
-		par.VP = 1
-		if sys == strategy.VPP || sys == strategy.ZBV {
-			par.VP = 2
-		}
+	plan, err := req.Compile()
+	fatal(err)
+	if plan.Parallel == nil {
+		fatal(errors.New("request has no parallel strategy (mepipe-sim simulates one pinned strategy; use mepipe-search for grids)"))
 	}
-	par.DP = cl.GPUs() / (par.PP * par.CP)
-	tr := config.Training{GlobalBatch: *gbs, MicroBatch: 1}
+	sys, m, cl, par, tr := plan.System, plan.Model, plan.Cluster, *plan.Parallel, plan.Training
 
 	ev, err := strategy.Evaluate(sys, m, cl, par, tr)
 	fatal(err)
@@ -101,38 +97,6 @@ func main() {
 		fatal(f.Close())
 		fmt.Printf("trace      written to %s (open in chrome://tracing)\n", *traceOut)
 	}
-}
-
-func recomputeByName(s string) (config.RecomputeMode, error) {
-	switch strings.ToLower(s) {
-	case "none", "":
-		return config.RecomputeNone, nil
-	case "selective":
-		return config.RecomputeSelective, nil
-	case "full":
-		return config.RecomputeFull, nil
-	}
-	return 0, fmt.Errorf("unknown recompute mode %q", s)
-}
-
-func systemByName(s string) (strategy.System, error) {
-	switch strings.ToLower(s) {
-	case "mepipe":
-		return strategy.MEPipe, nil
-	case "dapple":
-		return strategy.DAPPLE, nil
-	case "vpp":
-		return strategy.VPP, nil
-	case "zb":
-		return strategy.ZB, nil
-	case "zbv":
-		return strategy.ZBV, nil
-	case "terapipe":
-		return strategy.TeraPipe, nil
-	case "gpipe":
-		return strategy.GPipe, nil
-	}
-	return 0, fmt.Errorf("unknown system %q", s)
 }
 
 func fatal(err error) {

@@ -31,7 +31,9 @@ func main() {
 	fmt.Printf("  peak activations: %d slice-chunk families (%d/16 of a sample, Fig 4b says 9/16)\n",
 		res.PeakAct, res.PeakAct)
 	fmt.Println()
-	mepipe.RenderTimeline(os.Stdout, res)
+	if err := mepipe.Export(os.Stdout, mepipe.ASCIITimeline{}, res); err != nil {
+		log.Fatal(err)
+	}
 
 	// Compare against 1F1B on the same workload.
 	dapple, err := mepipe.NewDAPPLE(4, 4, nil)

@@ -55,12 +55,14 @@ func pkgUnder(prefix string) func(string) bool {
 // deterministicPkg lists the packages whose behaviour must be a pure
 // function of their inputs: the simulator and its cost models, schedule
 // generation, the strategy search, and the fault machinery (seeded
-// faults must replay identically). The pipeline runtime is included —
-// its wall-clock access is confined to the audited Clock seam.
+// faults must replay identically). The pipeline runtime and the planning
+// server are included — their wall-clock access is confined to the
+// audited Clock seams.
 func deterministicPkg(rel string) bool {
 	for _, p := range []string{
 		"internal/sim", "internal/sched", "internal/strategy",
 		"internal/faults", "internal/chaos", "internal/pipeline",
+		"internal/serve",
 	} {
 		if pkgUnder(p)(rel) {
 			return true
@@ -74,7 +76,7 @@ func deterministicPkg(rel string) bool {
 func boundaryPkg(rel string) bool {
 	for _, p := range []string{
 		"internal/sched", "internal/sim", "internal/strategy",
-		"internal/memplan", "internal/pipeline",
+		"internal/memplan", "internal/pipeline", "internal/serve",
 	} {
 		if pkgUnder(p)(rel) {
 			return true

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU over encoded response bodies, keyed by
+// the v1 canonical request hash. Values are immutable byte slices, so a
+// cached body is served verbatim without copying.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recent
+	entries   map[string]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache returns a cache holding at most capacity entries; a
+// non-positive capacity disables caching (every Get misses, Put is a
+// no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) Put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns the current size, capacity and eviction count.
+func (c *lruCache) Stats() (entries, capacity int, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.cap, c.evictions
+}

@@ -1,0 +1,21 @@
+package serve
+
+import "time"
+
+// Clock supplies the server's wall-clock readings: request latencies, the
+// stats uptime base, and the load generator's timings all flow through it.
+// Tests pin it for deterministic latency accounting.
+//
+// This file is the package's only wall-clock access point — mepipe-lint's
+// determinism rule forbids time.Now/time.Since elsewhere in the planning
+// server, and the allowlist entry for this file is the single audited
+// exception (see internal/pipeline/clock.go for the pattern).
+type Clock func() time.Time
+
+// realClock is the production clock.
+func realClock() time.Time { return time.Now() }
+
+// sinceSeconds returns the seconds elapsed from t0 to now.
+func sinceSeconds(now Clock, t0 time.Time) float64 {
+	return now().Sub(t0).Seconds()
+}

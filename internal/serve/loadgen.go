@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+
+	v1 "mepipe/api/v1"
+	"mepipe/internal/errs"
+)
+
+// LoadOptions shapes a load-generator run against the planning service.
+type LoadOptions struct {
+	// Requests is the total number of requests to issue (default 200).
+	Requests int
+	// Concurrency is the number of parallel clients (default 8).
+	Concurrency int
+	// Endpoint is the POSTed path (default "/v1/simulate").
+	Endpoint string
+	// Clock overrides the wall clock (tests). Nil means the real clock.
+	Clock Clock
+}
+
+// LoadReport is the measured outcome of one load run; mepipe-bench writes
+// it to BENCH_serve.json.
+type LoadReport struct {
+	API         string  `json:"api"`
+	Endpoint    string  `json:"endpoint"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Documents   int     `json:"documents"`
+	Errors      int     `json:"errors"`
+	Hits        int     `json:"cache_hits"`
+	Misses      int     `json:"cache_misses"`
+	Coalesced   int     `json:"coalesced"`
+	HitRate     float64 `json:"cache_hit_rate"`
+	P50S        float64 `json:"latency_p50_s"`
+	P99S        float64 `json:"latency_p99_s"`
+	MeanS       float64 `json:"latency_mean_s"`
+	MaxS        float64 `json:"latency_max_s"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	PerSecond   float64 `json:"requests_per_s"`
+}
+
+// RunLoad drives handler with opts.Requests POSTs cycling through docs
+// (encoded v1 request documents), over a real loopback TCP listener so
+// latencies include the full HTTP stack. It reports client-side p50/p99
+// latency and the cache outcome mix read back from the X-Mepipe-Cache
+// headers.
+func RunLoad(ctx context.Context, handler http.Handler, docs [][]byte, opts LoadOptions) (*LoadReport, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("serve: load run needs at least one request document: %w", v1.ErrBadRequest)
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 200
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Endpoint == "" {
+		opts.Endpoint = "/v1/simulate"
+	}
+	now := opts.Clock
+	if now == nil {
+		now = realClock
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serve: load listener: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln) //nolint:errcheck // always ErrServerClosed after Close
+	}()
+	defer func() {
+		srv.Close() //nolint:errcheck // shutdown; listener already drained
+		<-serveDone
+	}()
+	base := "http://" + ln.Addr().String()
+
+	samples := make([]loadSample, opts.Requests)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := range next {
+				samples[i] = fire(ctx, client, base+opts.Endpoint, docs[i%len(docs)], now)
+			}
+		}()
+	}
+	t0 := now()
+	feed := 0
+	for feed < opts.Requests {
+		select {
+		case next <- feed:
+			feed++
+		case <-ctx.Done():
+			feed = opts.Requests
+		}
+	}
+	close(next)
+	wg.Wait()
+	elapsed := sinceSeconds(now, t0)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: load run cancelled: %w", errs.ErrCancelled)
+	}
+
+	rep := &LoadReport{
+		API: v1.Version, Endpoint: opts.Endpoint,
+		Requests: opts.Requests, Concurrency: opts.Concurrency, Documents: len(docs),
+		ElapsedS: elapsed,
+	}
+	lat := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.err != nil || s.status != http.StatusOK {
+			rep.Errors++
+			continue
+		}
+		lat = append(lat, s.seconds)
+		switch cacheOutcome(s.outcome) {
+		case cacheHit:
+			rep.Hits++
+		case cacheMiss:
+			rep.Misses++
+		case cacheCoalesced:
+			rep.Coalesced++
+		}
+	}
+	sort.Float64s(lat)
+	if n := len(lat); n > 0 {
+		rep.P50S = percentile(lat, 0.50)
+		rep.P99S = percentile(lat, 0.99)
+		rep.MaxS = lat[n-1]
+		var sum float64
+		for _, v := range lat {
+			sum += v
+		}
+		rep.MeanS = sum / float64(n)
+		rep.HitRate = float64(rep.Hits) / float64(n)
+	}
+	if elapsed > 0 {
+		rep.PerSecond = float64(opts.Requests-rep.Errors) / elapsed
+	}
+	return rep, nil
+}
+
+// loadSample is one measured request.
+type loadSample struct {
+	seconds float64
+	outcome string
+	status  int
+	err     error
+}
+
+// fire issues one POST and measures its client-side latency.
+func fire(ctx context.Context, client *http.Client, url string, doc []byte, now Clock) (s loadSample) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(doc))
+	if err != nil {
+		s.err = fmt.Errorf("serve: building load request: %w", err)
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := now()
+	resp, err := client.Do(req)
+	if err != nil {
+		s.err = fmt.Errorf("serve: load request: %w", err)
+		return s
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	resp.Body.Close()              //nolint:errcheck // read-only body
+	s.seconds = sinceSeconds(now, t0)
+	s.status = resp.StatusCode
+	s.outcome = resp.Header.Get(cacheHeader)
+	return s
+}
+
+// percentile returns the q-quantile of sorted by nearest-rank.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

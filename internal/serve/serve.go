@@ -1,0 +1,447 @@
+// Package serve is the MEPipe planning service: a zero-dependency
+// net/http JSON server that turns the strategy search, the simulator and
+// the static certifier into long-running, heavily cacheable endpoints.
+//
+//	POST /v1/search    grid-search a system over a cluster (cached, coalesced)
+//	POST /v1/simulate  evaluate one pinned strategy (cached, coalesced)
+//	POST /v1/certify   statically certify a schedule artifact
+//	POST /v1/trace     simulate and export the span-event stream
+//	GET  /v1/stats     per-endpoint counters, latencies, cache occupancy
+//	GET  /healthz      liveness
+//
+// Requests are api/v1 documents. Search and simulate answers are
+// content-addressed: the canonical SHA-256 of the normalized request keys
+// an LRU cache, identical in-flight requests coalesce onto one underlying
+// computation, and the X-Mepipe-Cache response header says which path
+// served each reply (hit, miss or coalesced). Every result is certified
+// before it is served — the strategy layer statically proves each
+// simulated schedule deadlock-free and complete. Per-request cancellation
+// rides on the existing ErrCancelled plumbing: a disconnected client
+// abandons its wait, and a computation every client has abandoned is
+// cancelled mid-search. See docs/SERVE.md.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mepipe"
+	v1 "mepipe/api/v1"
+	"mepipe/internal/errs"
+	"mepipe/internal/obs"
+	"mepipe/internal/sched"
+	"mepipe/internal/verify"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for requests
+// abandoned by the client before the response was ready (there is no
+// standard code; 499 is the de-facto one).
+const StatusClientClosedRequest = 499
+
+// DefaultCacheSize bounds the response cache when Options.CacheSize is
+// zero.
+const DefaultCacheSize = 512
+
+// Backend computes what the endpoints serve. The zero value routes
+// through the public facade (mepipe.Search / mepipe.Evaluate); tests
+// substitute stubs to count and steer computations.
+type Backend struct {
+	Search   func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace, sink obs.Sink) (*mepipe.SearchResult, error)
+	Evaluate func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, sink obs.Sink) (*mepipe.Eval, error)
+}
+
+// facadeBackend fills the zero fields of a Backend with the facade entry
+// points.
+func facadeBackend(b Backend) Backend {
+	if b.Search == nil {
+		b.Search = func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace, sink obs.Sink) (*mepipe.SearchResult, error) {
+			return mepipe.Search(ctx, sys, m, cl, tr, sp, mepipe.WithTrace(sink))
+		}
+	}
+	if b.Evaluate == nil {
+		b.Evaluate = func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, sink obs.Sink) (*mepipe.Eval, error) {
+			return mepipe.Evaluate(ctx, sys, m, cl, par, tr, mepipe.WithTrace(sink))
+		}
+	}
+	return b
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the response cache in entries (default
+	// DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// Timeout bounds each request's wait for a result; zero means no
+	// bound. A timed-out wait is reported exactly like a client
+	// disconnect (499 cancelled) and does not kill a computation other
+	// clients still wait on.
+	Timeout time.Duration
+	// Sink, when non-nil, receives the structured span events of every
+	// computed (non-cached) search and simulation — the server-side tap
+	// into the obs layer.
+	Sink obs.Sink
+	// Backend substitutes the computation functions (tests); zero fields
+	// use the facade.
+	Backend Backend
+	// BaseContext parents every coalesced computation; closing it (server
+	// shutdown) cancels all in-flight work. Nil means Background.
+	BaseContext context.Context
+	// Clock overrides the wall clock (tests). Nil means the real clock.
+	Clock Clock
+}
+
+// Server is the planning service. Create with New, expose with Handler.
+type Server struct {
+	backend Backend
+	cache   *lruCache
+	group   *coalescer
+	metrics *metrics
+	sink    obs.Sink
+	timeout time.Duration
+	now     Clock
+	mux     *http.ServeMux
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	now := opts.Clock
+	if now == nil {
+		now = realClock
+	}
+	s := &Server{
+		backend: facadeBackend(opts.Backend),
+		cache:   newLRUCache(size),
+		group:   newCoalescer(opts.BaseContext),
+		metrics: newMetrics(now()),
+		sink:    opts.Sink,
+		timeout: opts.Timeout,
+		now:     now,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/certify", s.handleCertify)
+	mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Inflight returns the number of distinct computations currently running
+// (exposed for tests and shutdown diagnostics).
+func (s *Server) Inflight() int { return s.group.Inflight() }
+
+// statusFor maps an error chain to its HTTP status and wire error code:
+// the sentinel-to-status contract of the v1 API.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, v1.ErrBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, errs.ErrCancelled):
+		return StatusClientClosedRequest, "cancelled"
+	case errors.Is(err, errs.ErrOOM):
+		return http.StatusUnprocessableEntity, "oom"
+	case errors.Is(err, errs.ErrIncompatible):
+		return http.StatusUnprocessableEntity, "incompatible"
+	case errors.Is(err, errs.ErrUncertified):
+		return http.StatusUnprocessableEntity, "uncertified"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// cacheHeader is the response header naming how a request was satisfied.
+const cacheHeader = "X-Mepipe-Cache"
+
+// request plumbing ---------------------------------------------------------
+
+// reqCtx derives the context a request waits under: the client's own
+// context, bounded by the server timeout when one is configured.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeJSON writes one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+}
+
+// fail writes the mapped ErrorResponse for err.
+func fail(w http.ResponseWriter, err error) (status int) {
+	status, code := statusFor(err)
+	body, merr := json.Marshal(v1.ErrorResponse{API: v1.Version, Code: code, Error: err.Error()})
+	if merr != nil {
+		// Marshaling a struct of strings cannot fail; keep the contract
+		// anyway.
+		http.Error(w, err.Error(), status)
+		return status
+	}
+	writeJSON(w, status, body)
+	return status
+}
+
+// cached endpoints ---------------------------------------------------------
+
+// serveCached is the shared hit/miss/coalesced path of /v1/search and
+// /v1/simulate: look the canonical key up, else coalesce onto one
+// computation, cache its encoded body, and label the reply.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) (any, error)) {
+	t0 := s.now()
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set(cacheHeader, string(cacheHit))
+		writeJSON(w, http.StatusOK, body)
+		s.metrics.observe(endpoint, http.StatusOK, cacheHit, sinceSeconds(s.now, t0))
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	val, shared, err := s.group.Do(ctx, key, compute)
+	outcome := cacheMiss
+	if shared {
+		outcome = cacheCoalesced
+	}
+	if err != nil {
+		status := fail(w, err)
+		s.metrics.observe(endpoint, status, outcome, sinceSeconds(s.now, t0))
+		return
+	}
+	body := val.([]byte)
+	s.cache.Put(key, body)
+	w.Header().Set(cacheHeader, string(outcome))
+	writeJSON(w, http.StatusOK, body)
+	s.metrics.observe(endpoint, http.StatusOK, outcome, sinceSeconds(s.now, t0))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := v1.DecodePlanRequest(r.Body)
+	if err != nil {
+		s.failNow(w, "/v1/search", err)
+		return
+	}
+	plan, err := req.Compile()
+	if err != nil {
+		s.failNow(w, "/v1/search", err)
+		return
+	}
+	key, err := req.Key("search")
+	if err != nil {
+		s.failNow(w, "/v1/search", err)
+		return
+	}
+	s.serveCached(w, r, "/v1/search", key, func(ctx context.Context) (any, error) {
+		return s.computeSearch(ctx, key, plan)
+	})
+}
+
+// computeSearch runs one grid search and encodes its response body.
+func (s *Server) computeSearch(ctx context.Context, key string, plan *v1.Plan) ([]byte, error) {
+	res, err := s.backend.Search(ctx, plan.System, plan.Model, plan.Cluster, plan.Training, plan.Space, s.sink)
+	if err != nil {
+		return nil, err
+	}
+	resp := &v1.SearchResponse{
+		API: v1.Version, Key: key, System: v1.SystemName(plan.System),
+		Certified: true, Found: res.Found(),
+		Evaluated: res.Evaluated, Pruned: res.Pruned,
+	}
+	cands := res.Candidates
+	if plan.Top > 0 && len(cands) > plan.Top {
+		cands = cands[:plan.Top]
+	}
+	resp.Candidates = make([]v1.Candidate, 0, len(cands))
+	for _, ev := range cands {
+		resp.Candidates = append(resp.Candidates, v1.CandidateFrom(ev, plan.Model, plan.Cluster, plan.Training))
+	}
+	if best := res.Best(); best != nil {
+		c := v1.CandidateFrom(best, plan.Model, plan.Cluster, plan.Training)
+		resp.Best = &c
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding search response: %w", err)
+	}
+	return body, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := v1.DecodePlanRequest(r.Body)
+	if err != nil {
+		s.failNow(w, "/v1/simulate", err)
+		return
+	}
+	plan, err := req.Compile()
+	if err != nil {
+		s.failNow(w, "/v1/simulate", err)
+		return
+	}
+	if plan.Parallel == nil {
+		s.failNow(w, "/v1/simulate", fmt.Errorf("%w: simulate needs a parallel strategy", v1.ErrBadRequest))
+		return
+	}
+	key, err := req.Key("simulate")
+	if err != nil {
+		s.failNow(w, "/v1/simulate", err)
+		return
+	}
+	s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) (any, error) {
+		return s.computeSimulate(ctx, key, plan)
+	})
+}
+
+// computeSimulate evaluates one pinned strategy and encodes its response
+// body.
+func (s *Server) computeSimulate(ctx context.Context, key string, plan *v1.Plan) ([]byte, error) {
+	ev, err := s.backend.Evaluate(ctx, plan.System, plan.Model, plan.Cluster, *plan.Parallel, plan.Training, s.sink)
+	if err != nil {
+		return nil, err
+	}
+	resp := &v1.SimulateResponse{
+		API: v1.Version, Key: key, System: v1.SystemName(plan.System),
+		Certified: !ev.OOM,
+		Candidate: v1.CandidateFrom(ev, plan.Model, plan.Cluster, plan.Training),
+	}
+	if ev.Result != nil {
+		f, b, wt, tail, idle := ev.Result.MeanUtilization().Fractions()
+		resp.Breakdown = v1.Breakdown{Forward: f, Backward: b, Weight: wt, Tail: tail, Idle: idle}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding simulate response: %w", err)
+	}
+	return body, nil
+}
+
+// uncached endpoints -------------------------------------------------------
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	status := http.StatusOK
+	defer func() { s.metrics.observe("/v1/certify", status, cacheNone, sinceSeconds(s.now, t0)) }()
+
+	req, err := v1.DecodeCertifyRequest(r.Body)
+	if err != nil {
+		status = fail(w, err)
+		return
+	}
+	sc, err := sched.Load(bytes.NewReader(req.Schedule))
+	if err != nil {
+		// A schedule that fails structural validation is a 422; anything
+		// else (malformed JSON) is a malformed request.
+		if !errors.Is(err, errs.ErrIncompatible) && !errors.Is(err, errs.ErrUncertified) {
+			err = fmt.Errorf("%w: %v", v1.ErrBadRequest, err)
+		}
+		status = fail(w, err)
+		return
+	}
+	var vopts verify.Options
+	if req.SlotBudget != nil {
+		vopts.Budget = verify.SlotBudget(req.SlotBudget)
+	}
+	cert, err := mepipe.CertifySchedule(sc, vopts)
+	if err != nil {
+		status = fail(w, err)
+		return
+	}
+	body, err := json.Marshal(&v1.CertifyResponse{
+		API: v1.Version, Schedule: cert.Schedule,
+		Nodes: cert.Nodes, Edges: cert.Edges, CrossEdges: cert.CrossEdges,
+		PeakFamilies: cert.PeakFamilies, PeakBytes: cert.PeakBytes,
+	})
+	if err != nil {
+		status = fail(w, fmt.Errorf("serve: encoding certificate: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	status := http.StatusOK
+	defer func() { s.metrics.observe("/v1/trace", status, cacheNone, sinceSeconds(s.now, t0)) }()
+
+	req, err := v1.DecodeTraceRequest(r.Body)
+	if err != nil {
+		status = fail(w, err)
+		return
+	}
+	var exporter obs.Exporter
+	contentType := "application/json"
+	switch req.Format {
+	case "", "chrome":
+		exporter = mepipe.ChromeTrace{}
+	case "jsonl":
+		exporter = mepipe.JSONLTrace{}
+		contentType = "application/x-ndjson"
+	default:
+		status = fail(w, fmt.Errorf("%w: unknown trace format %q (want chrome or jsonl)", v1.ErrBadRequest, req.Format))
+		return
+	}
+	plan, err := req.Compile()
+	if err != nil {
+		status = fail(w, err)
+		return
+	}
+	if plan.Parallel == nil {
+		status = fail(w, fmt.Errorf("%w: trace needs a parallel strategy", v1.ErrBadRequest))
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	rec := obs.NewRecorder()
+	ev, err := s.backend.Evaluate(ctx, plan.System, plan.Model, plan.Cluster, *plan.Parallel, plan.Training, obs.Multi(rec, s.sink))
+	if err != nil {
+		status = fail(w, err)
+		return
+	}
+	if ev.OOM {
+		status = fail(w, fmt.Errorf("serve: %s does not fit: %s: %w", ev.Par, ev.OOMWhy, errs.ErrOOM))
+		return
+	}
+	var buf bytes.Buffer
+	if err := exporter.Export(&buf, rec.Trace()); err != nil {
+		status = fail(w, fmt.Errorf("serve: exporting trace: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(s.metrics.snapshot(s.now(), s.cache))
+	if err != nil {
+		fail(w, fmt.Errorf("serve: encoding stats: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n")) //nolint:errcheck // client gone; nothing to do
+}
+
+// failNow maps and records an error that occurred before any computation
+// was attempted (decode, validation).
+func (s *Server) failNow(w http.ResponseWriter, endpoint string, err error) {
+	status := fail(w, err)
+	s.metrics.observe(endpoint, status, cacheNone, 0)
+}

@@ -265,11 +265,6 @@ func Simulate(ctx context.Context, s *Schedule, costs SimCosts, opts ...Option) 
 	})
 }
 
-// SimulateOpts runs one simulated iteration from a bare options struct.
-//
-// Deprecated: use Simulate with a context and functional options.
-func SimulateOpts(opt SimOptions) (*SimResult, error) { return sim.Run(opt) }
-
 // UnitCosts returns uniform unit costs for analytic-style simulations.
 func UnitCosts() sim.UniformCosts { return sim.Unit() }
 
@@ -332,20 +327,6 @@ func Search(ctx context.Context, sys System, m Model, cl Cluster, tr Training, s
 	return strategy.SearchContext(ctx, sys, m, cl, tr, sp, strategy.WithSink(c.sink))
 }
 
-// EvaluateConfig evaluates one configuration without a context.
-//
-// Deprecated: use Evaluate.
-func EvaluateConfig(sys System, m Model, cl Cluster, par Parallel, tr Training) (*Eval, error) {
-	return strategy.Evaluate(sys, m, cl, par, tr)
-}
-
-// SearchGrid grid-searches one system without a context.
-//
-// Deprecated: use Search.
-func SearchGrid(sys System, m Model, cl Cluster, tr Training, sp SearchSpace) (*SearchResult, error) {
-	return strategy.Search(sys, m, cl, tr, sp)
-}
-
 // Analytic closed forms (Table 3).
 type (
 	AnalyticParams = analytic.Params
@@ -392,16 +373,6 @@ var (
 func Export(w io.Writer, e Exporter, res *SimResult) error {
 	return e.Export(w, res.Trace())
 }
-
-// RenderTimeline writes an ASCII Gantt chart of a simulated result.
-//
-// Deprecated: use Export with an ASCIITimeline exporter.
-func RenderTimeline(w io.Writer, res *SimResult) { timeline.Render(w, res, 0) }
-
-// RenderSVG writes an SVG Gantt chart of a simulated result.
-//
-// Deprecated: use Export with an SVGTimeline exporter.
-func RenderSVG(w io.Writer, res *SimResult) error { return timeline.WriteSVG(w, res) }
 
 // Schedule tuning and order-free lower bounds.
 type (
