@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke bench-serve serve-smoke report figures artifact check ci smoke clean
+.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke bench-serve bench-opt serve-smoke opt-smoke opt-regen report figures artifact check ci smoke clean
 
 all: build test
 
@@ -36,7 +36,7 @@ verify-presets:
 # sinks, fault injector) under the race detector — fast enough for
 # every commit.
 race-hot:
-	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/... ./internal/tensor/... ./internal/nn/...
+	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/... ./internal/tensor/... ./internal/nn/... ./internal/opt/...
 
 race:
 	$(GO) test -race ./internal/...
@@ -62,8 +62,29 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/mepipe-bench -serve-load -serve-out $(CURDIR)/BENCH_serve.json
 
+# Optimizer smoke (docs/OPTIMIZER.md): a short fixed-seed annealing run,
+# the discovered-schedule regression gate — the checked-in schedule under
+# internal/opt/testdata must re-certify, re-simulate to its recorded
+# time, and still beat its recorded preset baseline — and a one-round
+# replay of the BENCH_opt harness.
+opt-smoke:
+	$(GO) test ./internal/opt -run 'TestDiscoveredBeatsPresets|TestOptimizeSmoke' -count=1
+	$(GO) run ./cmd/mepipe-bench -opt -opt-iters 1 -opt-out $(CURDIR)/BENCH_opt_smoke.json
+
+# Optimizer throughput benchmark: replays the checked-in artifact's full
+# optimization (same point, same seed — the replay rediscovers the
+# recorded schedule exactly) and regenerates the machine-readable
+# baseline (BENCH_opt.json) future PRs regress against.
+bench-opt:
+	$(GO) run ./cmd/mepipe-bench -opt -opt-out $(CURDIR)/BENCH_opt.json
+
+# Regenerate the checked-in discovered-schedule artifact. The writer
+# refuses to record a schedule that does not beat the preset sweep.
+opt-regen:
+	$(GO) test ./internal/opt -run TestWriteDiscovered -write-discovered
+
 # Mirror of the GitHub Actions pipeline (.github/workflows/ci.yml).
-ci: build vet test lint verify-presets race-hot bench-smoke serve-smoke smoke
+ci: build vet test lint verify-presets race-hot bench-smoke serve-smoke opt-smoke smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -96,4 +117,4 @@ artifact:
 	cd artifact && sh e0_run.sh && sh e1_run.sh && sh e2_run.sh
 
 clean:
-	rm -f report.html artifact/results/*.txt
+	rm -f report.html artifact/results/*.txt BENCH_opt_smoke.json

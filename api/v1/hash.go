@@ -169,3 +169,70 @@ func (r *PlanRequest) Key(op string) (string, error) {
 	sum := sha256.Sum256(doc)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// Wire defaults for optimizer settings, matching the opt package's own
+// (spelled out here so the canonical document is explicit about what a
+// defaulted request means, and its key stable against optimizer-default
+// drift).
+const (
+	DefaultOptSeed      = 1
+	DefaultOptIters     = 1500
+	DefaultOptProposals = 4
+)
+
+// Normalize returns the canonical form of an optimize request: the plan
+// normalized exactly like simulate (parallel required), the optimizer
+// spec filled with the wire defaults. Failures wrap ErrBadRequest.
+func (r *OptimizeRequest) Normalize() (*OptimizeRequest, error) {
+	if r == nil {
+		return nil, fmt.Errorf("%w: empty request", ErrBadRequest)
+	}
+	norm, err := r.PlanRequest.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if norm.Parallel == nil {
+		return nil, fmt.Errorf("%w: optimize needs a parallel strategy", ErrBadRequest)
+	}
+	spec := OptSpec{}
+	if r.Opt != nil {
+		spec = *r.Opt
+	}
+	if spec.Iters < 0 {
+		return nil, fmt.Errorf("%w: opt.iters %d must be non-negative", ErrBadRequest, spec.Iters)
+	}
+	if spec.Proposals < 0 {
+		return nil, fmt.Errorf("%w: opt.proposals %d must be non-negative", ErrBadRequest, spec.Proposals)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = DefaultOptSeed
+	}
+	if spec.Iters == 0 {
+		spec.Iters = DefaultOptIters
+	}
+	if spec.Proposals == 0 {
+		spec.Proposals = DefaultOptProposals
+	}
+	return &OptimizeRequest{PlanRequest: *norm, Opt: &spec}, nil
+}
+
+// Key returns the optimize request's content address: the hex SHA-256 of
+// the "optimize" operation tag plus the canonical JSON of the normalized
+// document (optimizer spec included — the search is deterministic in it,
+// so two requests share a key exactly when they discover the same
+// schedule).
+func (r *OptimizeRequest) Key() (string, error) {
+	norm, err := r.Normalize()
+	if err != nil {
+		return "", err
+	}
+	doc, err := json.Marshal(struct {
+		Op  string           `json:"op"`
+		Req *OptimizeRequest `json:"req"`
+	}{Op: "optimize", Req: norm})
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}

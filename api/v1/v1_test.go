@@ -239,3 +239,75 @@ func TestCompile(t *testing.T) {
 }
 
 func isBadRequest(err error) bool { return errors.Is(err, v1.ErrBadRequest) }
+
+// optimizeReq is a pinned-strategy optimize request.
+func optimizeReq(spec *v1.OptSpec) *v1.OptimizeRequest {
+	return &v1.OptimizeRequest{
+		PlanRequest: v1.PlanRequest{
+			System:   "mepipe",
+			Model:    v1.ModelSpec{Preset: "7b"},
+			Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+			Training: v1.TrainingSpec{GlobalBatch: 8},
+			Parallel: &v1.ParallelSpec{PP: 8},
+		},
+		Opt: spec,
+	}
+}
+
+// TestOptimizeNormalize pins the optimizer-spec defaults and the
+// requirement for a pinned strategy.
+func TestOptimizeNormalize(t *testing.T) {
+	norm, err := optimizeReq(nil).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := v1.OptSpec{Seed: v1.DefaultOptSeed, Iters: v1.DefaultOptIters, Proposals: v1.DefaultOptProposals}
+	if norm.Opt == nil || *norm.Opt != want {
+		t.Errorf("defaulted spec = %+v, want %+v", norm.Opt, want)
+	}
+	if norm.Parallel == nil || norm.Parallel.DP == 0 {
+		t.Errorf("plan was not normalized: %+v", norm.PlanRequest)
+	}
+
+	noPar := optimizeReq(nil)
+	noPar.Parallel = nil
+	if _, err := noPar.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("missing parallel: err = %v, want ErrBadRequest", err)
+	}
+	bad := optimizeReq(&v1.OptSpec{Iters: -1})
+	if _, err := bad.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("negative iters: err = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestOptimizeKey pins the optimize key's equivalence class: defaults
+// spelled out hash like defaults omitted, the optimizer spec is part of
+// the key, and the key never collides with the simulate key of the same
+// plan.
+func TestOptimizeKey(t *testing.T) {
+	k1, err := optimizeReq(nil).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := optimizeReq(&v1.OptSpec{Seed: v1.DefaultOptSeed, Iters: v1.DefaultOptIters, Proposals: v1.DefaultOptProposals}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("spelled-out defaults hash differently from omitted defaults")
+	}
+	k3, err := optimizeReq(&v1.OptSpec{Seed: 2}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("a different optimizer seed must change the key")
+	}
+	sim, err := optimizeReq(nil).PlanRequest.Key("simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim == k1 {
+		t.Error("optimize key collides with the simulate key of the same plan")
+	}
+}

@@ -1,7 +1,8 @@
 // Package v1 is the versioned wire schema of the MEPipe planning service
 // (cmd/mepipe-serve) and its CLIs: one canonical JSON request document
 // describing (model, cluster, parallel grid, training config) drives
-// POST /v1/search, /v1/simulate and /v1/trace over HTTP as well as
+// POST /v1/search, /v1/simulate, /v1/optimize and /v1/trace over HTTP as
+// well as
 // `mepipe-sim -f` and `mepipe-search -f` on the command line, so a request
 // is a portable artifact that means the same thing everywhere.
 //
@@ -133,6 +134,30 @@ type TraceRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
+// OptSpec tunes the schedule optimizer behind POST /v1/optimize. Zero
+// fields are filled by OptimizeRequest.Normalize with the wire defaults
+// (seed 1, the optimizer's standard round and proposal counts), so
+// equivalent spellings hash identically. The spec is part of the cache
+// key: the optimizer is deterministic in it.
+type OptSpec struct {
+	// Seed drives the deterministic annealing trajectory.
+	Seed int64 `json:"seed,omitempty"`
+	// Iters is the number of annealing rounds.
+	Iters int `json:"iters,omitempty"`
+	// Proposals is the number of candidates per round (part of the
+	// trajectory, unlike worker count — which is why it is on the wire
+	// and worker count is not).
+	Proposals int `json:"proposals,omitempty"`
+}
+
+// OptimizeRequest asks /v1/optimize to anneal the preset schedule of one
+// pinned configuration: a PlanRequest (parallel required, like simulate)
+// plus the optimizer settings.
+type OptimizeRequest struct {
+	PlanRequest
+	Opt *OptSpec `json:"opt,omitempty"`
+}
+
 // CertifyRequest asks /v1/certify to statically certify a schedule
 // artifact (the JSON produced by Schedule.Save).
 type CertifyRequest struct {
@@ -195,6 +220,47 @@ type SimulateResponse struct {
 	Certified bool      `json:"certified"`
 	Candidate Candidate `json:"candidate"`
 	Breakdown Breakdown `json:"breakdown"`
+}
+
+// OptimizeResponse is the body of a successful POST /v1/optimize: what
+// the preset cost, what the search discovered, the search counters, and
+// the discovered schedule itself as a portable Schedule.Save document
+// (feed it back to /v1/certify, or load it with mepipe.LoadSchedule).
+type OptimizeResponse struct {
+	API    string `json:"api"`
+	Key    string `json:"key"`
+	System string `json:"system"`
+	// Certified reports that the discovered schedule passed full static
+	// certification — deadlock-freedom, completeness and the
+	// configuration's byte-accurate memory budget — before it was
+	// served. Always true on a 2xx reply.
+	Certified    bool         `json:"certified"`
+	Parallel     ParallelSpec `json:"parallel"`
+	MicroBatches int          `json:"micro_batches"`
+	// F is the chosen SVPP forwards-in-flight variant (MEPipe only).
+	F   int     `json:"f,omitempty"`
+	Opt OptSpec `json:"opt"`
+
+	// StartedFrom names the annealing seed that won: "preset" or "heft".
+	StartedFrom string `json:"started_from"`
+	// BaseIterTimeS is the preset schedule's simulated iteration time,
+	// HEFTIterTimeS the list-scheduling seed's (omitted when infeasible),
+	// BestIterTimeS the discovered schedule's; Gain the fractional
+	// improvement over the preset.
+	BaseIterTimeS float64 `json:"base_iter_time_s"`
+	HEFTIterTimeS float64 `json:"heft_iter_time_s,omitempty"`
+	BestIterTimeS float64 `json:"best_iter_time_s"`
+	Gain          float64 `json:"gain"`
+
+	// Search counters: candidates proposed, rejected by certification
+	// before simulation, simulated, accepted, and global improvements.
+	Proposed   int `json:"proposed"`
+	Infeasible int `json:"infeasible"`
+	Evaluated  int `json:"evaluated"`
+	Accepted   int `json:"accepted"`
+	Improved   int `json:"improved"`
+
+	Schedule json.RawMessage `json:"schedule"`
 }
 
 // CertifyResponse is the body of a successful POST /v1/certify: the
@@ -274,6 +340,15 @@ func DecodePlanRequest(r io.Reader) (*PlanRequest, error) {
 // DecodeTraceRequest reads one strict TraceRequest document.
 func DecodeTraceRequest(r io.Reader) (*TraceRequest, error) {
 	var req TraceRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeOptimizeRequest reads one strict OptimizeRequest document.
+func DecodeOptimizeRequest(r io.Reader) (*OptimizeRequest, error) {
+	var req OptimizeRequest
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}

@@ -5,14 +5,21 @@
 // same JSON POST /v1/search consumes on the mepipe-serve planning server,
 // including a bounded search space. See docs/SERVE.md for the schema.
 //
+// With -optimize it additionally anneals the winning candidate's preset
+// schedule with the internal/opt local search (single system only) and
+// reports what the search discovered; -opt-out saves the discovered
+// schedule as a portable JSON artifact.
+//
 // Examples:
 //
 //	mepipe-search -model 13b -gbs 64
 //	mepipe-search -model 34b -gbs 128 -system mepipe -top 10
 //	mepipe-search -f request.json
+//	mepipe-search -model 7b -gbs 32 -system mepipe -optimize -opt-out best.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,7 @@ import (
 	v1 "mepipe/api/v1"
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
+	"mepipe/internal/opt"
 	"mepipe/internal/strategy"
 )
 
@@ -33,6 +41,10 @@ func main() {
 		system    = flag.String("system", "all", "system to search, or 'all'")
 		gpu       = flag.String("cluster", "4090", "cluster: 4090 or a100")
 		top       = flag.Int("top", 3, "candidates to print per system")
+		optimize  = flag.Bool("optimize", false, "anneal the best candidate's schedule after ranking (single system only)")
+		optSeed   = flag.Int64("opt-seed", v1.DefaultOptSeed, "optimizer random seed")
+		optIters  = flag.Int("opt-iters", v1.DefaultOptIters, "optimizer annealing rounds")
+		optOut    = flag.String("opt-out", "", "write the discovered schedule (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -74,14 +86,20 @@ func main() {
 		}
 	}
 
+	if *optimize && len(systems) != 1 {
+		fatal(fmt.Errorf("-optimize needs a single system (got -system %s)", *system))
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "system\trank\tstrategy\tn\titeration\tbubble\tpeak act\tstatus")
+	var best *strategy.Eval
 	for _, sys := range systems {
 		res, err := strategy.Search(sys, m, cl, tr, space)
 		if err != nil && res == nil {
 			fmt.Fprintf(w, "%s\t-\t%v\t\t\t\t\t\n", sys, err)
 			continue
 		}
+		best = res.Best()
 		shown := 0
 		for _, c := range res.Candidates {
 			if shown >= *top {
@@ -99,6 +117,47 @@ func main() {
 		}
 	}
 	fatal(w.Flush())
+
+	if *optimize {
+		if best == nil {
+			fatal(fmt.Errorf("-optimize: no feasible candidate to optimize"))
+		}
+		fatal(runOptimize(systems[0], m, cl, best.Par, tr, *optSeed, *optIters, *optOut))
+	}
+}
+
+// runOptimize anneals the winning candidate's preset schedule and prints
+// what the local search discovered.
+func runOptimize(sys strategy.System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training, seed int64, iters int, out string) error {
+	res, err := strategy.OptimizeContext(context.Background(), sys, m, cl, par, tr, opt.Options{Seed: seed, Iters: iters})
+	if err != nil {
+		return err
+	}
+	r := res.Opt
+	fmt.Printf("\noptimize %s %v (seed %d, %d rounds):\n", sys, par, seed, iters)
+	fmt.Printf("  preset     %.3f ms\n", r.BaseTime*1e3)
+	if r.HEFTTime > 0 {
+		fmt.Printf("  heft seed  %.3f ms\n", r.HEFTTime*1e3)
+	}
+	fmt.Printf("  discovered %.3f ms (%.2f%% faster, annealed from the %s seed)\n",
+		r.BestTime*1e3, 100*r.Gain(), r.Seed)
+	fmt.Printf("  search     %d proposed, %d infeasible, %d evaluated, %d accepted, %d improvements\n",
+		r.Proposed, r.Infeasible, r.Evaluated, r.Accepted, r.Improved)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := r.Schedule.Save(f); err != nil {
+			f.Close() //nolint:errcheck // save error wins
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  schedule   written to %s\n", out)
+	}
+	return nil
 }
 
 func fatal(err error) {

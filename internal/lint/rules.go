@@ -17,7 +17,7 @@ var rules = []struct {
 	check   func(fc *fileCtx, report reporter)
 }{
 	{name: "determinism", applies: deterministicPkg, check: checkDeterminism},
-	{name: "gospawn", applies: anyPkg(pkgUnder("internal/pipeline"), pkgUnder("internal/tensor")), check: checkGoSpawn},
+	{name: "gospawn", applies: anyPkg(pkgUnder("internal/pipeline"), pkgUnder("internal/tensor"), pkgUnder("internal/opt")), check: checkGoSpawn},
 	{name: "noprint", applies: pkgUnder("internal"), check: checkNoPrint},
 	{name: "errwrap", applies: boundaryPkg, check: checkErrWrap},
 }
@@ -54,15 +54,16 @@ func pkgUnder(prefix string) func(string) bool {
 
 // deterministicPkg lists the packages whose behaviour must be a pure
 // function of their inputs: the simulator and its cost models, schedule
-// generation, the strategy search, and the fault machinery (seeded
-// faults must replay identically). The pipeline runtime and the planning
-// server are included — their wall-clock access is confined to the
-// audited Clock seams.
+// generation, the strategy search, the schedule optimizer (a fixed seed
+// must discover byte-identical schedules), and the fault machinery
+// (seeded faults must replay identically). The pipeline runtime and the
+// planning server are included — their wall-clock access is confined to
+// the audited Clock seams.
 func deterministicPkg(rel string) bool {
 	for _, p := range []string{
 		"internal/sim", "internal/sched", "internal/strategy",
 		"internal/faults", "internal/chaos", "internal/pipeline",
-		"internal/serve",
+		"internal/serve", "internal/opt",
 	} {
 		if pkgUnder(p)(rel) {
 			return true
@@ -77,6 +78,7 @@ func boundaryPkg(rel string) bool {
 	for _, p := range []string{
 		"internal/sched", "internal/sim", "internal/strategy",
 		"internal/memplan", "internal/pipeline", "internal/serve",
+		"internal/opt",
 	} {
 		if pkgUnder(p)(rel) {
 			return true

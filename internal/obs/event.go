@@ -58,6 +58,12 @@ const (
 	// cross-stage send from Stage to the peer stage in From; Cause
 	// carries the failure being retried.
 	EvRetry
+	// EvMove is an instant emitted by the schedule optimizer for each
+	// candidate move it proposes: Stage is the stage the move touched, Op
+	// the op it displaced, Start/End the candidate's simulated iteration
+	// time (End == Start), and Cause "<operator>/<outcome>" — e.g.
+	// "swap/accept", "shift/reject", "rebalance/infeasible".
+	EvMove
 )
 
 // String returns the mnemonic used by the JSONL exporter.
@@ -83,6 +89,8 @@ func (k EventKind) String() string {
 		return "restore"
 	case EvRetry:
 		return "retry"
+	case EvMove:
+		return "move"
 	}
 	return "unknown"
 }

@@ -119,6 +119,12 @@ func (c ChromeTrace) Export(w io.Writer, t *Trace) error {
 				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
 				Args: map[string]any{"to": e.From, "cause": e.Cause},
 			})
+		case EvMove:
+			evs = append(evs, chromeEvent{
+				Name: "move:" + e.Cause, Cat: "opt", Ph: "i",
+				TS: e.Start * 1e6, PID: 0, TID: e.Stage, Scope: "t",
+				Args: map[string]any{"op": e.Op.String(), "iter": e.Start},
+			})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,344 @@
+package opt
+
+import (
+	"container/heap"
+
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/verify"
+)
+
+// The HEFT-style second seed (cf. the Octopus scheduler in SNIPPETS.md):
+// rank every (stage, op) node by its upward rank — own cost plus the
+// most expensive downstream chain, communication included — then emit
+// ops in globally rank-greedy topological order, keeping each stage's
+// emission subsequence as its new program order. Stage assignment is
+// fixed by the placement, so unlike classical HEFT only the *order* is
+// being decided; because the emission is one topological order of the
+// dependency graph, the seed is deadlock-free by construction. The
+// emission is budget-aware: an op whose allocation would push its stage
+// past the memory budget (by the certifier's sweep rules) is parked
+// until a release on that stage, so the greedy order stays within the
+// budget instead of front-loading forwards and getting rejected
+// wholesale. If parking wedges (nothing emittable fits), the seed is
+// dropped rather than repaired.
+
+type heftNode struct {
+	stage int
+	op    sched.Op
+	pos   int // original position on its stage (deterministic tie-break)
+}
+
+// heftSeed builds the list-scheduling seed for s under costs. It returns
+// ok=false when the seed cannot be used: a dangling dependency (the
+// input was not certified) or a budget the greedy order does not fit.
+func heftSeed(s *sched.Schedule, costs sim.Costs, budget *verify.Budget) (*sched.Schedule, float64, bool) {
+	seed, ok := heftOrder(s, costs, budget)
+	if !ok {
+		return nil, 0, false
+	}
+	if _, err := verify.Certify(seed, verify.Options{Budget: budget, AssumeComplete: true}); err != nil {
+		return nil, 0, false
+	}
+	r, err := sim.Run(sim.Options{Sched: seed, Costs: costs, MakespanOnly: true})
+	if err != nil || r.OOM {
+		return nil, 0, false
+	}
+	return seed, r.IterTime, true
+}
+
+// heftOrder runs the budget-aware rank-greedy emission and returns the
+// re-ordered schedule (not yet certified).
+func heftOrder(s *sched.Schedule, costs sim.Costs, budget *verify.Budget) (*sched.Schedule, bool) {
+	nodes, index, ok := buildNodes(s)
+	if !ok {
+		return nil, false
+	}
+	preds, succs, ok := buildEdges(s, nodes, index)
+	if !ok {
+		return nil, false
+	}
+	ranks := upwardRanks(s, costs, nodes, succs)
+
+	// Rank-greedy topological emission: a node becomes ready when all
+	// its dependency predecessors have been emitted; among ready nodes
+	// the highest rank goes first (ties: lower stage, then original
+	// position — fully deterministic). Ready nodes that do not fit the
+	// stage's remaining budget are parked and retried after the next
+	// release on that stage.
+	indeg := make([]int, len(nodes))
+	for i, ps := range preds {
+		indeg[i] = len(ps)
+	}
+	h := &nodeHeap{nodes: nodes, ranks: ranks}
+	for i, d := range indeg {
+		if d == 0 {
+			heap.Push(h, i)
+		}
+	}
+	st := newSweeper(s, budget)
+	parked := make([][]int, s.P)
+	order := make([][]sched.Op, s.P)
+	for k := range order {
+		order[k] = make([]sched.Op, 0, len(s.Stages[k]))
+	}
+	emitted := 0
+	for h.Len() > 0 {
+		i := heap.Pop(h).(int)
+		n := &nodes[i]
+		if !st.fits(n.stage, n.op) {
+			parked[n.stage] = append(parked[n.stage], i)
+			continue
+		}
+		order[n.stage] = append(order[n.stage], n.op)
+		freed := st.emit(n.stage, n.op)
+		emitted++
+		for _, t := range succs[i] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				heap.Push(h, t)
+			}
+		}
+		if freed && len(parked[n.stage]) > 0 {
+			for _, p := range parked[n.stage] {
+				heap.Push(h, p)
+			}
+			parked[n.stage] = parked[n.stage][:0]
+		}
+	}
+	if emitted != len(nodes) {
+		// Either a cyclic input (the certifier said otherwise) or the
+		// budget wedged the greedy emission; no seed either way.
+		return nil, false
+	}
+
+	seed := cloneSchedule(s)
+	seed.Stages = order
+	return seed, true
+}
+
+// sweeper replays the certifier's static retention rules during
+// emission so the greedy order never exceeds the budget it will later be
+// certified against. Nil budgets (or nil footprints) degrade exactly as
+// verify.Budget does: unit family slots, zero gradient retention.
+//
+// Admission is group-reserving: the backward of (micro, chunk) can only
+// start once all S of its slice forwards are retained simultaneously
+// (the KV-gradient chain), so admitting one slice's forward without room
+// for its siblings wedges the emission — all remaining allocations are
+// over budget and every release is behind one of them. The first forward
+// of a (micro, chunk) group therefore reserves the whole group's bytes,
+// and later slices draw the reservation down instead of new budget.
+type sweeper struct {
+	s      *sched.Schedule
+	caps   []int64
+	fam    func(stage int, f sched.Op) int64
+	grad   func(stage int, b sched.Op) int64
+	live   []int64              // retained bytes (the certifier's quantity)
+	pend   []int64              // reserved, not yet allocated
+	fams   []map[sched.Op]int64 // family key -> retained bytes
+	pieces []map[sched.Op]int   // family key -> executed WPieces
+	groups []map[[2]int]int64   // (micro, chunk) -> remaining reservation
+}
+
+func newSweeper(s *sched.Schedule, b *verify.Budget) *sweeper {
+	st := &sweeper{
+		s:    s,
+		fam:  func(int, sched.Op) int64 { return 1 },
+		grad: func(int, sched.Op) int64 { return 0 },
+	}
+	if b != nil {
+		st.caps = b.ActBudget
+		if b.FamilyBytes != nil {
+			st.fam = b.FamilyBytes
+		}
+		if b.GradBytes != nil {
+			st.grad = b.GradBytes
+		}
+	}
+	st.live = make([]int64, s.P)
+	st.pend = make([]int64, s.P)
+	st.fams = make([]map[sched.Op]int64, s.P)
+	st.pieces = make([]map[sched.Op]int, s.P)
+	st.groups = make([]map[[2]int]int64, s.P)
+	for k := 0; k < s.P; k++ {
+		st.fams[k] = make(map[sched.Op]int64)
+		st.pieces[k] = make(map[sched.Op]int)
+		st.groups[k] = make(map[[2]int]int64)
+	}
+	return st
+}
+
+// groupBytes sums the slice-forward footprints of op's (micro, chunk)
+// group on stage k — the co-residency the backward chain will demand.
+func (st *sweeper) groupBytes(k int, op sched.Op) int64 {
+	var sum int64
+	for i := 0; i < st.s.S; i++ {
+		sum += st.fam(k, sched.Op{Kind: sched.F, Micro: op.Micro, Slice: i, Chunk: op.Chunk})
+	}
+	return sum
+}
+
+// fits reports whether emitting op next on stage k stays within the
+// stage's budget, reservations included. Releasing kinds always fit.
+func (st *sweeper) fits(k int, op sched.Op) bool {
+	if st.caps == nil || k >= len(st.caps) {
+		return true
+	}
+	switch op.Kind {
+	case sched.F:
+		if _, reserved := st.groups[k][[2]int{op.Micro, op.Chunk}]; reserved {
+			return true // drawn from the group's reservation
+		}
+		return st.live[k]+st.pend[k]+st.groupBytes(k, op) <= st.caps[k]
+	case sched.BAct:
+		return st.live[k]+st.pend[k]+st.grad(k, op) <= st.caps[k]
+	}
+	return true
+}
+
+// emit applies op to the sweep state and reports whether it released
+// retention (the signal to retry parked ops on stage k).
+func (st *sweeper) emit(k int, op sched.Op) bool {
+	key := op.Key()
+	switch op.Kind {
+	case sched.F:
+		g := [2]int{op.Micro, op.Chunk}
+		add := st.fam(k, op)
+		if rem, reserved := st.groups[k][g]; reserved {
+			st.groups[k][g] = rem - add
+			st.pend[k] -= add
+			if st.groups[k][g] <= 0 {
+				delete(st.groups[k], g)
+			}
+		} else if rest := st.groupBytes(k, op) - add; rest > 0 {
+			st.groups[k][g] = rest
+			st.pend[k] += rest
+		}
+		st.fams[k][key] += add
+		st.live[k] += add
+	case sched.B, sched.W:
+		st.live[k] -= st.fams[k][key]
+		delete(st.fams[k], key)
+		return true
+	case sched.BAct:
+		add := st.grad(k, op)
+		st.fams[k][key] += add
+		st.live[k] += add
+	case sched.WPiece:
+		st.pieces[k][key]++
+		if st.pieces[k][key] == st.s.WPieces {
+			st.live[k] -= st.fams[k][key]
+			delete(st.fams[k], key)
+			delete(st.pieces[k], key)
+			return true
+		}
+	}
+	return false
+}
+
+func buildNodes(s *sched.Schedule) ([]heftNode, map[verify.Node]int, bool) {
+	var nodes []heftNode
+	index := make(map[verify.Node]int)
+	for k, ops := range s.Stages {
+		for pos, op := range ops {
+			key := verify.Node{Stage: k, Op: op}
+			if _, dup := index[key]; dup {
+				return nil, nil, false
+			}
+			index[key] = len(nodes)
+			nodes = append(nodes, heftNode{stage: k, op: op, pos: pos})
+		}
+	}
+	return nodes, index, true
+}
+
+func buildEdges(s *sched.Schedule, nodes []heftNode, index map[verify.Node]int) (preds, succs [][]int, ok bool) {
+	preds = make([][]int, len(nodes))
+	succs = make([][]int, len(nodes))
+	var deps []sched.Dep
+	for i := range nodes {
+		n := &nodes[i]
+		deps = s.Deps(deps[:0], n.stage, n.op)
+		for _, d := range deps {
+			j, found := index[verify.Node{Stage: d.Stage, Op: d.Op}]
+			if !found {
+				return nil, nil, false
+			}
+			preds[i] = append(preds[i], j)
+			succs[j] = append(succs[j], i)
+		}
+	}
+	return preds, succs, true
+}
+
+// upwardRanks computes rank(u) = cost(u) + max over successors v of
+// (comm(u→v) + rank(v)), in reverse topological order via Kahn's
+// algorithm on out-degrees.
+func upwardRanks(s *sched.Schedule, costs sim.Costs, nodes []heftNode, succs [][]int) []float64 {
+	ranks := make([]float64, len(nodes))
+	outdeg := make([]int, len(nodes))
+	preds := make([][]int, len(nodes))
+	for i, ss := range succs {
+		outdeg[i] = len(ss)
+		for _, t := range ss {
+			preds[t] = append(preds[t], i)
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i, d := range outdeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		n := &nodes[i]
+		best := 0.0
+		for _, t := range succs[i] {
+			edge := ranks[t]
+			if nodes[t].stage != n.stage {
+				edge += costs.CommTime(n.stage, nodes[t].stage, n.op)
+			}
+			if edge > best {
+				best = edge
+			}
+		}
+		ranks[i] = costs.OpTime(n.stage, n.op) + best
+		for _, p := range preds[i] {
+			outdeg[p]--
+			if outdeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	return ranks
+}
+
+// nodeHeap orders ready nodes by descending rank, then stage, then
+// original position — the deterministic emission priority.
+type nodeHeap struct {
+	nodes []heftNode
+	ranks []float64
+	items []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+func (h *nodeHeap) Less(a, b int) bool {
+	i, j := h.items[a], h.items[b]
+	if h.ranks[i] != h.ranks[j] {
+		return h.ranks[i] > h.ranks[j]
+	}
+	if h.nodes[i].stage != h.nodes[j].stage {
+		return h.nodes[i].stage < h.nodes[j].stage
+	}
+	return h.nodes[i].pos < h.nodes[j].pos
+}
+func (h *nodeHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(int)) }
+func (h *nodeHeap) Pop() any {
+	x := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return x
+}

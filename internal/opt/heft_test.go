@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+
+	"mepipe/internal/sim"
+	"mepipe/internal/verify"
+)
+
+// TestHeftSeedCertifies pins the list-scheduling seed's contract: for
+// every base family the seed (when produced) passes full certification,
+// preserves the op multiset, and reports its true simulated time.
+func TestHeftSeedCertifies(t *testing.T) {
+	costs := sim.Unit()
+	for _, base := range moveBases(t) {
+		seed, ht, ok := heftSeed(base, costs, nil)
+		if !ok {
+			t.Errorf("%s: unbudgeted HEFT seed unexpectedly dropped", base.Name)
+			continue
+		}
+		if _, err := verify.Certify(seed, verify.Options{}); err != nil {
+			t.Errorf("%s: HEFT seed fails full certification: %v", base.Name, err)
+		}
+		r, err := sim.Run(sim.Options{Sched: seed, Costs: costs})
+		if err != nil {
+			t.Errorf("%s: simulating HEFT seed: %v", base.Name, err)
+			continue
+		}
+		if r.IterTime != ht {
+			t.Errorf("%s: heftSeed reported %.6f, simulator says %.6f", base.Name, ht, r.IterTime)
+		}
+	}
+}
+
+// TestHeftSeedRespectsBudget: under a tight slot budget the budget-aware
+// emission either produces a schedule whose sweep fits, or drops the
+// seed — never an over-budget order.
+func TestHeftSeedRespectsBudget(t *testing.T) {
+	a := discoveredPoint()
+	_, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, _, ok := heftSeed(presetSched, a.Costs(), a.Budget())
+	if !ok {
+		t.Fatal("budget-aware HEFT emission wedged at the canonical point")
+	}
+	cert, err := verify.Certify(seed, verify.Options{Budget: a.Budget()})
+	if err != nil {
+		t.Fatalf("budgeted HEFT seed fails certification: %v", err)
+	}
+	for k, peak := range cert.PeakFamilies {
+		if peak > a.SlotBudget[k] {
+			t.Errorf("stage %d: HEFT peak %d exceeds budget %d", k, peak, a.SlotBudget[k])
+		}
+	}
+}
+
+// TestHeftSeedDeterministic: same inputs, byte-identical seed.
+func TestHeftSeedDeterministic(t *testing.T) {
+	base := moveBases(t)[1]
+	costs := sim.Unit()
+	s1, t1, ok1 := heftSeed(base, costs, nil)
+	s2, t2, ok2 := heftSeed(base, costs, nil)
+	if !ok1 || !ok2 || t1 != t2 {
+		t.Fatalf("ok=%v/%v t=%v/%v", ok1, ok2, t1, t2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := s1.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two HEFT seeds from identical inputs differ")
+	}
+}
+
+// TestHeftSeedImprovesLooseBudget documents why the second seed exists:
+// with slack memory, rank-greedy list scheduling beats the in-flight-
+// capped preset outright at the canonical point.
+func TestHeftSeedImprovesLooseBudget(t *testing.T) {
+	a := discoveredPoint()
+	best, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ht, ok := heftSeed(presetSched, a.Costs(), nil)
+	if !ok {
+		t.Fatal("unbudgeted HEFT seed dropped")
+	}
+	if ht >= best.IterTime {
+		t.Errorf("unbudgeted HEFT seed %.6f does not beat preset %.6f at the canonical point", ht, best.IterTime)
+	}
+}

@@ -1,0 +1,310 @@
+package opt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"reflect"
+	"testing"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/obs"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/verify"
+)
+
+var writeDiscovered = flag.Bool("write-discovered", false,
+	"regenerate testdata/discovered.json (the checked-in discovered-schedule artifact)")
+
+// discoveredPoint is the canonical optimization point of the checked-in
+// artifact: P=4, V=1, S=2, N=6 under a 5-family-per-stage slot budget
+// with unit op costs and 0.2 communication.
+func discoveredPoint() *Artifact {
+	return &Artifact{
+		Note: "discovered-schedule artifact; regenerate with `make opt-regen` " +
+			"(go test ./internal/opt -run TestWriteDiscovered -write-discovered)",
+		P: 4, V: 1, S: 2, N: 6,
+		Est:        sched.UniformEst{F: 1, BFused: 2, BAct: 1, W: 1, WPiece: 0, Comm: 0.2},
+		ActBytes:   1,
+		GradBytes:  0,
+		SlotBudget: []int{5, 5, 5, 5},
+		Opt:        ArtifactOpt{Seed: 1, Iters: 1500, Proposals: 4},
+	}
+}
+
+// TestWriteDiscovered regenerates the checked-in artifact: sweep the
+// preset family at the canonical point, anneal from the best preset with
+// the recorded seed, and save preset + discovered + their times. Only
+// runs under -write-discovered.
+func TestWriteDiscovered(t *testing.T) {
+	if !*writeDiscovered {
+		t.Skip("no -write-discovered; run via make opt-regen")
+	}
+	a := discoveredPoint()
+	best, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatalf("preset sweep: %v", err)
+	}
+	a.Preset = best
+	res, err := Optimize(context.Background(), presetSched, a.Costs(), Options{
+		Seed: a.Opt.Seed, Iters: a.Opt.Iters, Proposals: a.Opt.Proposals,
+		Budget: a.Budget(),
+	})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.BestTime >= best.IterTime-eps {
+		t.Fatalf("discovered %.3f does not beat best preset %.3f; not writing artifact", res.BestTime, best.IterTime)
+	}
+	a.Opt.IterTime = res.BestTime
+	var doc bytes.Buffer
+	if err := res.Schedule.Save(&doc); err != nil {
+		t.Fatalf("save schedule: %v", err)
+	}
+	a.Schedule = json.RawMessage(doc.Bytes())
+	f, err := os.Create("testdata/discovered.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := a.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote testdata/discovered.json: preset %s %.3f -> discovered %.3f (%.2f%%)",
+		best.Name, best.IterTime, res.BestTime, 100*(best.IterTime-res.BestTime)/best.IterTime)
+}
+
+// TestDiscoveredBeatsPresets is the regression gate CI runs on every
+// push: the checked-in schedule must (a) certify clean — completeness
+// included — under its recorded budget, (b) simulate to its recorded
+// iteration time, and (c) beat the best preset of a from-scratch sweep
+// of the whole SVPP family at the point.
+func TestDiscoveredBeatsPresets(t *testing.T) {
+	a, err := Discovered()
+	if err != nil {
+		t.Fatalf("loading artifact: %v", err)
+	}
+	s, err := a.DiscoveredSchedule()
+	if err != nil {
+		t.Fatalf("decoding discovered schedule: %v", err)
+	}
+	cert, err := verify.Certify(s, verify.Options{Budget: a.Budget()})
+	if err != nil {
+		t.Fatalf("discovered schedule no longer certifies: %v", err)
+	}
+	for k, peak := range cert.PeakFamilies {
+		if peak > a.SlotBudget[k] {
+			t.Errorf("stage %d peak %d exceeds slot budget %d", k, peak, a.SlotBudget[k])
+		}
+	}
+	r, err := sim.Run(sim.Options{Sched: s, Costs: a.Costs()})
+	if err != nil {
+		t.Fatalf("simulating discovered schedule: %v", err)
+	}
+	if diff := r.IterTime - a.Opt.IterTime; diff > eps || diff < -eps {
+		t.Errorf("discovered schedule simulates to %.6f, artifact records %.6f", r.IterTime, a.Opt.IterTime)
+	}
+	best, _, err := a.BestPreset()
+	if err != nil {
+		t.Fatalf("preset sweep: %v", err)
+	}
+	if diff := best.IterTime - a.Preset.IterTime; diff > eps || diff < -eps {
+		t.Errorf("best preset is now %s at %.6f, artifact records %s at %.6f",
+			best.Name, best.IterTime, a.Preset.Name, a.Preset.IterTime)
+	}
+	if r.IterTime >= best.IterTime-eps {
+		t.Errorf("discovered schedule (%.6f) no longer beats the best preset %s (%.6f)",
+			r.IterTime, best.Name, best.IterTime)
+	}
+}
+
+// TestDiscoveredBytesPinned re-runs the optimizer with the artifact's
+// recorded seed and asserts it reproduces the checked-in schedule byte
+// for byte — the end-to-end determinism gate. Any change to the search's
+// rng consumption shows up here and forces a conscious regeneration.
+func TestDiscoveredBytesPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length deterministic replay")
+	}
+	a, err := Discovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	presetSched, err := a.PresetSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(context.Background(), presetSched, a.Costs(), Options{
+		Seed: a.Opt.Seed, Iters: a.Opt.Iters, Proposals: a.Opt.Proposals,
+		Budget: a.Budget(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.Schedule.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	var want, gotC bytes.Buffer
+	if err := json.Compact(&want, a.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&gotC, got.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), gotC.Bytes()) {
+		t.Errorf("replaying seed %d did not reproduce the checked-in schedule;\ngot  %s\nwant %s",
+			a.Opt.Seed, gotC.Bytes(), want.Bytes())
+	}
+}
+
+// TestOptimizeSmoke is the short fixed-seed optimization the CI
+// opt-smoke job runs: a few hundred rounds on the canonical point must
+// hold the optimizer's invariants and not regress below its seed.
+func TestOptimizeSmoke(t *testing.T) {
+	a := discoveredPoint()
+	best, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	res, err := Optimize(context.Background(), presetSched, a.Costs(), Options{
+		Seed: 1, Iters: 200, Budget: a.Budget(), Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseTime != best.IterTime {
+		t.Errorf("base time %.6f, preset sweep said %.6f", res.BaseTime, best.IterTime)
+	}
+	if res.BestTime > res.BaseTime+eps {
+		t.Errorf("search worsened the schedule: %.6f > %.6f", res.BestTime, res.BaseTime)
+	}
+	if res.Cert == nil {
+		t.Fatal("no certificate on result")
+	}
+	if res.Proposed != 200*4 {
+		t.Errorf("proposed %d, want %d", res.Proposed, 200*4)
+	}
+	if res.Evaluated+res.Infeasible != res.Proposed {
+		t.Errorf("evaluated %d + infeasible %d != proposed %d", res.Evaluated, res.Infeasible, res.Proposed)
+	}
+	moves := 0
+	for _, e := range rec.Trace().Events {
+		if e.Kind == obs.EvMove {
+			moves++
+		}
+	}
+	if moves != res.Proposed {
+		t.Errorf("%d EvMove events for %d proposals", moves, res.Proposed)
+	}
+}
+
+// TestOptimizeDeterministicAcrossWorkers pins that Workers affects
+// wall-clock only: 1 worker and 8 workers discover byte-identical
+// schedules with identical counters.
+func TestOptimizeDeterministicAcrossWorkers(t *testing.T) {
+	a := discoveredPoint()
+	_, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (*Result, []byte) {
+		res, err := Optimize(context.Background(), presetSched, a.Costs(), Options{
+			Seed: 7, Iters: 150, Workers: workers, Budget: a.Budget(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := res.Schedule.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.Bytes()
+	}
+	r1, b1 := run(1)
+	r8, b8 := run(8)
+	if !bytes.Equal(b1, b8) {
+		t.Error("1-worker and 8-worker runs discovered different schedules")
+	}
+	if r1.BestTime != r8.BestTime || r1.Accepted != r8.Accepted || r1.Infeasible != r8.Infeasible {
+		t.Errorf("counter drift across workers: %+v vs %+v", r1, r8)
+	}
+}
+
+// TestOptimizeErrors pins the sentinel contract.
+func TestOptimizeErrors(t *testing.T) {
+	a := discoveredPoint()
+	_, presetSched, err := a.BestPreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := Optimize(ctx, nil, a.Costs(), Options{}); !errors.Is(err, errs.ErrIncompatible) {
+		t.Errorf("nil schedule: got %v, want ErrIncompatible", err)
+	}
+	if _, err := Optimize(ctx, presetSched, nil, Options{}); !errors.Is(err, errs.ErrIncompatible) {
+		t.Errorf("nil costs: got %v, want ErrIncompatible", err)
+	}
+	tight := verify.SlotBudget([]int{1, 1, 1, 1})
+	if _, err := Optimize(ctx, presetSched, a.Costs(), Options{Budget: tight}); !errors.Is(err, errs.ErrUncertified) {
+		t.Errorf("over-budget seed: got %v, want ErrUncertified", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := Optimize(cancelled, presetSched, a.Costs(), Options{Iters: 50}); !errors.Is(err, errs.ErrCancelled) {
+		t.Errorf("cancelled ctx: got %v, want ErrCancelled", err)
+	}
+}
+
+// TestOptimizeFusedAndSplitPresets smokes the annealer across backward
+// modes: fused (B), split (BAct+W) and fine-grained (WPiece) schedules
+// all optimize without error and never regress.
+func TestOptimizeFusedAndSplitPresets(t *testing.T) {
+	est := sched.Unit()
+	costs := sim.UniformCosts{Est: est, Act: 1}
+	cases := []struct {
+		name string
+		make func() (*sched.Schedule, error)
+	}{
+		{"dapple", func() (*sched.Schedule, error) { return sched.DAPPLE(4, 8, est) }},
+		{"zb1p", func() (*sched.Schedule, error) { return sched.ZB1P(4, 8, est) }},
+		{"svpp-fine", func() (*sched.Schedule, error) {
+			return sched.SVPP(sched.SVPPOptions{P: 4, V: 1, S: 2, N: 4, F: 4, Split: true, FineGrainedW: 2, Est: est})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Optimize(context.Background(), s, costs, Options{Seed: 3, Iters: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BestTime > res.BaseTime+eps {
+				t.Errorf("worsened: %.6f > %.6f", res.BestTime, res.BaseTime)
+			}
+			if !reflect.DeepEqual(opMultiset(s), opMultiset(res.Schedule)) {
+				t.Error("optimization changed the op multiset")
+			}
+		})
+	}
+}
+
+// opMultiset returns per-stage op multisets (order-insensitive).
+func opMultiset(s *sched.Schedule) []map[sched.Op]int {
+	out := make([]map[sched.Op]int, len(s.Stages))
+	for k, ops := range s.Stages {
+		out[k] = make(map[sched.Op]int, len(ops))
+		for _, op := range ops {
+			out[k][op]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package opt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) over at most `workers` goroutines and joins
+// them all before returning. It is the package's only goroutine launch
+// point (allowlisted for the gospawn analyzer): workers pull indices
+// from an atomic cursor, run pure evaluations, and cannot outlive the
+// call — there is no channel, no shared mutable search state, and no
+// panic path that leaks a goroutine past the WaitGroup.
+func forEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@
 //
 //	POST /v1/search    grid-search a system over a cluster (cached, coalesced)
 //	POST /v1/simulate  evaluate one pinned strategy (cached, coalesced)
+//	POST /v1/optimize  anneal one pinned strategy's schedule (cached, coalesced)
 //	POST /v1/certify   statically certify a schedule artifact
 //	POST /v1/trace     simulate and export the span-event stream
 //	GET  /v1/stats     per-endpoint counters, latencies, cache occupancy
@@ -53,6 +54,7 @@ const DefaultCacheSize = 512
 type Backend struct {
 	Search   func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace, sink obs.Sink) (*mepipe.SearchResult, error)
 	Evaluate func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, sink obs.Sink) (*mepipe.Eval, error)
+	Optimize func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, o mepipe.OptimizeOptions, sink obs.Sink) (*mepipe.Optimized, error)
 }
 
 // facadeBackend fills the zero fields of a Backend with the facade entry
@@ -66,6 +68,11 @@ func facadeBackend(b Backend) Backend {
 	if b.Evaluate == nil {
 		b.Evaluate = func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, sink obs.Sink) (*mepipe.Eval, error) {
 			return mepipe.Evaluate(ctx, sys, m, cl, par, tr, mepipe.WithTrace(sink))
+		}
+	}
+	if b.Optimize == nil {
+		b.Optimize = func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, o mepipe.OptimizeOptions, sink obs.Sink) (*mepipe.Optimized, error) {
+			return mepipe.OptimizeEval(ctx, sys, m, cl, par, tr, o, mepipe.WithTrace(sink))
 		}
 	}
 	return b
@@ -129,6 +136,7 @@ func New(opts Options) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/certify", s.handleCertify)
 	mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -324,6 +332,71 @@ func (s *Server) computeSimulate(ctx context.Context, key string, plan *v1.Plan)
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding simulate response: %w", err)
+	}
+	return body, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	req, err := v1.DecodeOptimizeRequest(r.Body)
+	if err != nil {
+		s.failNow(w, "/v1/optimize", err)
+		return
+	}
+	norm, err := req.Normalize()
+	if err != nil {
+		s.failNow(w, "/v1/optimize", err)
+		return
+	}
+	plan, err := norm.PlanRequest.Compile()
+	if err != nil {
+		s.failNow(w, "/v1/optimize", err)
+		return
+	}
+	key, err := req.Key()
+	if err != nil {
+		s.failNow(w, "/v1/optimize", err)
+		return
+	}
+	spec := *norm.Opt
+	s.serveCached(w, r, "/v1/optimize", key, func(ctx context.Context) (any, error) {
+		return s.computeOptimize(ctx, key, plan, spec)
+	})
+}
+
+// computeOptimize anneals one pinned strategy's preset schedule and
+// encodes its response body, discovered schedule document included.
+func (s *Server) computeOptimize(ctx context.Context, key string, plan *v1.Plan, spec v1.OptSpec) ([]byte, error) {
+	res, err := s.backend.Optimize(ctx, plan.System, plan.Model, plan.Cluster, *plan.Parallel, plan.Training,
+		mepipe.OptimizeOptions{Seed: spec.Seed, Iters: spec.Iters, Proposals: spec.Proposals}, s.sink)
+	if err != nil {
+		return nil, err
+	}
+	var doc bytes.Buffer
+	if err := res.Opt.Schedule.Save(&doc); err != nil {
+		return nil, fmt.Errorf("serve: encoding discovered schedule: %w", err)
+	}
+	resp := &v1.OptimizeResponse{
+		API: v1.Version, Key: key, System: v1.SystemName(plan.System),
+		Certified:     res.Opt.Cert != nil,
+		Parallel:      v1.ParallelFrom(res.Par),
+		MicroBatches:  res.N,
+		F:             res.F,
+		Opt:           spec,
+		StartedFrom:   res.Opt.Seed,
+		BaseIterTimeS: res.Opt.BaseTime,
+		HEFTIterTimeS: res.Opt.HEFTTime,
+		BestIterTimeS: res.Opt.BestTime,
+		Gain:          res.Opt.Gain(),
+		Proposed:      res.Opt.Proposed,
+		Infeasible:    res.Opt.Infeasible,
+		Evaluated:     res.Opt.Evaluated,
+		Accepted:      res.Opt.Accepted,
+		Improved:      res.Opt.Improved,
+		Schedule:      json.RawMessage(doc.Bytes()),
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding optimize response: %w", err)
 	}
 	return body, nil
 }

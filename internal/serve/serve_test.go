@@ -611,3 +611,90 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
 	}
 }
+
+// optDoc is the optimize request the end-to-end test POSTs: a small real
+// configuration plus a short, fixed-seed search.
+func optDoc(t *testing.T, iters int) []byte {
+	t.Helper()
+	doc, err := json.Marshal(v1.OptimizeRequest{
+		PlanRequest: v1.PlanRequest{
+			System:   "mepipe",
+			Model:    v1.ModelSpec{Preset: "7b"},
+			Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+			Training: v1.TrainingSpec{GlobalBatch: 8},
+			Parallel: &v1.ParallelSpec{PP: 8},
+		},
+		Opt: &v1.OptSpec{Seed: 1, Iters: iters, Proposals: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestOptimizeEndToEnd drives POST /v1/optimize through the real facade
+// backend: the discovered schedule must decode, never regress on the
+// preset, and the identical repeat must be a cache hit with byte-equal
+// body (the optimizer's determinism is what makes the endpoint cacheable
+// at all).
+func TestOptimizeEndToEnd(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts.URL+"/v1/optimize", optDoc(t, 3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Errorf("first outcome = %q, want miss", got)
+	}
+	var or v1.OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.API != v1.Version || or.Key == "" || or.System != "mepipe" || !or.Certified {
+		t.Errorf("response = %+v", or)
+	}
+	if or.StartedFrom != "preset" && or.StartedFrom != "heft" {
+		t.Errorf("started_from = %q", or.StartedFrom)
+	}
+	if or.BestIterTimeS > or.BaseIterTimeS {
+		t.Errorf("discovered %.6f is slower than the preset %.6f", or.BestIterTimeS, or.BaseIterTimeS)
+	}
+	if or.Proposed != 3*2 || or.Evaluated+or.Infeasible != or.Proposed {
+		t.Errorf("counters: proposed %d evaluated %d infeasible %d", or.Proposed, or.Evaluated, or.Infeasible)
+	}
+	if _, err := sched.Load(bytes.NewReader(or.Schedule)); err != nil {
+		t.Errorf("discovered schedule does not load: %v", err)
+	}
+
+	resp, body2 := post(t, ts.URL+"/v1/optimize", optDoc(t, 3))
+	if got := resp.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("repeat outcome = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached optimize body differs from computed body")
+	}
+
+	// A different round count is a different computation.
+	resp, _ = post(t, ts.URL+"/v1/optimize", optDoc(t, 4))
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Errorf("different iters outcome = %q, want miss", got)
+	}
+
+	// Optimize without a pinned strategy is a 400.
+	var noPar v1.OptimizeRequest
+	if err := json.Unmarshal(optDoc(t, 3), &noPar); err != nil {
+		t.Fatal(err)
+	}
+	noPar.Parallel = nil
+	doc, err := json.Marshal(noPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/v1/optimize", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no parallel: %s: %s", resp.Status, body)
+	}
+}

@@ -56,6 +56,15 @@ type Options struct {
 	// live totals, dependency/communication stalls, and the §5 dynamic
 	// engine's budget-stall and W-drain events. Nil costs nothing.
 	Trace obs.Sink
+
+	// MakespanOnly skips recording per-op Spans, leaving Result.Stages
+	// with empty timelines but exact IterTime/BubbleRatio/PeakAct. The
+	// schedule optimizer evaluates thousands of candidates per second and
+	// only reads the aggregates; dropping the span slices removes the
+	// dominant allocation. Incompatible with Trace (spans feed nothing
+	// there, but exporters built on Result would silently go blind), so
+	// Trace wins when both are set.
+	MakespanOnly bool
 }
 
 // BytesEstimator is optionally implemented by Costs to report the payload
@@ -404,7 +413,9 @@ func (r *runner) runOp(k int, op sched.Op, start float64, cause string) {
 	end := start + dur
 	st.free = end
 	st.compute += dur
-	st.spans = append(st.spans, Span{Op: op, Start: start, End: end})
+	if !r.opt.MakespanOnly || r.opt.Trace != nil {
+		st.spans = append(st.spans, Span{Op: op, Start: start, End: end})
+	}
 	r.finish[opRef{k, op}] = end
 	if r.opt.Trace != nil {
 		r.opt.Trace.Emit(obs.Event{

@@ -1,0 +1,127 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/errs"
+	"mepipe/internal/memplan"
+	"mepipe/internal/opt"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/verify"
+)
+
+// Optimized is the outcome of OptimizeContext: one configuration's preset
+// schedule annealed by the internal/opt local search under the
+// configuration's own byte-accurate memory budget.
+type Optimized struct {
+	Sys System
+	Par config.Parallel
+	N   int // micro-batches per data-parallel group
+	F   int // chosen SVPP variant (MEPipe only)
+
+	// Opt carries the discovered schedule, its certificate and the
+	// search statistics.
+	Opt *opt.Result
+}
+
+// OptimizeContext builds the configuration's preset schedule exactly like
+// EvaluateContext — memory plan, calibrated cost model, schedule
+// generator — and then runs the internal/opt simulated-annealing search
+// over certified reorderings of it. The memory budget enforced on every
+// candidate is the plan's per-stage activation budget with the cost
+// model's real activation and gradient footprints (see optimizeBudget),
+// so a discovered schedule is proven to retain no more memory than the
+// preset it replaces. The search evaluates candidates in the static execution
+// model (no dynamic W draining): the discovered order is a complete
+// static program per stage.
+//
+// Errors wrap errs.ErrIncompatible (shape), errs.ErrOOM (the
+// configuration does not fit at all), errs.ErrUncertified (the preset's
+// static placement exceeds the byte budget) or errs.ErrCancelled.
+func OptimizeContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training, oopt opt.Options, opts ...Option) (*Optimized, error) {
+	o := buildOptions(opts)
+	if err := compatible(sys, par); err != nil {
+		return nil, err
+	}
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return nil, err
+	}
+	n, err := tr.MicroBatches(par)
+	if err != nil {
+		return nil, err
+	}
+	var reserve int64
+	if sys == ZB || sys == ZBV {
+		reserve = memplan.SplitReserve
+	}
+	plan, err := memplan.NewWithReserve(m, mesh, reserve)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Feasible() {
+		return nil, fmt.Errorf("strategy: optimizing %s %v: static memory exceeds device capacity: %w", sys, par, errs.ErrOOM)
+	}
+	costs, err := perf.New(m, mesh)
+	if err != nil {
+		return nil, err
+	}
+	s, _, f, err := buildSchedule(sys, par, n, costs, plan)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: optimizing %s %v: %w", sys, par, err)
+	}
+	if oopt.Budget == nil {
+		oopt.Budget, err = optimizeBudget(s, plan, costs)
+		if err != nil {
+			return nil, fmt.Errorf("strategy: optimizing %s %v: %w", sys, par, err)
+		}
+	}
+	if oopt.Trace == nil {
+		oopt.Trace = o.sink
+	}
+	res, err := opt.Optimize(ctx, s, costs, oopt)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: optimizing %s %v: %w", sys, par, err)
+	}
+	return &Optimized{Sys: sys, Par: par, N: n, F: f, Opt: res}, nil
+}
+
+// optimizeBudget builds the memory budget the search enforces: the
+// plan's per-stage activation budget with the cost model's real
+// footprints, relaxed to the preset's own swept static peak where the
+// preset exceeds the plan. A preset's static placement may legitimately
+// retain more bytes than the plan budget in the split-backward window —
+// at runtime the §5 dynamic engine drains deferred W under memory
+// pressure, but the optimizer reasons about static orders — so the
+// enforceable invariant is "never retain more than max(plan budget,
+// preset's static retention)" per stage: the seed always certifies, and
+// a discovered schedule is proven at least as memory-frugal as the
+// preset it replaces.
+func optimizeBudget(s *sched.Schedule, plan *memplan.Plan, costs *perf.Costs) (*verify.Budget, error) {
+	unbounded := &verify.Budget{
+		ActBudget:   make([]int64, s.P),
+		FamilyBytes: costs.ActBytes,
+		GradBytes:   costs.GradBytes,
+	}
+	for k := range unbounded.ActBudget {
+		unbounded.ActBudget[k] = math.MaxInt64
+	}
+	cert, err := verify.Certify(s, verify.Options{Budget: unbounded})
+	if err != nil {
+		return nil, err
+	}
+	budget := verify.PlanBudget(plan, costs)
+	caps := append([]int64(nil), budget.ActBudget...)
+	for k := range caps {
+		if k < len(cert.PeakBytes) && cert.PeakBytes[k] > caps[k] {
+			caps[k] = cert.PeakBytes[k]
+		}
+	}
+	budget.ActBudget = caps
+	return budget, nil
+}

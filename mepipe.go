@@ -35,6 +35,7 @@ import (
 	"mepipe/internal/core"
 	"mepipe/internal/errs"
 	"mepipe/internal/obs"
+	"mepipe/internal/opt"
 	"mepipe/internal/partition"
 	"mepipe/internal/sched"
 	"mepipe/internal/sim"
@@ -384,3 +385,51 @@ var (
 	TuneSchedule  = tune.Improve
 	MakespanBound = sim.MakespanBound
 )
+
+// Schedule optimization (docs/OPTIMIZER.md): seeded, deterministic
+// simulated annealing over certified op reorderings, with the static
+// certifier as feasibility oracle and the discrete-event simulator as
+// cost oracle. OptimizeOptions tunes the search; OptimizeResult carries
+// the discovered schedule, its full certificate and the search counters;
+// Optimized wraps a result with the configuration it was derived from.
+type (
+	OptimizeOptions = opt.Options
+	OptimizeResult  = opt.Result
+	Optimized       = strategy.Optimized
+)
+
+// Optimize anneals one schedule under a cost model and returns the best
+// certified reordering discovered. The search is deterministic in
+// (schedule, costs, options) — Workers only changes wall-clock time.
+// Errors wrap ErrIncompatible (nil inputs), ErrUncertified (the input
+// schedule fails certification under the options' budget) or
+// ErrCancelled. WithTrace taps one EvMove event per proposal.
+func Optimize(ctx context.Context, s *Schedule, costs SimCosts, o OptimizeOptions, opts ...Option) (*OptimizeResult, error) {
+	var c runConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	if o.Trace == nil {
+		o.Trace = c.sink
+	}
+	return opt.Optimize(ctx, s, costs, o)
+}
+
+// OptimizeEval optimizes the preset schedule of one (system, parallel
+// strategy) configuration: it rebuilds the configuration's memory plan,
+// calibrated cost model and preset schedule exactly like Evaluate, then
+// anneals the schedule under the plan's byte-accurate activation budget.
+// This is what POST /v1/optimize on the planning server serves.
+func OptimizeEval(ctx context.Context, sys System, m Model, cl Cluster, par Parallel, tr Training, o OptimizeOptions, opts ...Option) (*Optimized, error) {
+	var c runConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	return strategy.OptimizeContext(ctx, sys, m, cl, par, tr, o, strategy.WithSink(c.sink))
+}
+
+// DiscoveredArtifact loads the repo's checked-in discovered-schedule
+// artifact — the optimization point, best preset, optimizer
+// configuration and discovered schedule that CI re-certifies on every
+// push (see docs/OPTIMIZER.md).
+var DiscoveredArtifact = opt.Discovered
