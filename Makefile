@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint verify-presets race-hot race bench bench-kernels bench-smoke bench-serve bench-opt serve-smoke opt-smoke opt-regen report figures artifact check ci smoke clean
+.PHONY: all build test vet lint lint-json verify-presets race-hot race bench bench-kernels bench-smoke bench-serve bench-opt serve-smoke opt-smoke opt-regen report figures artifact check ci smoke clean
 
 all: build test
 
@@ -17,13 +17,21 @@ vet:
 
 # Formatting gate plus the repo-invariant analyzers (docs/VERIFICATION.md):
 # fails when gofmt would change anything or mepipe-lint finds a violation
-# the allowlist does not sanction.
+# the allowlist does not sanction. Whole-module runs include the
+# interprocedural analyzers (transitive-determinism, hotpath-alloc,
+# ctxflow) and the allowlist staleness check.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "files need gofmt:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) run ./cmd/mepipe-lint ./...
+
+# The same analyzers in machine-readable form: one JSON object per
+# diagnostic (rule, file, line, col, msg, chain) — what the lint-deep CI
+# job feeds through the GitHub problem matcher.
+lint-json:
+	$(GO) run ./cmd/mepipe-lint -json ./...
 
 # The static certifier against every schedule preset: proves the
 # svpp/mepipe/vpp families deadlock-free and within their analytic
@@ -38,8 +46,9 @@ verify-presets:
 race-hot:
 	$(GO) test -race ./internal/pipeline/... ./internal/obs/... ./internal/chaos/... ./internal/tensor/... ./internal/nn/... ./internal/opt/...
 
+# Everything under the race detector — what the CI race job runs.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # The default pre-commit gate.
 check: build vet test race-hot

@@ -6,15 +6,26 @@
 //
 // Usage:
 //
-//	mepipe-lint [-allow file] [-rule name] [patterns...]
+//	mepipe-lint [-allow file] [-rule name] [-json] [-stale] [patterns...]
 //
 // Patterns default to ./... and are resolved against the module root
 // (found by walking up from the working directory to go.mod). The
 // allowlist defaults to .mepipe-lint-allow at the module root; audited
 // exceptions are one `rule path-suffix` pair per line.
+//
+// Whole-module runs (the default ./... pattern) additionally verify the
+// allowlist itself: an entry that suppresses nothing is reported as an
+// `allowstale` violation anchored at its line in the allowlist file, so
+// audited exceptions cannot outlive the code they excused. Use -stale to
+// force this check on narrower patterns, or -stale=false to disable it.
+//
+// With -json each diagnostic is emitted as one JSON object per line
+// (rule, file, line, col, msg, chain) for machine consumers such as the
+// CI problem matcher.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +34,30 @@ import (
 	"mepipe/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape emitted under -json,
+// one object per line. Field order is fixed and part of the tool's
+// interface (CI problem matchers key on it).
+type jsonDiag struct {
+	Rule  string   `json:"rule"`
+	File  string   `json:"file"`
+	Line  int      `json:"line"`
+	Col   int      `json:"col"`
+	Msg   string   `json:"msg"`
+	Chain []string `json:"chain,omitempty"`
+}
+
 func main() {
 	allowFlag := flag.String("allow", "", "allowlist file (default <module root>/.mepipe-lint-allow)")
-	ruleFlag := flag.String("rule", "", "run only the named rule (default all: determinism, gospawn, noprint, errwrap)")
+	ruleFlag := flag.String("rule", "", "run only the named rule (default all: see lint.Rules)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON Lines instead of file:line:col text")
+	staleFlag := flag.Bool("stale", false, "report allowlist entries that suppress nothing (default: on for whole-module ./... runs)")
 	flag.Parse()
+	staleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "stale" {
+			staleSet = true
+		}
+	})
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -40,7 +71,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := lint.Options{Allow: allow}
+	opts := lint.Options{Allow: allow, AllowPath: allowPath}
 	if *ruleFlag != "" {
 		valid := false
 		for _, r := range lint.Rules() {
@@ -55,12 +86,33 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if staleSet {
+		opts.ReportStale = *staleFlag
+	} else {
+		// A whole-module run sees every possible violation, so an unused
+		// allowlist entry is provably stale; narrower patterns cannot tell.
+		opts.ReportStale = len(patterns) == 1 && patterns[0] == "./..."
+	}
 	diags, err := lint.Run(root, patterns, opts)
 	if err != nil {
 		fail(err)
 	}
+	out := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonFlag {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			if err := out.Encode(jsonDiag{
+				Rule: d.Rule, File: rel, Line: d.Pos.Line, Col: d.Pos.Column,
+				Msg: d.Msg, Chain: d.Chain,
+			}); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mepipe-lint: %d violation(s)\n", len(diags))

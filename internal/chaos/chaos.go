@@ -150,7 +150,7 @@ func (in *Injector) Send(from, to int, op sched.Op, attempt int) error {
 		ls.transfers++
 		if ls.delay > 0 {
 			in.delayed.Add(1)
-			time.Sleep(ls.delay)
+			sleep(ls.delay)
 		}
 	}
 	fail := attempt == 0 && ls.transfers <= ls.failFirst

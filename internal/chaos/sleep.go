@@ -1,0 +1,15 @@
+package chaos
+
+import "time"
+
+// sleep delays the calling goroutine for d. Slow-link injection is the
+// one place the chaos package intentionally touches real time: the delay
+// models link latency for the resilience tests, and the injected fault
+// *schedule* stays deterministic (which links delay, and for how long,
+// is decided by the seeded plan — only the waiting itself is wall-clock).
+//
+// This file is the package's only timer access point; mepipe-lint's
+// determinism rule forbids time.Sleep and the timer APIs elsewhere in
+// the package, and the allowlist entries for this file are the audited
+// exception (see internal/pipeline/clock.go for the pattern).
+func sleep(d time.Duration) { time.Sleep(d) }

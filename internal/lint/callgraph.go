@@ -1,0 +1,504 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callSite is one call expression inside a function body, classified at
+// scan time. Exactly one of the target kinds is set:
+//
+//   - target:       resolved module-internal function or method
+//   - extPkg:       call into an external (non-module) package
+//   - fallbackName: unresolved method call (interface dispatch, embedded
+//     promotion, or a receiver whose type checking failed); the graph
+//     links every in-module method with this name and a compatible arity
+//   - dynamic:      call through a function value; the graph links every
+//     address-taken module function with a compatible arity
+type callSite struct {
+	pos  token.Pos
+	call *ast.CallExpr
+	args int
+
+	target       *FuncNode
+	extPkg       string
+	extName      string
+	fallbackName string
+	dynamic      bool
+}
+
+// detSinkNames are the time package selectors that read or schedule
+// against the wall clock. Mentioning one at all is a sink: assigning
+// time.After to a variable hides the call site from a call-only scan.
+var detSinkNames = map[string]bool{
+	"Now": true, "Since": true, "Sleep": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// allocPkgs are external packages whose exported calls are assumed to
+// allocate (or to do I/O, which has no business on a hot path). Calls
+// into any other external package — math, sync/atomic, runtime — are
+// assumed allocation-free.
+var allocPkgs = map[string]bool{
+	"fmt": true, "errors": true, "strings": true, "strconv": true,
+	"bytes": true, "sort": true, "os": true, "io": true, "bufio": true,
+	"log": true, "math/rand": true, "time": true, "context": true,
+	"encoding/json": true, "regexp": true, "reflect": true, "sync": true,
+}
+
+// scanProgram fills every FuncNode's call sites, determinism sinks,
+// allocation facts, and address-taken flags. Function literals are
+// inlined into their enclosing declaration: their calls and sinks count
+// against it, which over-approximates (a stored closure may never run)
+// but never misses a reachable sink.
+func scanProgram(p *Program) {
+	for _, n := range p.funcs {
+		if n.decl.Body != nil {
+			sc := &scanner{prog: p, node: n, appendTargets: appendTargets(n.decl.Body)}
+			sc.walk(n.decl.Body, false)
+		}
+	}
+	p.finalizeGraph()
+}
+
+// scanner walks one function body.
+type scanner struct {
+	prog          *Program
+	node          *FuncNode
+	appendTargets map[*ast.CallExpr]string
+}
+
+// appendTargets maps each `lhs = append(arg0, ...)` call in body to the
+// text of its single assignment target, so the walk can recognize the
+// amortized self-append idiom.
+func appendTargets(body *ast.BlockStmt) map[*ast.CallExpr]string {
+	out := map[*ast.CallExpr]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			out[call] = types.ExprString(as.Lhs[0])
+		}
+		return true
+	})
+	return out
+}
+
+// walk visits n and its children. inPanic marks subtrees that are
+// arguments to panic(): a panicking process is off every hot path, so
+// allocation facts there are suppressed (determinism sinks are not —
+// formatting a panic message must still not read the clock).
+func (s *scanner) walk(n ast.Node, inPanic bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			s.call(x, inPanic)
+			return false // children visited by s.call with updated flags
+		case *ast.FuncLit:
+			s.alloc(x.Pos(), "closure (func literal) allocates", inPanic)
+			s.walk(x.Body, inPanic)
+			return false
+		case *ast.SelectorExpr:
+			s.selector(x)
+			s.markAddrTaken(x.Sel)
+			if id, ok := x.X.(*ast.Ident); ok {
+				if s.filePkg(id) == "" {
+					s.markAddrTaken(id)
+				}
+				return false
+			}
+			return true
+		case *ast.Ident:
+			s.markAddrTaken(x)
+			return true
+		case *ast.CompositeLit:
+			s.composite(x, inPanic)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := x.X.(*ast.CompositeLit); ok {
+					s.alloc(x.Pos(), "&"+types.ExprString(cl.Type)+"{...} escapes to the heap", inPanic)
+					for _, elt := range cl.Elts {
+						s.walk(elt, inPanic)
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && s.isString(x.X) {
+				s.alloc(x.Pos(), "string concatenation allocates", inPanic)
+			}
+			return true
+		case *ast.AssignStmt:
+			s.assign(x, inPanic)
+			return false
+		}
+		return true
+	})
+}
+
+// call classifies one call expression, records sinks/allocs, and recurses
+// into the argument list.
+func (s *scanner) call(call *ast.CallExpr, inPanic bool) {
+	argPanic := inPanic
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch s.builtinName(fun) {
+		case "panic":
+			argPanic = true
+		case "make":
+			s.alloc(call.Pos(), "make("+types.ExprString(call.Args[0])+") allocates", inPanic)
+		case "new":
+			s.alloc(call.Pos(), "new("+types.ExprString(call.Args[0])+") allocates", inPanic)
+		case "append":
+			if !s.selfAppend(call) {
+				s.alloc(call.Pos(), "append into a different slice may grow and allocate; amortized self-append (x = append(x, ...)) is exempt", inPanic)
+			}
+		case "print", "println":
+			// noprint handles the diagnostic; not an alloc fact.
+		case "":
+			s.identCall(fun, call)
+		}
+	case *ast.SelectorExpr:
+		s.selector(fun)
+		s.selectorCall(fun, call, inPanic)
+	case *ast.FuncLit:
+		s.alloc(fun.Pos(), "closure (func literal) allocates", inPanic)
+		s.walk(fun.Body, inPanic)
+	case *ast.ArrayType:
+		s.alloc(call.Pos(), types.ExprString(fun)+"(...) conversion allocates", inPanic)
+	case *ast.MapType, *ast.ChanType, *ast.StarExpr, *ast.InterfaceType, *ast.FuncType:
+		// Type conversion: no call edge, no allocation.
+	default:
+		s.walk(call.Fun, inPanic)
+		s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), dynamic: true})
+	}
+	for _, a := range call.Args {
+		s.walk(a, argPanic)
+	}
+}
+
+// identCall handles f(...) where f is a plain identifier: a same-package
+// function, a local function value, or a type conversion.
+func (s *scanner) identCall(id *ast.Ident, call *ast.CallExpr) {
+	if info := s.node.pkg.info; info != nil {
+		switch obj := info.Uses[id].(type) {
+		case *types.Func:
+			if tn := s.prog.byObj[obj]; tn != nil {
+				s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), target: tn})
+				return
+			}
+			s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), extPkg: objPkgPath(obj), extName: id.Name})
+			return
+		case *types.TypeName:
+			if id.Name == "string" {
+				s.alloc(call.Pos(), "string(...) conversion allocates", false)
+			}
+			return // type conversion, not a call
+		case *types.Var:
+			s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), dynamic: true})
+			return
+		}
+	}
+	if tn := s.node.pkg.funcsByName[id.Name]; tn != nil {
+		s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), target: tn})
+		return
+	}
+	if id.Name == "string" {
+		s.alloc(call.Pos(), "string(...) conversion allocates", false)
+		return
+	}
+	s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), dynamic: true})
+}
+
+// selectorCall handles x.F(...): package-qualified functions, resolved
+// methods, and the interface-dispatch fallback.
+func (s *scanner) selectorCall(sel *ast.SelectorExpr, call *ast.CallExpr, inPanic bool) {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if path := s.filePkg(id); path != "" {
+			s.pkgQualified(path, sel, call, inPanic)
+			return
+		}
+	}
+	s.walk(sel.X, inPanic)
+	// Method call. Precise when type checking resolved the selection to a
+	// concrete in-module method; otherwise fall back to name+arity.
+	if info := s.node.pkg.info; info != nil {
+		if selinfo, ok := info.Selections[sel]; ok && selinfo.Kind() == types.MethodVal {
+			if tn := s.prog.byObj[selinfo.Obj()]; tn != nil {
+				s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), target: tn})
+				return
+			}
+			if fn, ok := selinfo.Obj().(*types.Func); ok && objPkgPath(fn) != "" && !s.inModule(objPkgPath(fn)) {
+				s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), extPkg: objPkgPath(fn), extName: sel.Sel.Name})
+				return
+			}
+		}
+	}
+	s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), fallbackName: sel.Sel.Name})
+}
+
+// pkgQualified handles pkg.F(...) where pkg names an imported package.
+func (s *scanner) pkgQualified(path string, sel *ast.SelectorExpr, call *ast.CallExpr, inPanic bool) {
+	if rel, ok := s.prog.relOf(path); ok {
+		if tp := s.prog.byRel[rel]; tp != nil {
+			if tn := tp.funcsByName[sel.Sel.Name]; tn != nil {
+				s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), target: tn})
+				return
+			}
+		}
+		// In-module package but unknown name: a conversion or a var.
+		s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), dynamic: true})
+		return
+	}
+	if path == "math/rand" && sel.Sel.Name != "New" && sel.Sel.Name != "NewSource" {
+		s.sink(call.Pos(), "rand."+sel.Sel.Name+" draws from the global math/rand stream")
+	}
+	if allocPkgs[path] {
+		base := path
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		s.alloc(call.Pos(), base+"."+sel.Sel.Name+" allocates (external call into an allocating package)", inPanic)
+	}
+	s.addSite(callSite{pos: call.Pos(), call: call, args: len(call.Args), extPkg: path, extName: sel.Sel.Name})
+}
+
+// selector records determinism sinks for any mention of a timer API —
+// not just calls, so `f := time.After` cannot hide the sink.
+func (s *scanner) selector(sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if s.filePkg(id) == "time" && detSinkNames[sel.Sel.Name] {
+		s.sink(sel.Pos(), "time."+sel.Sel.Name+" reaches the wall clock")
+	}
+}
+
+// composite records allocation facts for slice and map literals (struct
+// values stay on the stack unless their address escapes, which the
+// UnaryExpr case catches).
+func (s *scanner) composite(cl *ast.CompositeLit, inPanic bool) {
+	switch t := cl.Type.(type) {
+	case *ast.ArrayType:
+		if t.Len == nil {
+			s.alloc(cl.Pos(), "slice literal allocates", inPanic)
+		}
+	case *ast.MapType:
+		s.alloc(cl.Pos(), "map literal allocates", inPanic)
+	}
+}
+
+// assign handles assignment statements so self-append (x = append(x, ...))
+// can be recognized before the general call walk fires.
+func (s *scanner) assign(as *ast.AssignStmt, inPanic bool) {
+	for _, rhs := range as.Rhs {
+		s.walk(rhs, inPanic)
+	}
+	for _, lhs := range as.Lhs {
+		s.walk(lhs, inPanic)
+	}
+}
+
+// selfAppend reports whether call is the amortized-growth idiom
+// x = append(x, ...): growth re-uses capacity in steady state, so the
+// hot-path proof exempts it. The idiom is recognized textually — the
+// statement's sole assignment target must print identically to the
+// call's first argument.
+func (s *scanner) selfAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	target := s.appendTargets[call]
+	return target != "" && target == types.ExprString(call.Args[0])
+}
+
+// --- scanner bookkeeping -------------------------------------------------
+
+func (s *scanner) addSite(site callSite) {
+	s.node.calls = append(s.node.calls, site)
+}
+
+func (s *scanner) sink(pos token.Pos, msg string) {
+	s.node.detSinks = append(s.node.detSinks, fact{pos: pos, msg: msg})
+}
+
+func (s *scanner) alloc(pos token.Pos, msg string, inPanic bool) {
+	if inPanic {
+		return
+	}
+	s.node.allocs = append(s.node.allocs, fact{pos: pos, msg: msg})
+}
+
+// filePkg resolves an identifier to an imported package path ("" if it
+// is not a package qualifier).
+func (s *scanner) filePkg(id *ast.Ident) string {
+	return s.node.file.pkgPath(id)
+}
+
+// builtinName returns the name if id resolves to a builtin (or, with no
+// type info, if it textually matches one and is not shadowed — without
+// type info we accept the small risk of a shadowed `make`).
+func (s *scanner) builtinName(id *ast.Ident) string {
+	if info := s.node.pkg.info; info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			if _, isB := obj.(*types.Builtin); isB {
+				return id.Name
+			}
+			return ""
+		}
+	}
+	switch id.Name {
+	case "panic", "make", "new", "append", "print", "println":
+		return id.Name
+	}
+	return ""
+}
+
+// isString reports whether e is string-typed (via type info, falling
+// back to string literals).
+func (s *scanner) isString(e ast.Expr) bool {
+	if info := s.node.pkg.info; info != nil {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			return ok && b.Info()&types.IsString != 0
+		}
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// inModule reports whether path is inside this module.
+func (s *scanner) inModule(path string) bool {
+	_, ok := s.prog.relOf(path)
+	return ok
+}
+
+// markAddrTaken flags module functions referenced as values (outside call
+// position — the walk only reaches here for non-call uses).
+func (s *scanner) markAddrTaken(id *ast.Ident) {
+	info := s.node.pkg.info
+	if info == nil {
+		return
+	}
+	obj, ok := info.Uses[id]
+	if !ok {
+		return
+	}
+	if tn := s.prog.byObj[obj]; tn != nil {
+		tn.refTaken = true
+	}
+}
+
+func objPkgPath(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// --- graph traversal -----------------------------------------------------
+
+// successors resolves a node's call sites to FuncNode edges, deduplicated
+// and in deterministic order: static targets in source order, then
+// fallback/dynamic candidates sorted by display name.
+func (p *Program) successors(n *FuncNode) []*FuncNode {
+	if n.succCache != nil {
+		return n.succCache
+	}
+	seen := map[*FuncNode]bool{}
+	visible := p.importClosure(n.pkg)
+	var static, fuzzy []*FuncNode
+	add := func(list *[]*FuncNode, t *FuncNode) {
+		if t != nil && !seen[t] {
+			seen[t] = true
+			*list = append(*list, t)
+		}
+	}
+	for _, c := range n.calls {
+		switch {
+		case c.target != nil:
+			add(&static, c.target)
+		case c.fallbackName != "":
+			for _, m := range p.methodsByName[c.fallbackName] {
+				if m.arityCompatible(c.args) && visible[m.pkg.rel] {
+					add(&fuzzy, m)
+				}
+			}
+		case c.dynamic:
+			for _, f := range p.addrTaken {
+				if f.arityCompatible(c.args) && visible[f.pkg.rel] {
+					add(&fuzzy, f)
+				}
+			}
+		}
+	}
+	sort.Slice(fuzzy, func(i, j int) bool { return fuzzy[i].name < fuzzy[j].name })
+	n.succCache = append(static, fuzzy...)
+	return n.succCache
+}
+
+// finalizeGraph computes the address-taken set once scanning is done.
+func (p *Program) finalizeGraph() {
+	p.addrTaken = p.addrTaken[:0]
+	for _, f := range p.funcs {
+		if f.refTaken {
+			p.addrTaken = append(p.addrTaken, f)
+		}
+	}
+	sort.Slice(p.addrTaken, func(i, j int) bool { return p.addrTaken[i].name < p.addrTaken[j].name })
+}
+
+// reach walks the graph breadth-first from root, calling visit for every
+// node reached (including root) with the call chain that reached it
+// (root first). stop prunes traversal below a node without suppressing
+// the visit of the node itself.
+func (p *Program) reach(root *FuncNode, stop func(*FuncNode) bool, visit func(n *FuncNode, chain []string)) {
+	type qent struct {
+		n     *FuncNode
+		chain []string
+	}
+	seen := map[*FuncNode]bool{root: true}
+	queue := []qent{{n: root, chain: []string{root.name}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		visit(cur.n, cur.chain)
+		if stop != nil && stop(cur.n) {
+			continue
+		}
+		for _, succ := range p.successors(cur.n) {
+			if seen[succ] {
+				continue
+			}
+			seen[succ] = true
+			chain := make([]string, len(cur.chain), len(cur.chain)+1)
+			copy(chain, cur.chain)
+			queue = append(queue, qent{n: succ, chain: append(chain, succ.name)})
+		}
+	}
+}
+
+// chainSuffix renders a call chain for a diagnostic message: the chain
+// always starts at the annotated root, so even a direct violation names
+// the entry point it taints.
+func chainSuffix(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return " [via " + strings.Join(chain, " -> ") + "]"
+}

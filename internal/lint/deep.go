@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// deepRules are the whole-program analyzers. Unlike the per-file rules
+// they see the module-wide call graph, so a violation can live in a
+// package the per-file rules never gate — reachability is what matters,
+// and every diagnostic carries the call chain that proves it.
+var deepRules = []struct {
+	name string
+	run  func(p *Program, report func(Diagnostic))
+}{
+	{name: "transitive-determinism", run: checkTransitiveDeterminism},
+	{name: "hotpath-alloc", run: checkHotpathAlloc},
+	{name: "ctxflow", run: checkCtxFlow},
+}
+
+// deepRoots returns the annotated roots for one analyzer in stable name
+// order, so chains are reproducible run to run.
+func deepRoots(p *Program, want func(*FuncNode) bool) []*FuncNode {
+	var roots []*FuncNode
+	for _, n := range p.funcs {
+		if want(n) {
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].name < roots[j].name })
+	return roots
+}
+
+// checkTransitiveDeterminism proves that no function reachable from a
+// //mepipe:deterministic entry point touches the wall clock or the global
+// math/rand stream — including through helpers in packages the per-file
+// determinism rule never visits. Each sink is reported once, with the
+// shortest call chain (BFS) from the first root that reaches it.
+func checkTransitiveDeterminism(p *Program, report func(Diagnostic)) {
+	seen := map[string]bool{}
+	for _, root := range deepRoots(p, func(n *FuncNode) bool { return n.deterministic }) {
+		p.reach(root, nil, func(n *FuncNode, chain []string) {
+			for _, f := range n.detSinks {
+				pos := p.position(f.pos)
+				key := pos.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				report(Diagnostic{
+					Rule:  "transitive-determinism",
+					Pos:   pos,
+					Msg:   f.msg + ", reachable from a deterministic entry point" + chainSuffix(chain),
+					Chain: chain,
+				})
+			}
+		})
+	}
+}
+
+// checkHotpathAlloc proves the zero-allocation property statically: no
+// function reachable from a //mepipe:hotpath root may contain an
+// allocating construct, except through a //mepipe:coldalloc function —
+// the audited escape hatch for pool misses and first-touch growth, whose
+// body and callees are excluded from the proof.
+func checkHotpathAlloc(p *Program, report func(Diagnostic)) {
+	seen := map[string]bool{}
+	for _, root := range deepRoots(p, func(n *FuncNode) bool { return n.hotpath }) {
+		p.reach(root, func(n *FuncNode) bool { return n.coldalloc }, func(n *FuncNode, chain []string) {
+			if n.coldalloc {
+				return
+			}
+			for _, f := range n.allocs {
+				pos := p.position(f.pos)
+				key := pos.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				report(Diagnostic{
+					Rule:  "hotpath-alloc",
+					Pos:   pos,
+					Msg:   f.msg + " on a mepipe:hotpath" + chainSuffix(chain),
+					Chain: chain,
+				})
+			}
+		})
+	}
+}
+
+// ctxFlowPkg gates the context-flow analyzer to the layers whose exported
+// API promises cancellation: the planning server, the strategy facade,
+// and the schedule optimizer.
+func ctxFlowPkg(rel string) bool {
+	return pkgUnder("internal/serve")(rel) ||
+		pkgUnder("internal/strategy")(rel) ||
+		pkgUnder("internal/opt")(rel)
+}
+
+// checkCtxFlow verifies that exported ctx-taking functions in the gated
+// packages thread their context: a call to a module function that
+// accepts a context must pass a value derived from the ctx parameter,
+// and context.Background()/context.TODO() may not manufacture a fresh
+// root inside such a function.
+func checkCtxFlow(p *Program, report func(Diagnostic)) {
+	for _, n := range p.funcs {
+		if !ctxFlowPkg(n.pkg.rel) || n.decl.Body == nil || !n.decl.Name.IsExported() {
+			continue
+		}
+		ctxName, ok := ctxParamName(n.file, n.decl.Type)
+		if !ok {
+			continue
+		}
+		targets := map[*ast.CallExpr]*FuncNode{}
+		for _, c := range n.calls {
+			if c.target != nil && c.call != nil {
+				targets[c.call] = c.target
+			}
+		}
+		tainted := taintedIdents(n.decl.Body, ctxName)
+		checkCtxBody(p, n, n.decl.Body, tainted, targets, report)
+	}
+}
+
+// ctxParamName finds the declared name of a context.Context parameter;
+// ok is false when there is none, or it is unnamed/blank (nothing to
+// thread).
+func ctxParamName(pf *progFile, ft *ast.FuncType) (string, bool) {
+	if ft.Params == nil {
+		return "", false
+	}
+	for _, fld := range ft.Params.List {
+		if !isCtxType(pf, fld.Type) {
+			continue
+		}
+		if len(fld.Names) == 0 || fld.Names[0].Name == "_" {
+			return "", false
+		}
+		return fld.Names[0].Name, true
+	}
+	return "", false
+}
+
+// hasCtxParam reports whether the function declares any context.Context
+// parameter.
+func hasCtxParam(n *FuncNode) bool {
+	ft := n.decl.Type
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		if isCtxType(n.file, fld.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t spells context.Context in pf's namespace.
+func isCtxType(pf *progFile, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pf.pkgPath(id) == "context"
+}
+
+// taintedIdents computes the identifiers carrying the caller's context:
+// the ctx parameter itself plus anything assigned from an expression
+// that mentions a tainted identifier (covers `cctx, cancel :=
+// context.WithTimeout(ctx, d)` and re-bindings). Tracking is by name,
+// not by scope, so a shadowing re-declaration keeps the name tainted;
+// the Background/TODO ban covers the manufactured-root case that such
+// shadowing could otherwise hide.
+func taintedIdents(body *ast.BlockStmt, seed string) map[string]bool {
+	t := map[string]bool{seed: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsTainted := false
+			for _, r := range as.Rhs {
+				if mentionsAny(r, t) {
+					rhsTainted = true
+					break
+				}
+			}
+			if !rhsTainted {
+				return true
+			}
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" && !t[id.Name] {
+					t[id.Name] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+// mentionsAny reports whether the expression mentions any tainted name.
+func mentionsAny(e ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok && tainted[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCtxBody walks one function body reporting context-flow violations.
+// A nested function literal that declares its own context parameter is a
+// fresh scope and is skipped; literals without one share the enclosing
+// taint (the common `func() { ... }` goroutine body).
+func checkCtxBody(p *Program, n *FuncNode, body ast.Node, tainted map[string]bool, targets map[*ast.CallExpr]*FuncNode, report func(Diagnostic)) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if _, ok := ctxParamName(n.file, x.Type); ok {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && n.file.pkgPath(id) == "context" &&
+					(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") {
+					report(Diagnostic{
+						Rule: "ctxflow",
+						Pos:  p.position(x.Pos()),
+						Msg:  "context." + sel.Sel.Name + "() manufactures a fresh context inside exported ctx-taking " + n.name + "; thread the ctx parameter instead",
+					})
+					return true
+				}
+			}
+			callee := targets[x]
+			if callee == nil || !hasCtxParam(callee) {
+				return true
+			}
+			for _, a := range x.Args {
+				if mentionsAny(a, tainted) {
+					return true
+				}
+			}
+			report(Diagnostic{
+				Rule: "ctxflow",
+				Pos:  p.position(x.Pos()),
+				Msg:  "call to " + callee.name + " accepts a context but " + n.name + " does not pass its ctx; thread it so cancellation propagates",
+			})
+		}
+		return true
+	})
+}

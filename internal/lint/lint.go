@@ -6,24 +6,31 @@
 // to stdout, and errors crossing a package boundary must wrap an errs
 // sentinel so callers can classify them with errors.Is.
 //
-// The analyzers are built on go/parser and go/types only. Files are parsed
-// per directory; identifier-to-package resolution uses the type checker
-// with a stub importer (every import resolves to an empty package, so the
-// checker still records which identifiers name imported packages — the
-// only fact the rules need — without compiling any dependencies), falling
-// back to the file's import-alias table when type information is missing.
-// Test files (*_test.go) are exempt from every rule.
+// On top of the per-file rules sit three whole-program analyzers built on
+// a module-wide call graph (see callgraph.go): transitive determinism
+// from //mepipe:deterministic entry points, the static zero-allocation
+// proof for //mepipe:hotpath functions, and context-flow checking for the
+// exported serve/strategy/opt API. Their violations report the full call
+// chain from the annotated root to the offending construct.
+//
+// Everything is built on go/parser and go/types only. The module is
+// parsed once; packages are type-checked in dependency order with
+// module-internal imports resolving to the real checked packages and
+// external imports stubbed as empty packages, falling back to each file's
+// import-alias table when type information is missing. Test files
+// (*_test.go) are exempt from every rule.
 //
 // Findings can be suppressed through an allowlist file (one `rule
 // path-suffix` pair per line, `#` comments); the repository's audited
-// exceptions live in .mepipe-lint-allow at the module root. See
-// docs/VERIFICATION.md for the rule catalogue.
+// exceptions live in .mepipe-lint-allow at the module root. The allowlist
+// is strict: on whole-module runs an entry that suppresses nothing is
+// itself reported (rule "allowstale"), so dead exceptions cannot
+// accumulate. See docs/VERIFICATION.md for the rule catalogue.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
@@ -34,11 +41,14 @@ import (
 
 // Diagnostic is one rule violation anchored to a file position. Filename
 // is relative to the module root, slash-separated, so output is stable
-// across machines.
+// across machines. Chain, set only by the whole-program analyzers, is the
+// call path from the annotated root to the function containing the
+// violation (root first); it is also rendered into Msg.
 type Diagnostic struct {
-	Rule string
-	Pos  token.Position
-	Msg  string
+	Rule  string
+	Pos   token.Position
+	Msg   string
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
@@ -46,10 +56,12 @@ func (d Diagnostic) String() string {
 }
 
 // AllowEntry suppresses one rule for files whose root-relative path ends
-// with PathSuffix.
+// with PathSuffix. Line is the 1-based line in the allowlist file it was
+// parsed from, used to anchor staleness diagnostics.
 type AllowEntry struct {
 	Rule       string
 	PathSuffix string
+	Line       int
 }
 
 // Allowlist is the parsed set of audited exceptions.
@@ -69,7 +81,7 @@ func ParseAllowlist(data []byte) (Allowlist, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("lint: allowlist line %d: want `rule path-suffix`, got %q", i+1, line)
 		}
-		a = append(a, AllowEntry{Rule: fields[0], PathSuffix: fields[1]})
+		a = append(a, AllowEntry{Rule: fields[0], PathSuffix: fields[1], Line: i + 1})
 	}
 	return a, nil
 }
@@ -103,12 +115,22 @@ type Options struct {
 	Allow Allowlist
 	// Rules restricts the run to the named rules; empty means all.
 	Rules []string
+	// ReportStale turns unused allowlist entries into "allowstale"
+	// diagnostics. Only meaningful on whole-module runs — on a package
+	// subset most entries legitimately match nothing — so callers enable
+	// it when the patterns cover the module (cmd/mepipe-lint does for
+	// `./...`).
+	ReportStale bool
+	// AllowPath is the root-relative path of the allowlist file, used to
+	// position staleness diagnostics; defaults to ".mepipe-lint-allow".
+	AllowPath string
 }
 
 // Run expands the package patterns (Go-style: a directory, or a `/...`
 // suffix for a recursive walk that skips testdata, vendor and dot
-// directories) relative to the module root, analyzes every non-test file,
-// and returns the surviving diagnostics sorted by position.
+// directories) relative to the module root, loads the whole program,
+// analyzes every non-test file, and returns the surviving diagnostics
+// sorted by position.
 func Run(root string, patterns []string, opts Options) ([]Diagnostic, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -122,18 +144,65 @@ func Run(root string, patterns []string, opts Options) ([]Diagnostic, error) {
 	for _, r := range opts.Rules {
 		enabled[r] = true
 	}
-	var out []Diagnostic
-	for _, dir := range dirs {
-		diags, err := checkDir(root, dir, enabled)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, diags...)
+	on := func(rule string) bool { return len(enabled) == 0 || enabled[rule] }
+
+	prog, annDiags, err := loadProgram(root, dirs)
+	if err != nil {
+		return nil, err
 	}
+	var out []Diagnostic
+	if on("annotation") {
+		out = append(out, annDiags...)
+	}
+	for _, pkg := range prog.pkgs {
+		for _, pf := range pkg.files {
+			fc := &fileCtx{pf: pf, file: pf.syntax}
+			for _, r := range rules {
+				if !on(r.name) || !r.applies(pkg.rel) {
+					continue
+				}
+				rule := r.name // capture for the closure
+				r.check(fc, func(pos token.Pos, msg string) {
+					out = append(out, Diagnostic{Rule: rule, Pos: prog.position(pos), Msg: msg})
+				})
+			}
+		}
+	}
+	for _, dr := range deepRules {
+		if on(dr.name) {
+			dr.run(prog, func(d Diagnostic) { out = append(out, d) })
+		}
+	}
+
+	used := make([]bool, len(opts.Allow))
 	kept := out[:0]
 	for _, d := range out {
-		if !opts.Allow.Allows(d.Rule, d.Pos.Filename) {
+		suppressed := false
+		for i, e := range opts.Allow {
+			if e.Rule == d.Rule && strings.HasSuffix(d.Pos.Filename, e.PathSuffix) {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
 			kept = append(kept, d)
+		}
+	}
+	if opts.ReportStale && on("allowstale") {
+		allowPath := opts.AllowPath
+		if allowPath == "" {
+			allowPath = ".mepipe-lint-allow"
+		}
+		for i, e := range opts.Allow {
+			if used[i] || !on(e.Rule) {
+				continue
+			}
+			kept = append(kept, Diagnostic{
+				Rule: "allowstale",
+				Pos:  token.Position{Filename: allowPath, Line: e.Line, Column: 1},
+				Msg: fmt.Sprintf("allowlist entry `%s %s` suppresses nothing; the violation it audited is gone — delete the entry",
+					e.Rule, e.PathSuffix),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -217,144 +286,28 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// pkgCtx is one analyzed directory.
-type pkgCtx struct {
-	root string
-	rel  string // slash-separated dir path relative to root
-	fset *token.FileSet
-	info *types.Info // may be nil when type checking was impossible
-}
-
-// fileCtx is one file plus its import-alias fallback table.
+// fileCtx is the per-file view the per-file rules run on.
 type fileCtx struct {
-	*pkgCtx
-	file    *ast.File
-	imports map[string]string // local name -> import path
+	pf   *progFile
+	file *ast.File
 }
 
 // pkgPath resolves an identifier to the import path of the package it
-// names, or "" when it does not name an imported package (including when a
-// local declaration shadows the package name). Type information is
-// authoritative; the alias table is the fallback.
+// names, or "" when it does not name an imported package.
 func (fc *fileCtx) pkgPath(id *ast.Ident) string {
-	if fc.info != nil {
-		if obj, ok := fc.info.Uses[id]; ok {
-			if pn, ok := obj.(*types.PkgName); ok {
-				return pn.Imported().Path()
-			}
-			return ""
-		}
-	}
-	return fc.imports[id.Name]
+	return fc.pf.pkgPath(id)
 }
 
-// checkDir parses and analyzes one directory.
-func checkDir(root, dir string, enabled map[string]bool) ([]Diagnostic, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	rel = filepath.ToSlash(rel)
-	pc := &pkgCtx{root: root, rel: rel, fset: fset, info: typecheck(fset, files, rel)}
-	var out []Diagnostic
-	for _, f := range files {
-		fc := &fileCtx{pkgCtx: pc, file: f, imports: importTable(f)}
-		for _, r := range rules {
-			if len(enabled) > 0 && !enabled[r.name] {
-				continue
-			}
-			if !r.applies(rel) {
-				continue
-			}
-			rule := r // capture for the closure
-			r.check(fc, func(pos token.Pos, msg string) {
-				p := fset.Position(pos)
-				if rp, err := filepath.Rel(root, p.Filename); err == nil {
-					p.Filename = filepath.ToSlash(rp)
-				}
-				out = append(out, Diagnostic{Rule: rule.name, Pos: p, Msg: msg})
-			})
+// isBuiltin reports whether id resolves to a universe builtin. Without
+// type information a shadowing declaration cannot be detected, so the
+// name is assumed to be the builtin (the conservative direction for a
+// forbidding rule).
+func (fc *fileCtx) isBuiltin(id *ast.Ident) bool {
+	if info := fc.pf.pkg.info; info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			_, isB := obj.(*types.Builtin)
+			return isB
 		}
 	}
-	return out, nil
-}
-
-// typecheck runs go/types over the package with every import stubbed to an
-// empty package: cheap (no dependency is compiled or parsed), and enough
-// for the checker to record which identifiers name imported packages.
-// Checking errors are expected (stubbed members do not resolve) and
-// ignored; a nil return means type information is unavailable and rules
-// fall back to the syntactic import table.
-func typecheck(fset *token.FileSet, files []*ast.File, path string) (info *types.Info) {
-	defer func() {
-		if recover() != nil {
-			info = nil
-		}
-	}()
-	info = &types.Info{Uses: make(map[*ast.Ident]types.Object)}
-	conf := types.Config{
-		Importer: &stubImporter{cache: map[string]*types.Package{}},
-		Error:    func(error) {},
-	}
-	conf.Check(path, fset, files, info) //nolint:errcheck // stub imports always error
-	return info
-}
-
-type stubImporter struct {
-	cache map[string]*types.Package
-}
-
-func (im *stubImporter) Import(path string) (*types.Package, error) {
-	if p, ok := im.cache[path]; ok {
-		return p, nil
-	}
-	name := path
-	if i := strings.LastIndex(path, "/"); i >= 0 {
-		name = path[i+1:]
-	}
-	p := types.NewPackage(path, name)
-	p.MarkComplete()
-	im.cache[path] = p
-	return p, nil
-}
-
-// importTable maps each import's local name to its path (the syntactic
-// fallback when type information is unavailable).
-func importTable(f *ast.File) map[string]string {
-	t := map[string]string{}
-	for _, imp := range f.Imports {
-		path := strings.Trim(imp.Path.Value, `"`)
-		name := path
-		if i := strings.LastIndex(path, "/"); i >= 0 {
-			name = path[i+1:]
-		}
-		if imp.Name != nil {
-			name = imp.Name.Name
-		}
-		if name == "_" || name == "." {
-			continue
-		}
-		t[name] = path
-	}
-	return t
+	return true
 }

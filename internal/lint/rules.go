@@ -22,13 +22,20 @@ var rules = []struct {
 	{name: "errwrap", applies: boundaryPkg, check: checkErrWrap},
 }
 
-// Rules returns the analyzer names, for -rule validation and docs.
+// Rules returns every analyzer name — the per-file rules, the
+// whole-program analyzers, and the framework's own diagnostics
+// ("annotation" for malformed //mepipe: directives, "allowstale" for
+// allowlist entries that suppress nothing) — for -rule validation and
+// docs.
 func Rules() []string {
-	out := make([]string, len(rules))
-	for i, r := range rules {
-		out[i] = r.name
+	var out []string
+	for _, r := range rules {
+		out = append(out, r.name)
 	}
-	return out
+	for _, r := range deepRules {
+		out = append(out, r.name)
+	}
+	return append(out, "annotation", "allowstale")
 }
 
 // anyPkg matches when any of the given package predicates matches.
@@ -87,9 +94,12 @@ func boundaryPkg(rel string) bool {
 	return false
 }
 
-// checkDeterminism flags wall-clock reads (any mention of time.Now or
-// time.Since) and calls into the global math/rand stream (everything but
-// the rand.New/rand.NewSource constructors used to build seeded local
+// checkDeterminism flags wall-clock and timer access (any mention of
+// time.Now, time.Since, time.Sleep, time.After, time.Tick,
+// time.NewTimer, time.NewTicker or time.AfterFunc — mentions, not just
+// calls, so assigning time.After to a variable cannot hide it) and calls
+// into the global math/rand stream (everything but the
+// rand.New/rand.NewSource constructors used to build seeded local
 // generators).
 func checkDeterminism(fc *fileCtx, report reporter) {
 	ast.Inspect(fc.file, func(n ast.Node) bool {
@@ -99,8 +109,8 @@ func checkDeterminism(fc *fileCtx, report reporter) {
 			if !ok {
 				return true
 			}
-			if fc.pkgPath(id) == "time" && (n.Sel.Name == "Now" || n.Sel.Name == "Since") {
-				report(n.Pos(), "time."+n.Sel.Name+" reads the wall clock in a deterministic package; inject a Clock seam (see internal/pipeline/clock.go)")
+			if fc.pkgPath(id) == "time" && detSinkNames[n.Sel.Name] {
+				report(n.Pos(), "time."+n.Sel.Name+" reaches the wall clock in a deterministic package; inject a Clock seam (see internal/pipeline/clock.go)")
 			}
 		case *ast.CallExpr:
 			sel, ok := n.Fun.(*ast.SelectorExpr)
@@ -133,25 +143,37 @@ func checkGoSpawn(fc *fileCtx, report reporter) {
 	})
 }
 
-// checkNoPrint flags fmt.Print/Printf/Println in library packages: output
-// belongs to returned values or a caller-supplied io.Writer, never stdout.
+// checkNoPrint flags process-stdout access in library packages: the
+// fmt.Print family, the print/println builtins (which write to stderr),
+// and any mention of os.Stdout/os.Stderr — output belongs to returned
+// values or a caller-supplied io.Writer, never a process-global stream.
 func checkNoPrint(fc *fileCtx, report reporter) {
 	ast.Inspect(fc.file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		name := sel.Sel.Name
-		if fc.pkgPath(id) == "fmt" && (name == "Print" || name == "Printf" || name == "Println") {
-			report(call.Pos(), "fmt."+name+" writes to stdout from a library package; return values or take an io.Writer")
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				id, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				name := fun.Sel.Name
+				if fc.pkgPath(id) == "fmt" && (name == "Print" || name == "Printf" || name == "Println") {
+					report(n.Pos(), "fmt."+name+" writes to stdout from a library package; return values or take an io.Writer")
+				}
+			case *ast.Ident:
+				if (fun.Name == "print" || fun.Name == "println") && fc.isBuiltin(fun) {
+					report(n.Pos(), "the "+fun.Name+" builtin writes to stderr from a library package; return values or take an io.Writer")
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fc.pkgPath(id) == "os" && (n.Sel.Name == "Stdout" || n.Sel.Name == "Stderr") {
+				report(n.Pos(), "os."+n.Sel.Name+" is a process-global stream; library packages must take an io.Writer")
+			}
 		}
 		return true
 	})

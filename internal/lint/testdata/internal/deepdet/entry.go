@@ -1,0 +1,39 @@
+// Package deepdet seeds the transitive-determinism analyzer. No function
+// here touches the clock directly — every sink lives in package deephelp,
+// and every diagnostic must carry the call chain that reaches it.
+package deepdet
+
+import "mepipe/internal/lint/testdata/internal/deephelp"
+
+// Source is the dispatch interface whose only implementation lives in
+// deephelp.
+type Source interface{ Tick() int }
+
+// Entry is a deterministic entry point; the wall-clock read it reaches is
+// two hops away in another package.
+//
+//mepipe:deterministic
+func Entry() int {
+	return middle(3)
+}
+
+func middle(n int) int {
+	return deephelp.Stamp() + deephelp.Pure(n, 0)
+}
+
+// Dispatch reaches a timer through interface dispatch: the static callee
+// is Source.Tick, the sink is in deephelp.Ticker.Tick.
+//
+//mepipe:deterministic
+func Dispatch(s Source) int {
+	return s.Tick()
+}
+
+// Sample reaches a sleep through a bound method value: the call is
+// dynamic, resolved by the address-taken fallback.
+//
+//mepipe:deterministic
+func Sample(w deephelp.Waiter) int {
+	f := w.Wait
+	return f()
+}

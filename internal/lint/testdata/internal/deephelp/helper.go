@@ -1,0 +1,42 @@
+// Package deephelp holds the helpers the transitive-determinism seeds in
+// package deepdet reach. Crucially, this package is NOT in the per-file
+// determinism rule's package set: only whole-program reachability from a
+// //mepipe:deterministic entry point can flag the sinks below.
+package deephelp
+
+import "time"
+
+// Stamp reads the wall clock. Reachable from deepdet.Entry through
+// deepdet.middle — a two-hop cross-package chain.
+func Stamp() int {
+	return time.Now().Nanosecond()
+}
+
+// Ticker implements deepdet.Source. Tick's timer sink is reached through
+// interface dispatch, exercising the analyzer's name+arity method
+// fallback (the call site's static type is only the interface).
+type Ticker struct{}
+
+// Tick waits on a timer.
+func (Ticker) Tick() int {
+	<-time.After(0)
+	return 0
+}
+
+// Waiter's Wait is only ever invoked through a bound method value,
+// exercising the dynamic-call fallback over address-taken functions.
+type Waiter struct{}
+
+// Wait sleeps.
+func (Waiter) Wait() int {
+	time.Sleep(0)
+	return 1
+}
+
+// Pure is reachable from the same entries and must stay undiagnosed.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Package deephot seeds the hot-path allocation analyzer and the
+// annotation diagnostics.
+package deephot
+
+// Step is an annotated hot root; the allocation it reaches is two calls
+// down and must be reported with the full chain.
+//
+//mepipe:hotpath
+func Step(buf []float32) []float32 {
+	return scale(buf)
+}
+
+func scale(buf []float32) []float32 {
+	return grow(buf)
+}
+
+func grow(buf []float32) []float32 {
+	out := make([]float32, len(buf)+1) // hotpath-alloc: reached from Step
+	copy(out, buf)
+	return out
+}
+
+// refill is the audited escape hatch: its allocation and anything it
+// calls are exempt from the proof.
+//
+//mepipe:coldalloc pool miss refills the arena once per size class
+func refill(n int) []float32 {
+	return make([]float32, n)
+}
+
+// Warm exercises the exemptions: a coldalloc callee, the amortized
+// self-append idiom, and a panic message. None of these may be reported.
+//
+//mepipe:hotpath
+func Warm(dst []float32) []float32 {
+	if cap(dst) == 0 {
+		dst = refill(8)[:0]
+	}
+	if len(dst) > 1<<20 {
+		panic("warm buffer over budget: " + "details")
+	}
+	dst = append(dst, 1)
+	return dst
+}
+
+// Typo carries an unknown directive: the annotation rule must flag it
+// rather than silently skipping the proof.
+//
+//mepipe:hotpth
+func Typo() {}
+
+// The directive below is attached to a var, not a function declaration —
+// the annotation rule must report it as having no effect.
+//
+//mepipe:hotpath
+var scratch []float32

@@ -1,0 +1,28 @@
+// Package serve mirrors internal/serve under testdata: seeded
+// context-flow violations. The path-segment match on internal/serve puts
+// this tree in the ctxflow analyzer's scope.
+package serve
+
+import "context"
+
+// Plan drops its context: the true branch manufactures a fresh root and
+// passes it to a ctx-taking callee instead of threading ctx.
+func Plan(ctx context.Context, n int) int {
+	if n > 1 {
+		return run(context.Background(), n) // ctxflow: fresh root + unthreaded call
+	}
+	return run(ctx, n) // ok: threaded directly
+}
+
+// Derived threads a context derived from ctx — no diagnostics.
+func Derived(ctx context.Context, n int) int {
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return run(c2, n)
+}
+
+// run accepts a context; callers above must thread theirs into it.
+func run(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -22,6 +23,23 @@ func Seed() error {
 	return fmt.Errorf("n=%d after %v", n, dur) // errwrap: no %w
 }
 
+// Timers exercises the determinism rule's timer coverage: sleeps, fired
+// timers, and a timer API that is only mentioned, never called.
+func Timers() {
+	time.Sleep(time.Millisecond) // determinism: timer
+	wake := time.After(0)        // determinism: timer hidden behind an assignment
+	<-wake
+	tick := time.NewTicker(time.Second) // determinism: timer
+	tick.Stop()
+}
+
+// Streams exercises the noprint rule's gaps: the println builtin and a
+// direct mention of a process-global stream.
+func Streams() {
+	println("progress")             // noprint: builtin writes to stderr
+	fmt.Fprintln(os.Stdout, "done") // noprint: os.Stdout is process-global
+}
+
 // Shadow proves identifier resolution: these locals shadow the package
 // names, so nothing here may be reported.
 func Shadow() {
@@ -29,6 +47,8 @@ func Shadow() {
 	time.Now()
 	rand := clock{}
 	rand.Intn()
+	println := func(string) {}
+	println("shadowed builtin")
 }
 
 type clock struct{}

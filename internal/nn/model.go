@@ -68,6 +68,9 @@ func NewHeadState() *HeadState { return &HeadState{saves: map[int]*headSave{}} }
 // Reset drops any leftover saves so the state can serve the next sample.
 func (st *HeadState) Reset() { clear(st.saves) }
 
+// getSave recycles a headSave from the pool.
+//
+//mepipe:coldalloc pool miss builds one headSave per live slice; putSave recycles it, so steady state never misses
 func (st *HeadState) getSave() *headSave {
 	if n := len(st.pool); n > 0 {
 		sv := st.pool[n-1]

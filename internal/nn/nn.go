@@ -196,6 +196,9 @@ func (st *LayerState) Reset() {
 	clear(st.saves)
 }
 
+// getSave recycles a sliceSave from the pool.
+//
+//mepipe:coldalloc pool miss builds one sliceSave per live slice; putSave recycles it, so steady state never misses
 func (st *LayerState) getSave() *sliceSave {
 	if n := len(st.pool); n > 0 {
 		sv := st.pool[n-1]
@@ -213,6 +216,8 @@ func (st *LayerState) putSave(sv *sliceSave) {
 
 // ensureGrads sizes the dK/dV accumulators to the current cache (zeroed)
 // the first time a micro-batch's backward touches them.
+//
+//mepipe:coldalloc first-touch accumulator sizing; later steps reuse capacity (growZero only reallocates on cache growth)
 func (st *LayerState) ensureGrads() {
 	if st.dK == nil {
 		st.dK = tensor.New(st.K.Rows, st.K.Cols)

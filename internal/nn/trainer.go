@@ -46,21 +46,39 @@ func (t *Trainer) Stats() tensor.ScratchStats { return t.sc.Stats() }
 // pipelined runtime's sequential reference semantics: forward slice by
 // slice, per-slice losses, backward slices in reverse with weight
 // gradients inline.
+//
+// Step validates and grows first-touch state, then hands off to the
+// annotated hot loop: everything error formatting or allocating stays on
+// this side of the split so mepipe-lint's hotpath-alloc proof covers the
+// steady-state path.
 func (t *Trainer) Step(batch [][]int, slices int) (float64, error) {
 	cfg := t.m.Cfg
 	if cfg.SeqLen%slices != 0 {
 		return 0, fmt.Errorf("nn: seq len %d not divisible by %d slices", cfg.SeqLen, slices)
 	}
-	tok := cfg.SeqLen / slices
-	if cap(t.logits) < slices {
-		t.logits = make([]*tensor.Matrix, slices)
-	}
-	logits := t.logits[:slices]
-	var total float64
 	for _, sample := range batch {
 		if len(sample) != cfg.SeqLen+1 {
 			return 0, fmt.Errorf("nn: sample has %d tokens, want %d", len(sample), cfg.SeqLen+1)
 		}
+	}
+	if cap(t.logits) < slices {
+		t.logits = make([]*tensor.Matrix, slices)
+	}
+	return t.step(batch, slices), nil
+}
+
+// step is the per-microbatch hot loop: after warm-up it allocates zero
+// bytes, a property mepipe-lint proves statically for every function it
+// transitively calls (audited //mepipe:coldalloc escapes excepted) and
+// TestTrainStepZeroAlloc re-checks dynamically at one config.
+//
+//mepipe:hotpath
+func (t *Trainer) step(batch [][]int, slices int) float64 {
+	cfg := t.m.Cfg
+	tok := cfg.SeqLen / slices
+	logits := t.logits[:slices]
+	var total float64
+	for _, sample := range batch {
 		for _, st := range t.states {
 			st.Reset()
 		}
@@ -111,5 +129,5 @@ func (t *Trainer) Step(batch [][]int, slices int) (float64, error) {
 		}
 		t.tasks = tasks
 	}
-	return total, nil
+	return total
 }

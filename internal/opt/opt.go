@@ -140,6 +140,8 @@ const eps = 1e-9
 // modified. Errors wrap errs.ErrIncompatible (nil/invalid inputs),
 // errs.ErrUncertified (the input schedule itself fails certification
 // under the budget), or errs.ErrCancelled (ctx cancelled mid-search).
+//
+//mepipe:deterministic
 func Optimize(ctx context.Context, s *sched.Schedule, costs sim.Costs, opt Options) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("opt: nil schedule: %w", errs.ErrIncompatible)

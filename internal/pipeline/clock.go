@@ -15,6 +15,15 @@ type Clock func() time.Time
 // realClock is the production clock.
 func realClock() time.Time { return time.Now() }
 
+// after is the runtime's single timer construction point, used by the
+// retry backoff. It returns the timer's channel and its Stop method;
+// keeping the time.NewTimer call in this audited file means the
+// determinism rule's timer check covers the rest of the package.
+func after(d time.Duration) (<-chan time.Time, func() bool) {
+	t := time.NewTimer(d)
+	return t.C, t.Stop
+}
+
 // WithClock replaces the runner's wall-clock source and returns the
 // receiver. A nil clock restores the real one.
 func (r *Runner) WithClock(c Clock) *Runner {

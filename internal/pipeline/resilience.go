@@ -382,10 +382,10 @@ func (r *Runner) backoffSleep(st *stage, attempt int) {
 	if st.rng != nil && d > 1 {
 		d = d/2 + time.Duration(st.rng.Int63n(int64(d)))
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	fire, stop := after(d)
+	defer stop()
 	select {
-	case <-t.C:
+	case <-fire:
 	case <-r.ctx.Done():
 		panic(cancelPanic{})
 	case <-r.failed:

@@ -237,6 +237,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	s.metrics.observe(endpoint, http.StatusOK, outcome, sinceSeconds(s.now, t0))
 }
 
+// handleSearch is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	req, err := v1.DecodePlanRequest(r.Body)
 	if err != nil {
@@ -288,6 +293,11 @@ func (s *Server) computeSearch(ctx context.Context, key string, plan *v1.Plan) (
 	return body, nil
 }
 
+// handleSimulate is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req, err := v1.DecodePlanRequest(r.Body)
 	if err != nil {
@@ -336,6 +346,11 @@ func (s *Server) computeSimulate(ctx context.Context, key string, plan *v1.Plan)
 	return body, nil
 }
 
+// handleOptimize is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	req, err := v1.DecodeOptimizeRequest(r.Body)
 	if err != nil {
@@ -403,6 +418,11 @@ func (s *Server) computeOptimize(ctx context.Context, key string, plan *v1.Plan,
 
 // uncached endpoints -------------------------------------------------------
 
+// handleCertify is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	t0 := s.now()
 	status := http.StatusOK
@@ -444,6 +464,11 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// handleTrace is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	t0 := s.now()
 	status := http.StatusOK
@@ -497,6 +522,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
 }
 
+// handleStats is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	body, err := json.Marshal(s.metrics.snapshot(s.now(), s.cache))
 	if err != nil {
@@ -506,6 +536,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// handleHealth is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

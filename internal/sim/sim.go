@@ -128,12 +128,16 @@ type opRef struct {
 }
 
 // Run simulates one iteration and returns its result.
+//
+//mepipe:deterministic
 func Run(opt Options) (*Result, error) {
 	return RunContext(context.Background(), opt)
 }
 
 // RunContext is Run with cancellation: if ctx is cancelled mid-run, the
 // simulation stops and returns an error wrapping errs.ErrCancelled.
+//
+//mepipe:deterministic
 func RunContext(ctx context.Context, opt Options) (*Result, error) {
 	s := opt.Sched
 	if s == nil {

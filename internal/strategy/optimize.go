@@ -43,6 +43,8 @@ type Optimized struct {
 // Errors wrap errs.ErrIncompatible (shape), errs.ErrOOM (the
 // configuration does not fit at all), errs.ErrUncertified (the preset's
 // static placement exceeds the byte budget) or errs.ErrCancelled.
+//
+//mepipe:deterministic
 func OptimizeContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training, oopt opt.Options, opts ...Option) (*Optimized, error) {
 	o := buildOptions(opts)
 	if err := compatible(sys, par); err != nil {

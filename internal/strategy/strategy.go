@@ -132,6 +132,8 @@ func Evaluate(sys System, m config.Model, cl cluster.Cluster, par config.Paralle
 
 // EvaluateContext is Evaluate with cancellation and per-call options (e.g.
 // WithSink to trace the simulated iteration).
+//
+//mepipe:deterministic
 func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training, opts ...Option) (*Eval, error) {
 	o := buildOptions(opts)
 	if err := compatible(sys, par); err != nil {
@@ -398,6 +400,8 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 // SearchContext is Search with cancellation: a cancelled ctx stops the grid
 // between candidates (and inside each simulated candidate), drains every
 // worker goroutine, and returns an error wrapping errs.ErrCancelled.
+//
+//mepipe:deterministic
 func SearchContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace, opts ...Option) (*SearchResult, error) {
 	var cands []config.Parallel
 	add := func(par config.Parallel) {

@@ -22,6 +22,8 @@ const (
 // MatMul computes dst += a·b with a [m×k], b [k×n], dst [m×n]. dst is
 // accumulated so gradient sums compose naturally; call dst.Zero() first for
 // a plain product.
+//
+//mepipe:hotpath
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
@@ -32,6 +34,8 @@ func MatMul(dst, a, b *Matrix) {
 
 // MatMulBT computes dst += a·bᵀ with a [m×k], b [n×k], dst [m×n] — the shape
 // of activation-gradient GEMMs (dX = dY·Wᵀ) and attention scores (Q·Kᵀ).
+//
+//mepipe:hotpath
 func MatMulBT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulBT shape mismatch (%dx%d)·(%dx%d)T->(%dx%d)",
@@ -42,6 +46,8 @@ func MatMulBT(dst, a, b *Matrix) {
 
 // MatMulAT computes dst += aᵀ·b with a [k×m], b [k×n], dst [m×n] — the shape
 // of weight-gradient GEMMs (dW = Xᵀ·dY) and attention value gathers.
+//
+//mepipe:hotpath
 func MatMulAT(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulAT shape mismatch (%dx%d)T·(%dx%d)->(%dx%d)",

@@ -32,6 +32,12 @@ func sigmoid(v float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(v))))
 }
 
+// newVec allocates a fresh float32 slice for callers that did not supply a
+// reusable buffer.
+//
+//mepipe:coldalloc fallback for callers without scratch storage; hot paths pass a reused buffer instead
+func newVec(n int) []float32 { return make([]float32, n) }
+
 // Mul computes dst = a ⊙ b element-wise.
 func Mul(dst, a, b *Matrix) {
 	for i := range dst.Data {
@@ -53,7 +59,7 @@ func MulAdd(dst, a, b *Matrix) {
 // a fresh slice when inv is nil.
 func RMSNorm(dst, x *Matrix, g, inv []float32) []float32 {
 	if inv == nil {
-		inv = make([]float32, x.Rows)
+		inv = newVec(x.Rows)
 	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)

@@ -201,6 +201,9 @@ func Configure(cfg KernelConfig) KernelConfig {
 // creating it with defaults if it does not exist yet.
 func CurrentConfig() KernelConfig { return sharedPool().cfg }
 
+// sharedPool returns the process-wide kernel pool, building it on first use.
+//
+//mepipe:coldalloc one-time lazy pool construction; every later call is an atomic load
 func sharedPool() *Pool {
 	for {
 		if p := defaultPool.Load(); p != nil {

@@ -86,6 +86,8 @@ func (s *Scratch) Get(rows, cols int) *Matrix {
 
 // GetRaw checks out a rows×cols matrix with undefined contents. Use only
 // when every element is overwritten before being read.
+//
+//mepipe:coldalloc arena miss; counted in ScratchStats.AllocBytes and amortized away once the size class is warm
 func (s *Scratch) GetRaw(rows, cols int) *Matrix {
 	if s == nil {
 		return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
@@ -133,6 +135,8 @@ func (s *Scratch) Put(m *Matrix) {
 }
 
 // GetVec checks out a zeroed length-n slice.
+//
+//mepipe:coldalloc arena miss; counted in ScratchStats.AllocBytes and amortized away once the size class is warm
 func (s *Scratch) GetVec(n int) []float32 {
 	if s == nil {
 		return make([]float32, n)

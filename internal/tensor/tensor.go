@@ -86,14 +86,22 @@ func (m *Matrix) AppendRows(src *Matrix) {
 	used := m.Rows * m.Cols
 	need := used + src.Rows*src.Cols
 	if cap(m.Data) < need {
-		grown := make([]float32, need, max(need, 2*cap(m.Data)))
-		copy(grown, m.Data[:used])
-		m.Data = grown
+		growData(m, used, need)
 	} else {
 		m.Data = m.Data[:need]
 	}
 	copy(m.Data[used:], src.Data[:src.Rows*src.Cols])
 	m.Rows += src.Rows
+}
+
+// growData reallocates m's backing array to at least need elements,
+// preserving the first used.
+//
+//mepipe:coldalloc geometric growth; warm KV caches and scratch matrices are pre-sized, so steady state never enters
+func growData(m *Matrix, used, need int) {
+	grown := make([]float32, need, max(need, 2*cap(m.Data)))
+	copy(grown, m.Data[:used])
+	m.Data = grown
 }
 
 // Scale multiplies every element by a.
