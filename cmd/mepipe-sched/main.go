@@ -74,7 +74,8 @@ func main() {
 		res.PeakAct, res.PeakAct, s.V*s.S*s.P)
 	if *showMem {
 		for k := 0; k < s.P; k++ {
-			series := res.MemorySeries(s, sim.Unit(), k)
+			series, err := res.MemorySeries(s, sim.Unit(), k)
+			fatal(err)
 			var peak int64
 			for _, p := range series {
 				if p.Bytes > peak {

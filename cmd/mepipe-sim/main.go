@@ -82,7 +82,8 @@ func main() {
 	if ev.F > 0 {
 		fmt.Printf("variant    f=%d forwards in flight (§4.2)\n", ev.F)
 	}
-	u := ev.Result.MeanUtilization()
+	u, err := ev.Result.MeanUtilization()
+	fatal(err)
 	fr, b, wt, tail, idle := u.Fractions()
 	fmt.Printf("breakdown  forward %.1f%%, backward %.1f%%, weight-grad %.1f%%, grad-sync %.1f%%, idle %.1f%%\n",
 		100*fr, 100*b, 100*wt, 100*tail, 100*idle)

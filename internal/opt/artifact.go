@@ -2,6 +2,7 @@ package opt
 
 import (
 	"bytes"
+	"context"
 	_ "embed"
 	"encoding/json"
 	"fmt"
@@ -123,12 +124,19 @@ func (a *Artifact) DiscoveredSchedule() (*sched.Schedule, error) {
 // split × reschedule × f up to the micro-batch count — keeping only
 // presets that certify under the budget, and returns the fastest. This
 // is the baseline the discovered schedule must beat, recomputed from
-// scratch so the recorded iteration times cannot drift silently.
+// scratch so the recorded iteration times cannot drift silently. The
+// certified presets are simulated as one sim.EvaluateMany batch; the
+// winner is selected in generation order, so the result is identical to
+// the serial sweep regardless of worker count.
 func (a *Artifact) BestPreset() (ArtifactPreset, *sched.Schedule, error) {
 	costs := a.Costs()
 	budget := a.Budget()
-	var best ArtifactPreset
-	var bestSched *sched.Schedule
+	type presetCand struct {
+		p ArtifactPreset
+		s *sched.Schedule
+	}
+	var cands []presetCand
+	var scheds []*sched.Schedule
 	for _, split := range []bool{false, true} {
 		for _, re := range []bool{false, true} {
 			for f := 1; f <= a.N*a.S; f++ {
@@ -142,21 +150,33 @@ func (a *Artifact) BestPreset() (ArtifactPreset, *sched.Schedule, error) {
 				if _, err := verify.Certify(s, verify.Options{Budget: budget}); err != nil {
 					continue
 				}
-				r, err := sim.Run(sim.Options{Sched: s, Costs: costs, MakespanOnly: true})
-				if err != nil || r.OOM {
-					continue
-				}
-				if bestSched == nil || r.IterTime < best.IterTime-eps {
-					best = ArtifactPreset{
+				cands = append(cands, presetCand{
+					p: ArtifactPreset{
 						Name:       fmt.Sprintf("svpp f=%d split=%v resched=%v", f, split, re),
 						F:          f,
 						Split:      split,
 						Reschedule: re,
-						IterTime:   r.IterTime,
-					}
-					bestSched = s
-				}
+					},
+					s: s,
+				})
+				scheds = append(scheds, s)
 			}
+		}
+	}
+	results, err := sim.EvaluateMany(context.Background(), scheds, sim.Options{Costs: costs, MakespanOnly: true}, 0)
+	if err != nil {
+		return ArtifactPreset{}, nil, fmt.Errorf("opt: preset sweep: %w", err)
+	}
+	var best ArtifactPreset
+	var bestSched *sched.Schedule
+	for i, r := range results {
+		if r == nil || r.OOM {
+			continue
+		}
+		if bestSched == nil || r.IterTime < best.IterTime-eps {
+			best = cands[i].p
+			best.IterTime = r.IterTime
+			bestSched = cands[i].s
 		}
 	}
 	if bestSched == nil {

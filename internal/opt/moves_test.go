@@ -60,6 +60,7 @@ func TestMovesCertifyOrRejectBeforeSim(t *testing.T) {
 		for _, op := range operators {
 			rng := rand.New(rand.NewSource(42))
 			counter := &countingCosts{Costs: sim.Unit()}
+			var sess *sim.Session
 			for i := 0; i < 500; i++ {
 				c := candidate{sched: cloneSchedule(base)}
 				op.apply(rng, &c)
@@ -79,7 +80,7 @@ func TestMovesCertifyOrRejectBeforeSim(t *testing.T) {
 				}
 
 				before := counter.opCalls
-				evaluate(&c, counter, budget)
+				evaluate(&c, counter, budget, &sess)
 				if fastErr != nil {
 					if c.feasible {
 						t.Fatalf("%s on %s: uncertified candidate marked feasible", op.name, base.Name)

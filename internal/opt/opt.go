@@ -21,6 +21,7 @@ package opt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -184,6 +185,15 @@ func Optimize(ctx context.Context, s *sched.Schedule, costs sim.Costs, opt Optio
 	temp := opt.InitTemp
 	cands := make([]candidate, opt.Proposals)
 
+	// Every candidate is a permutation of the seed's ops, so each worker
+	// binds one incremental simulator session and re-propagates only the
+	// window each move disturbs instead of replaying the whole pipeline.
+	// Sessions affect wall-clock only: Eval is bitwise-identical to a
+	// full sim.Run (the sim package's differential fuzzer gates this),
+	// and the random stream above is drawn before evaluation, so the
+	// search trajectory is untouched.
+	sessions := make([]*sim.Session, opt.Workers)
+
 	for round := 0; round < opt.Iters; round++ {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("opt: search %w after %d rounds: %v", errs.ErrCancelled, round, ctx.Err())
@@ -195,8 +205,8 @@ func Optimize(ctx context.Context, s *sched.Schedule, costs sim.Costs, opt Optio
 		}
 		u := rng.Float64()
 
-		forEach(opt.Workers, len(cands), func(i int) {
-			evaluate(&cands[i], costs, opt.Budget)
+		forEachWorker(opt.Workers, len(cands), func(w, i int) {
+			evaluate(&cands[i], costs, opt.Budget, &sessions[w])
 		})
 
 		res.Proposed += len(cands)
@@ -248,20 +258,40 @@ func Optimize(ctx context.Context, s *sched.Schedule, costs sim.Costs, opt Optio
 }
 
 // evaluate certifies the candidate and, only if it certifies, simulates
-// it. Infeasible candidates never reach the simulator — the property the
-// package tests pin.
-func evaluate(c *candidate, costs sim.Costs, budget *verify.Budget) {
+// it through the worker's incremental session. Infeasible candidates
+// never reach the simulator — the property the package tests pin.
+func evaluate(c *candidate, costs sim.Costs, budget *verify.Budget, sess **sim.Session) {
 	if _, err := verify.Certify(c.sched, verify.Options{Budget: budget, AssumeComplete: true}); err != nil {
 		c.feasible = false
 		return
 	}
-	r, err := sim.Run(sim.Options{Sched: c.sched, Costs: costs, MakespanOnly: true})
+	r, err := evalSim(c.sched, costs, sess)
 	if err != nil || r.OOM {
 		c.feasible = false
 		return
 	}
 	c.feasible = true
 	c.time = r.IterTime
+}
+
+// evalSim runs the makespan-only simulation via the worker's bound
+// session, (re)binding it lazily on first use or when the candidate's
+// shape diverges from the bound one (never in a normal run — every
+// candidate permutes the same ops).
+func evalSim(s *sched.Schedule, costs sim.Costs, sess **sim.Session) (*sim.Result, error) {
+	if *sess != nil {
+		r, err := (*sess).Eval(s)
+		if err == nil || !errors.Is(err, errs.ErrIncompatible) {
+			return r, err
+		}
+		*sess = nil
+	}
+	se, err := sim.NewSession(sim.Options{Sched: s, Costs: costs, MakespanOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	*sess = se
+	return se.Eval(s)
 }
 
 // emitMoves reports one EvMove per proposal; accepted marks which (if

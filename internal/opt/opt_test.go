@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"math"
 	"os"
 	"reflect"
 	"testing"
@@ -307,4 +308,50 @@ func opMultiset(s *sched.Schedule) []map[sched.Op]int {
 		}
 	}
 	return out
+}
+
+// TestDiscoveredReplaysThroughSession pins the fast-evaluation layer to
+// the checked-in artifact: the incremental session and the batched
+// evaluator must reproduce the full simulator bitwise on the discovered
+// schedule, and all of them must land on the recorded iteration time.
+// This is the regression gate for the session fast path at the exact
+// point the optimizer bench replays.
+func TestDiscoveredReplaysThroughSession(t *testing.T) {
+	a, err := Discovered()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.DiscoveredSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{Sched: s, Costs: a.Costs(), MakespanOnly: true}
+	full, err := sim.Run(opt)
+	if err != nil {
+		t.Fatalf("full replay: %v", err)
+	}
+	se, err := sim.NewSession(opt)
+	if err != nil {
+		t.Fatalf("binding session: %v", err)
+	}
+	inc, err := se.Eval(s)
+	if err != nil {
+		t.Fatalf("incremental replay: %v", err)
+	}
+	if math.Float64bits(inc.IterTime) != math.Float64bits(full.IterTime) ||
+		math.Float64bits(inc.BubbleRatio) != math.Float64bits(full.BubbleRatio) {
+		t.Fatalf("session replay diverges: inc %.17g/%.17g, full %.17g/%.17g",
+			inc.IterTime, inc.BubbleRatio, full.IterTime, full.BubbleRatio)
+	}
+	batch, err := sim.EvaluateMany(context.Background(), []*sched.Schedule{s},
+		sim.Options{Costs: a.Costs(), MakespanOnly: true}, 2)
+	if err != nil {
+		t.Fatalf("batched replay: %v", err)
+	}
+	if batch[0] == nil || math.Float64bits(batch[0].IterTime) != math.Float64bits(full.IterTime) {
+		t.Fatalf("batched replay diverges: %v, full %.17g", batch[0], full.IterTime)
+	}
+	if diff := inc.IterTime - a.Opt.IterTime; diff > eps || diff < -eps {
+		t.Fatalf("session replays discovered schedule to %.6f, artifact records %.6f", inc.IterTime, a.Opt.IterTime)
+	}
 }

@@ -5,13 +5,16 @@ import (
 	"sync/atomic"
 )
 
-// forEach runs fn(0..n-1) over at most `workers` goroutines and joins
-// them all before returning. It is the package's only goroutine launch
-// point (allowlisted for the gospawn analyzer): workers pull indices
-// from an atomic cursor, run pure evaluations, and cannot outlive the
-// call — there is no channel, no shared mutable search state, and no
-// panic path that leaks a goroutine past the WaitGroup.
-func forEach(workers, n int, fn func(i int)) {
+// forEachWorker runs fn over indices 0..n-1 using at most `workers`
+// goroutines and joins them all before returning. Each invocation also
+// receives the stable index w of the worker running it, so callers can
+// give every worker private scratch (the annealer binds one incremental
+// simulator session per worker). It is the package's only goroutine
+// launch point (allowlisted for the gospawn analyzer): workers pull
+// indices from an atomic cursor, run pure evaluations, and cannot
+// outlive the call — there is no channel, no shared mutable search
+// state, and no panic path that leaks a goroutine past the WaitGroup.
+func forEachWorker(workers, n int, fn func(w, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -20,7 +23,7 @@ func forEach(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -35,9 +38,14 @@ func forEach(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// forEach is forEachWorker for callers that need no per-worker state.
+func forEach(workers, n int, fn func(i int)) {
+	forEachWorker(workers, n, func(_, i int) { fn(i) })
 }

@@ -336,7 +336,13 @@ func (s *Server) computeSimulate(ctx context.Context, key string, plan *v1.Plan)
 		Candidate: v1.CandidateFrom(ev, plan.Model, plan.Cluster, plan.Training),
 	}
 	if ev.Result != nil {
-		f, b, wt, tail, idle := ev.Result.MeanUtilization().Fractions()
+		// Evaluate runs with spans recorded, so a span-less result here is
+		// a programming error worth surfacing rather than masking.
+		u, err := ev.Result.MeanUtilization()
+		if err != nil {
+			return nil, err
+		}
+		f, b, wt, tail, idle := u.Fractions()
 		resp.Breakdown = v1.Breakdown{Forward: f, Backward: b, Weight: wt, Tail: tail, Idle: idle}
 	}
 	body, err := json.Marshal(resp)

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// engState is the Session's dynamic-mode (§5) execution engine: a dense
+// replay of the runner's event loop over the session's id tables. Dynamic W
+// drain order depends on runtime decisions across stages, so there is no
+// local window to re-propagate — instead the engine mirrors the runner
+// op-for-op (same tie-breaks, same math.Max calls, same epsilon) on arrays
+// that are allocated once and reused across Evals.
+type engState struct {
+	cursor []int // per stage: position of the next scheduled (non-W) op
+	free   []float64
+	comp   []float64
+	live   []int64
+	peak   []int64
+	drain  []int64
+	wq     [][]wRef
+	wqHead []int
+	fin    []float64
+	done   []uint32
+	ep     uint32
+	oom    bool
+	oomAt  int
+}
+
+type wRef struct {
+	id    int32
+	ready float64
+}
+
+func (se *Session) runEngine() error {
+	e := se.eng
+	if e == nil {
+		e = &engState{}
+		se.eng = e
+	}
+	e.cursor = sgrow(e.cursor, se.P)
+	e.free = sgrow(e.free, se.P)
+	e.comp = sgrow(e.comp, se.P)
+	e.live = sgrow(e.live, se.P)
+	e.peak = sgrow(e.peak, se.P)
+	e.drain = sgrow(e.drain, se.P)
+	e.wq = sgrow(e.wq, se.P)
+	e.wqHead = sgrow(e.wqHead, se.P)
+	e.fin = sgrow(e.fin, se.n)
+	e.done = sgrow(e.done, se.n)
+	e.ep++
+	se.famEpoch++
+	e.oom = false
+	e.oomAt = 0
+	for k := 0; k < se.P; k++ {
+		e.cursor[k] = 0
+		se.engSkip(k)
+		e.free[k] = 0
+		e.comp[k] = 0
+		e.live[k] = 0
+		e.peak[k] = 0
+		e.drain[k] = 0
+		e.wq[k] = e.wq[k][:0]
+		e.wqHead[k] = 0
+		if se.record {
+			se.spanBuf[k] = se.spanBuf[k][:0]
+		}
+	}
+	done := 0
+	for done < se.n {
+		k, ok := se.engNext()
+		if !ok {
+			return fmt.Errorf("sim: session: deadlock with %d/%d ops executed (schedule order violates dependencies): %w", done, se.n, errs.ErrUncertified)
+		}
+		done += se.engExecute(k)
+	}
+	return nil
+}
+
+// engSkip advances stage k's cursor past statically-placed W/WPiece entries;
+// the engine executes those from the per-stage queue instead, exactly as
+// the runner strips them from its order.
+func (se *Session) engSkip(k int) {
+	e := se.eng
+	ord := se.order[k]
+	c := e.cursor[k]
+	for c < len(ord) {
+		kd := se.opsl[ord[c]].Kind
+		if kd != sched.W && kd != sched.WPiece {
+			break
+		}
+		c++
+	}
+	e.cursor[k] = c
+}
+
+// engNext mirrors the runner's nextStage: earliest next start wins, ties go
+// to the lowest stage.
+func (se *Session) engNext() (int, bool) {
+	e := se.eng
+	best, bestStart, found := -1, math.Inf(1), false
+	for k := 0; k < se.P; k++ {
+		if e.cursor[k] >= len(se.order[k]) && e.wqHead[k] >= len(e.wq[k]) {
+			continue
+		}
+		start, ok := se.engStart(k)
+		if !ok {
+			continue
+		}
+		if start < bestStart {
+			best, bestStart, found = k, start, true
+		}
+	}
+	return best, found
+}
+
+func (se *Session) engStart(k int) (float64, bool) {
+	e := se.eng
+	if e.cursor[k] < len(se.order[k]) {
+		id := se.order[k][e.cursor[k]]
+		rt, ok := se.engReady(id)
+		if ok {
+			return math.Max(e.free[k], rt), true
+		}
+		// Next scheduled op blocked: a queued W can still run.
+	}
+	if e.wqHead[k] < len(e.wq[k]) {
+		return math.Max(e.free[k], e.wq[k][e.wqHead[k]].ready), true
+	}
+	return 0, false
+}
+
+func (se *Session) engReady(id int32) (float64, bool) {
+	e := se.eng
+	t := 0.0
+	for ed := se.depOff[id]; ed < se.depOff[id+1]; ed++ {
+		d := se.depID[ed]
+		if e.done[d] != e.ep {
+			return 0, false
+		}
+		f := e.fin[d] + se.depComm[ed]
+		if f > t {
+			t = f
+		}
+	}
+	return t, true
+}
+
+func (se *Session) engExecute(k int) int {
+	e := se.eng
+	if e.cursor[k] < len(se.order[k]) {
+		id := se.order[k][e.cursor[k]]
+		rt, ok := se.engReady(id)
+		if ok {
+			start := math.Max(e.free[k], rt)
+			if n := se.engFillGap(k, start, id); n > 0 {
+				return n
+			}
+			e.cursor[k]++
+			se.engSkip(k)
+			se.engRunOp(k, id, start)
+			return 1
+		}
+		if e.wqHead[k] < len(e.wq[k]) {
+			return se.engPopW(k)
+		}
+		return 0
+	}
+	if e.wqHead[k] < len(e.wq[k]) {
+		return se.engPopW(k)
+	}
+	return 0
+}
+
+// engFillGap mirrors the runner's fillGap: drain a queued W that fits the
+// stall before start, or — under memory pressure that draining can actually
+// cover — before admitting an allocating op.
+func (se *Session) engFillGap(k int, start float64, nextID int32) int {
+	e := se.eng
+	if e.wqHead[k] >= len(e.wq[k]) {
+		return 0
+	}
+	w := e.wq[k][e.wqHead[k]]
+	wStart := math.Max(e.free[k], w.ready)
+	dur := se.dur[w.id]
+	const eps = 1e-9
+	if wStart+dur <= start+eps {
+		return se.engPopW(k)
+	}
+	if se.hasBudget {
+		var need int64
+		switch se.opsl[nextID].Kind {
+		case sched.F, sched.BAct:
+			need = se.memB[nextID]
+		}
+		if need > 0 && e.live[k]+need > se.budget[k] {
+			if e.live[k]+need-e.drain[k] > se.budget[k] {
+				// Uncoverable overshoot: admit the op and let its
+				// allocation flag the OOM (see runner.fillGap).
+				return 0
+			}
+			return se.engPopW(k)
+		}
+	}
+	return 0
+}
+
+func (se *Session) engPopW(k int) int {
+	e := se.eng
+	w := e.wq[k][e.wqHead[k]]
+	e.wqHead[k]++
+	if e.wqHead[k] == len(e.wq[k]) {
+		e.wq[k] = e.wq[k][:0]
+		e.wqHead[k] = 0
+	}
+	start := math.Max(e.free[k], w.ready)
+	se.engRunOp(k, w.id, start)
+	return 1
+}
+
+func (se *Session) engRunOp(k int, id int32, start float64) {
+	e := se.eng
+	dur := se.dur[id]
+	end := start + dur
+	e.free[k] = end
+	e.comp[k] += dur
+	if se.record {
+		se.spanBuf[k] = append(se.spanBuf[k], Span{Op: se.opsl[id], Start: start, End: end})
+	}
+	e.fin[id] = end
+	e.done[id] = e.ep
+	f := se.famID[id]
+	switch se.opsl[id].Kind {
+	case sched.F:
+		se.engAlloc(k, f, se.memB[id])
+	case sched.B:
+		se.engRelease(k, f)
+	case sched.BAct:
+		se.engAlloc(k, f, se.memB[id])
+		se.engEnqueueW(k, id, end)
+	case sched.W:
+		se.touchFam(f)
+		e.drain[k] -= se.famAcc[f]
+		se.engRelease(k, f)
+	case sched.WPiece:
+		se.touchFam(f)
+		se.famCnt[f]++
+		if int(se.famCnt[f]) == se.wPieces {
+			e.drain[k] -= se.famAcc[f]
+			se.engRelease(k, f)
+		}
+	}
+}
+
+// engEnqueueW queues the family's precomputed weight-gradient ops and makes
+// its retained bytes drainable, mirroring the runner's enqueueW.
+func (se *Session) engEnqueueW(k int, bID int32, ready float64) {
+	e := se.eng
+	f := se.famID[bID]
+	se.touchFam(f)
+	e.drain[k] += se.famAcc[f]
+	for w := se.wOff[bID]; w < se.wOff[bID+1]; w++ {
+		e.wq[k] = append(e.wq[k], wRef{se.wIDs[w], ready})
+	}
+}
+
+func (se *Session) engAlloc(k int, f int32, bytes int64) {
+	e := se.eng
+	se.touchFam(f)
+	se.famAcc[f] += bytes
+	e.live[k] += bytes
+	if e.live[k] > e.peak[k] {
+		e.peak[k] = e.live[k]
+	}
+	if se.hasBudget && e.live[k] > se.budget[k] && !e.oom {
+		// Dynamic mode is OOM exactly when draining every queued weight
+		// gradient could not bring the stage back under budget.
+		if e.live[k]-e.drain[k] > se.budget[k] {
+			e.oom = true
+			e.oomAt = k
+		}
+	}
+}
+
+func (se *Session) engRelease(k int, f int32) {
+	e := se.eng
+	se.touchFam(f)
+	e.live[k] -= se.famAcc[f]
+	se.famAcc[f] = 0
+}
+
+// assembleDynamic writes the Result from the engine's per-stage state in
+// the runner's result() float-operation order.
+func (se *Session) assembleDynamic() {
+	e := se.eng
+	res := &se.res
+	res.SpansRecorded = se.record
+	res.PeakAct = 0
+	end := 0.0
+	for k := 0; k < se.P; k++ {
+		fin := e.free[k]
+		if se.hasTail {
+			fin += se.tailV[k]
+		}
+		var spans []Span
+		if se.record {
+			spans = se.spanBuf[k]
+		}
+		res.Stages[k] = StageResult{Spans: spans, ComputeTime: e.comp[k], Finish: fin, PeakAct: e.peak[k]}
+		if fin > end {
+			end = fin
+		}
+		if e.peak[k] > res.PeakAct {
+			res.PeakAct = e.peak[k]
+		}
+	}
+	res.IterTime = end
+	busy := 0.0
+	for k := 0; k < se.P; k++ {
+		busy += e.comp[k]
+		if se.hasTail {
+			busy += se.tailV[k]
+		}
+	}
+	res.BubbleRatio = 0
+	if end > 0 {
+		res.BubbleRatio = 1 - busy/(float64(se.P)*end)
+	}
+	res.OOM = e.oom
+	res.OOMStage = e.oomAt
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// FuzzIncrementalEquivalence is the differential gate behind the Session
+// fast path: for arbitrary shapes, cost models, budgets, modes, and move
+// sequences, the incremental evaluation must be bitwise-identical to a
+// fresh full replay — including agreeing on which orders deadlock and with
+// what error class. Byte layout:
+//
+//	[0..5]  shape + mode header (P, S, N, split/pieces/dynamic/makespan,
+//	        budget/tail/comm/zero-weight flags, budget level)
+//	[6..]   move stream, 3 bytes per move: stage, from, to
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add([]byte{2, 1, 2, 0x01, 0x00, 4, 0, 1, 2, 1, 5, 0})
+	f.Add([]byte{1, 0, 1, 0x03, 0x03, 3, 0, 3, 9, 1, 2, 2, 0, 0, 7})
+	f.Add([]byte{2, 1, 0, 0x07, 0x05, 2, 1, 4, 4, 0, 0, 11, 1, 8, 2})
+	f.Add([]byte{0, 1, 2, 0x0f, 0x0f, 6, 0, 1, 1, 2, 3, 4, 1, 0, 2})
+	f.Add([]byte{1, 1, 1, 0x05, 0x0a, 5, 3, 2, 1, 0, 9, 9, 2, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			t.Skip()
+		}
+		p := 2 + int(data[0]%3)
+		sl := 1 + int(data[1]%2)
+		n := 2 + int(data[2]%3)
+		split := data[3]&1 != 0
+		pieces := 0
+		if split && data[3]&2 != 0 {
+			pieces = 2
+		}
+		dynamicW := split && data[3]&4 != 0
+		makespanOnly := data[3]&8 != 0
+		useBudget := data[4]&1 != 0
+		useTail := data[4]&2 != 0
+		est := sched.UniformEst{F: 1, BFused: 2, BAct: 1, W: 1, WPiece: 0.5}
+		if data[4]&4 != 0 {
+			est.Comm = 0.25
+		}
+		if data[4]&8 != 0 {
+			// Zero-weight ops stress the cycle certificate: finish-only
+			// propagation could silently converge through a 0-cost cycle.
+			est.W, est.WPiece = 0, 0
+		}
+		sc, err := sched.SVPP(sched.SVPPOptions{
+			P: p, V: 1, S: sl, N: n,
+			Split: split, FineGrainedW: pieces,
+			Reschedule: data[4]&16 != 0, Est: est,
+		})
+		if err != nil {
+			t.Skip()
+		}
+		costs := UniformCosts{Est: est, Act: 3, Grad: 1}
+		opt := Options{Costs: costs, DynamicW: dynamicW, MakespanOnly: makespanOnly}
+		if useBudget {
+			lvl := int64(2 + data[5]%14)
+			b := make([]int64, p)
+			for i := range b {
+				b[i] = lvl
+			}
+			opt.ActBudget = b
+		}
+		if useTail {
+			opt.TailTime = func(k int) float64 { return 0.5 * float64(k+1) }
+		}
+		opt.Sched = sc
+		se, err := NewSession(opt)
+		if err != nil {
+			t.Fatalf("NewSession on generated schedule: %v", err)
+		}
+		cur := sessClone(sc)
+		for i := 6; i+2 < len(data); i += 3 {
+			k := int(data[i]) % p
+			ops := cur.Stages[k]
+			if len(ops) < 2 {
+				continue
+			}
+			from := int(data[i+1]) % len(ops)
+			to := int(data[i+2]) % len(ops)
+			if from == to {
+				// Degenerate displace; swap adjacents instead so every
+				// step perturbs something.
+				to = (from + 1) % len(ops)
+			}
+			sessDisplace(ops, from, to)
+			fullOpt := opt
+			fullOpt.Sched = cur
+			full, fullErr := Run(fullOpt)
+			inc, incErr := se.Eval(cur)
+			if (fullErr == nil) != (incErr == nil) {
+				t.Fatalf("move %d: full err %v, incremental err %v", i, fullErr, incErr)
+			}
+			if fullErr != nil {
+				if errors.Is(fullErr, errs.ErrUncertified) != errors.Is(incErr, errs.ErrUncertified) ||
+					errors.Is(fullErr, errs.ErrIncompatible) != errors.Is(incErr, errs.ErrIncompatible) {
+					t.Fatalf("move %d: error classes differ: full %v, incremental %v", i, fullErr, incErr)
+				}
+				continue
+			}
+			fuzzSameResult(t, full, inc)
+		}
+	})
+}
+
+func fuzzSameResult(t *testing.T, full, inc *Result) {
+	t.Helper()
+	if math.Float64bits(full.IterTime) != math.Float64bits(inc.IterTime) ||
+		math.Float64bits(full.BubbleRatio) != math.Float64bits(inc.BubbleRatio) ||
+		full.PeakAct != inc.PeakAct ||
+		full.OOM != inc.OOM || full.OOMStage != inc.OOMStage ||
+		full.SpansRecorded != inc.SpansRecorded ||
+		len(full.Stages) != len(inc.Stages) {
+		t.Fatalf("aggregate mismatch:\nfull %+v\ninc  %+v", headline(full), headline(inc))
+	}
+	for k := range full.Stages {
+		fs, is := &full.Stages[k], &inc.Stages[k]
+		if math.Float64bits(fs.ComputeTime) != math.Float64bits(is.ComputeTime) ||
+			math.Float64bits(fs.Finish) != math.Float64bits(is.Finish) ||
+			fs.PeakAct != is.PeakAct || len(fs.Spans) != len(is.Spans) {
+			t.Fatalf("stage %d mismatch: full {c=%v f=%v p=%d |s|=%d} inc {c=%v f=%v p=%d |s|=%d}",
+				k, fs.ComputeTime, fs.Finish, fs.PeakAct, len(fs.Spans),
+				is.ComputeTime, is.Finish, is.PeakAct, len(is.Spans))
+		}
+		for i := range fs.Spans {
+			a, b := fs.Spans[i], is.Spans[i]
+			if a.Op != b.Op ||
+				math.Float64bits(a.Start) != math.Float64bits(b.Start) ||
+				math.Float64bits(a.End) != math.Float64bits(b.End) {
+				t.Fatalf("stage %d span %d: %+v != %+v", k, i, a, b)
+			}
+		}
+	}
+}
+
+func headline(r *Result) map[string]any {
+	return map[string]any{
+		"iter": r.IterTime, "bubble": r.BubbleRatio, "peak": r.PeakAct,
+		"oom": r.OOM, "oomStage": r.OOMStage, "spans": r.SpansRecorded,
+	}
+}

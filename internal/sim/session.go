@@ -1,0 +1,811 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// Session is a reusable fast-evaluation context over one schedule shape: it
+// pins the cost model, budgets, and op identities once, then re-simulates
+// edited copies of the schedule incrementally. The schedule optimizer's
+// moves (swap, shift, rebalance) touch a handful of list positions; instead
+// of replaying every op, Eval diffs the new order against the previous one
+// and re-propagates finish times only through the affected window. The
+// result is guaranteed bitwise-identical to sim.Run on the same Options —
+// the differential fuzzer in fuzz_test.go holds that gate closed.
+//
+// A Session is not safe for concurrent use; EvaluateMany runs one per
+// worker. All slices inside the returned Result are owned by the session
+// and are overwritten by the next Eval — callers that retain results across
+// evaluations must copy them first.
+type Session struct {
+	opt  Options
+	base *sched.Schedule
+
+	// shape, pinned at bind time
+	P, V, S, N int
+	splitBW    bool
+	wPieces    int
+	dynamicW   bool
+	record     bool // spans recorded (i.e. !MakespanOnly; sessions never trace)
+	hasBudget  bool
+	budget     []int64
+	hasTail    bool
+	tailV      []float64
+
+	// op identity tables. Every op in the bound schedule gets a dense id;
+	// moves permute positions but never identities, so the dependency
+	// graph, durations, and memory charges below are computed once.
+	n      int
+	ids    map[opRef]int32 // (stage, op) -> id
+	famIDs map[opRef]int32 // (stage, op.Key()) -> family slot
+	nfam   int
+	opsl   []sched.Op // id -> op
+	stg    []int32    // id -> stage
+	pos    []int32    // id -> current position in its stage list
+	order  [][]int32  // stage -> position -> id
+	famID  []int32    // id -> family slot
+	dur    []float64  // id -> op duration
+	memB   []int64    // id -> bytes allocated at execution (F: act, BAct: grad)
+
+	// dependency edges (identity-based, immutable across moves)
+	depOff  []int32 // id -> [depOff[id], depOff[id+1]) into depID/depComm
+	depID   []int32
+	depComm []float64 // communication delay, 0 for same-stage edges
+	sucOff  []int32   // reverse edges: id -> dependents
+	sucID   []int32
+
+	// derived weight-gradient work per BAct id (dynamic mode only)
+	wOff []int32
+	wIDs []int32
+
+	// solved static state: start/finish per op, plus a longest-path height
+	// used as the cycle certificate (heights have no fixed point on a
+	// cycle, so incremental propagation cannot silently converge through
+	// one — it blows its pop budget and the dense sweep catches it).
+	start  []float64
+	finish []float64
+	height []int32
+
+	// worklist (FIFO) for incremental propagation
+	queue  []int32
+	qhead  int
+	inQ    []uint32
+	qEpoch uint32
+
+	// dense-sweep scratch (Kahn)
+	rem   []int32
+	stack []int32
+
+	// diff scratch: window multiset check via epoch-stamped counters
+	seenCnt   []int32
+	seenEp    []uint32
+	seenEpoch uint32
+
+	// per-stage cached aggregates for the static path; order-only, so
+	// they survive evals that do not touch the stage
+	stDirty   []bool
+	stCompute []float64
+	stPeak    []int64
+	stOOMPos  []int32 // first over-budget alloc position, -1 if none
+
+	// family scratch shared by the static memory scan and the dynamic
+	// engine (family ids are stage-disjoint, so per-use epochs never mix)
+	famAcc   []int64
+	famCnt   []int32
+	famEp    []uint32
+	famEpoch uint32
+
+	// placement fingerprint: moves never change placement, and the dep
+	// rules only consult Place through Global/Host, so semantic equality
+	// of those maps is full dependency-equivalence
+	placeGlobal []int32 // k*V+j -> global chunk
+	placeHost   []int32 // g -> stage
+
+	depScratch []sched.Dep
+	spanBuf    [][]Span
+	res        Result
+	eng        *engState
+
+	valid  bool // start/finish/height solve the current order
+	resync bool // orders may be inconsistent; rebuild from the schedule
+}
+
+// NewSession binds a fast-evaluation session to opt. opt.Sched is fully
+// validated and becomes the base order; subsequent Eval calls accept any
+// per-stage permutation of the same ops. Tracing is incompatible with
+// sessions (use RunContext), as is a nil schedule or a budget of the wrong
+// length — all reported as wrapped errs.ErrIncompatible.
+//
+//mepipe:deterministic
+func NewSession(opt Options) (*Session, error) {
+	se := &Session{}
+	if err := se.init(opt); err != nil {
+		return nil, err
+	}
+	return se, nil
+}
+
+// init (re)binds the session, reusing any capacity from a previous binding.
+//
+//mepipe:coldalloc binding sizes every table once; Eval reuses the capacity, so the steady state never allocates
+func (se *Session) init(opt Options) error {
+	if opt.Trace != nil {
+		return fmt.Errorf("sim: sessions cannot trace (use RunContext for traced runs): %w", errs.ErrIncompatible)
+	}
+	s := opt.Sched
+	if s == nil {
+		return fmt.Errorf("sim: nil schedule: %w", errs.ErrIncompatible)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if opt.DynamicW && !s.SplitBW {
+		return fmt.Errorf("sim: dynamic weight-gradient mode requires a split-backward schedule: %w", errs.ErrIncompatible)
+	}
+	if opt.ActBudget != nil && len(opt.ActBudget) != s.P {
+		return fmt.Errorf("sim: ActBudget has %d entries, want %d: %w", len(opt.ActBudget), s.P, errs.ErrIncompatible)
+	}
+	if s.Place == nil {
+		return fmt.Errorf("sim: schedule has no placement: %w", errs.ErrIncompatible)
+	}
+	se.opt = opt
+	se.base = s
+	se.P, se.V, se.S, se.N = s.P, s.V, s.S, s.N
+	se.splitBW, se.wPieces = s.SplitBW, s.WPieces
+	se.dynamicW = opt.DynamicW
+	se.record = !opt.MakespanOnly
+	se.hasBudget = opt.ActBudget != nil
+	se.budget = append(se.budget[:0], opt.ActBudget...)
+	se.hasTail = opt.TailTime != nil
+	se.tailV = sgrow(se.tailV, s.P)
+	for k := 0; k < s.P; k++ {
+		if se.hasTail {
+			se.tailV[k] = opt.TailTime(k)
+		} else {
+			se.tailV[k] = 0
+		}
+	}
+
+	n := 0
+	for k := range s.Stages {
+		n += len(s.Stages[k])
+	}
+	se.n = n
+	if se.ids == nil {
+		se.ids = make(map[opRef]int32, n)
+	} else {
+		clear(se.ids)
+	}
+	if se.famIDs == nil {
+		se.famIDs = make(map[opRef]int32, n)
+	} else {
+		clear(se.famIDs)
+	}
+	se.opsl = sgrow(se.opsl, n)
+	se.stg = sgrow(se.stg, n)
+	se.pos = sgrow(se.pos, n)
+	se.famID = sgrow(se.famID, n)
+	se.dur = sgrow(se.dur, n)
+	se.memB = sgrow(se.memB, n)
+	se.order = sgrow(se.order, s.P)
+	id, nfam := int32(0), int32(0)
+	for k := range s.Stages {
+		ops := s.Stages[k]
+		ord := sgrow(se.order[k], len(ops))
+		for p := range ops {
+			op := ops[p]
+			ref := opRef{k, op}
+			if _, dup := se.ids[ref]; dup {
+				return fmt.Errorf("sim: session: duplicate op %v@stage%d: %w", op, k, errs.ErrIncompatible)
+			}
+			se.ids[ref] = id
+			se.opsl[id] = op
+			se.stg[id] = int32(k)
+			se.pos[id] = int32(p)
+			ord[p] = id
+			fref := opRef{k, op.Key()}
+			f, okf := se.famIDs[fref]
+			if !okf {
+				f = nfam
+				se.famIDs[fref] = f
+				nfam++
+			}
+			se.famID[id] = f
+			se.dur[id] = opt.Costs.OpTime(k, op)
+			switch op.Kind {
+			case sched.F:
+				se.memB[id] = opt.Costs.ActBytes(k, op)
+			case sched.BAct:
+				se.memB[id] = opt.Costs.GradBytes(k, op)
+			default:
+				se.memB[id] = 0
+			}
+			id++
+		}
+		se.order[k] = ord
+	}
+	se.nfam = int(nfam)
+
+	// Dependency edges, resolved to dense ids with communication delays
+	// folded in (0 for same-stage edges keeps the max loop branch-free
+	// without perturbing bits: finish times are never negative zero).
+	se.depOff = sgrow(se.depOff, n+1)
+	se.depID = se.depID[:0]
+	se.depComm = se.depComm[:0]
+	for i := 0; i < n; i++ {
+		se.depOff[i] = int32(len(se.depID))
+		k := int(se.stg[i])
+		op := se.opsl[i]
+		se.depScratch = s.Deps(se.depScratch[:0], k, op)
+		for _, d := range se.depScratch {
+			j, okd := se.ids[opRef{d.Stage, d.Op}]
+			if !okd {
+				return fmt.Errorf("sim: session: op %v@stage%d depends on absent op %v@stage%d: %w", op, k, d.Op, d.Stage, errs.ErrIncompatible)
+			}
+			comm := 0.0
+			if d.Stage != k {
+				comm = opt.Costs.CommTime(d.Stage, k, d.Op)
+			}
+			se.depID = append(se.depID, j)
+			se.depComm = append(se.depComm, comm)
+		}
+	}
+	se.depOff[n] = int32(len(se.depID))
+	se.sucOff = sgrow(se.sucOff, n+1)
+	for i := range se.sucOff {
+		se.sucOff[i] = 0
+	}
+	for _, j := range se.depID {
+		se.sucOff[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		se.sucOff[i+1] += se.sucOff[i]
+	}
+	se.sucID = sgrow(se.sucID, len(se.depID))
+	se.rem = sgrow(se.rem, n) // doubles as the fill cursor here
+	for i := 0; i < n; i++ {
+		se.rem[i] = se.sucOff[i]
+	}
+	for i := 0; i < n; i++ {
+		for e := se.depOff[i]; e < se.depOff[i+1]; e++ {
+			j := se.depID[e]
+			se.sucID[se.rem[j]] = int32(i)
+			se.rem[j]++
+		}
+	}
+
+	if se.dynamicW {
+		se.wOff = sgrow(se.wOff, n+1)
+		se.wIDs = se.wIDs[:0]
+		for i := 0; i < n; i++ {
+			se.wOff[i] = int32(len(se.wIDs))
+			if se.opsl[i].Kind != sched.BAct {
+				continue
+			}
+			k := int(se.stg[i])
+			b := se.opsl[i]
+			if se.wPieces > 0 {
+				for p := 0; p < se.wPieces; p++ {
+					probe := b
+					probe.Kind = sched.WPiece
+					probe.Piece = p
+					j, okw := se.ids[opRef{k, probe}]
+					if !okw {
+						return fmt.Errorf("sim: session: family %v@stage%d is missing piece %d: %w", b.Key(), k, p, errs.ErrIncompatible)
+					}
+					se.wIDs = append(se.wIDs, j)
+				}
+			} else {
+				probe := b
+				probe.Kind = sched.W
+				j, okw := se.ids[opRef{k, probe}]
+				if !okw {
+					return fmt.Errorf("sim: session: family %v@stage%d is missing its W op: %w", b.Key(), k, errs.ErrIncompatible)
+				}
+				se.wIDs = append(se.wIDs, j)
+			}
+		}
+		se.wOff[n] = int32(len(se.wIDs))
+	}
+
+	se.placeGlobal = sgrow(se.placeGlobal, se.P*se.V)
+	for k := 0; k < se.P; k++ {
+		for j := 0; j < se.V; j++ {
+			se.placeGlobal[k*se.V+j] = int32(s.Place.Global(k, j))
+		}
+	}
+	se.placeHost = sgrow(se.placeHost, 2*se.P*se.V)
+	for g := 0; g < se.P*se.V; g++ {
+		hk, hl := s.Place.Host(g)
+		se.placeHost[2*g] = int32(hk)
+		se.placeHost[2*g+1] = int32(hl)
+	}
+
+	se.start = sgrow(se.start, n)
+	se.finish = sgrow(se.finish, n)
+	se.height = sgrow(se.height, n)
+	se.inQ = sgrow(se.inQ, n)
+	se.seenCnt = sgrow(se.seenCnt, n)
+	se.seenEp = sgrow(se.seenEp, n)
+	se.stack = se.stack[:0]
+	se.famAcc = sgrow(se.famAcc, se.nfam)
+	se.famCnt = sgrow(se.famCnt, se.nfam)
+	se.famEp = sgrow(se.famEp, se.nfam)
+	se.stDirty = sgrow(se.stDirty, se.P)
+	se.stCompute = sgrow(se.stCompute, se.P)
+	se.stPeak = sgrow(se.stPeak, se.P)
+	se.stOOMPos = sgrow(se.stOOMPos, se.P)
+	for k := 0; k < se.P; k++ {
+		se.stDirty[k] = true
+	}
+	se.res.Stages = sgrow(se.res.Stages, se.P)
+	se.spanBuf = sgrow(se.spanBuf, se.P)
+	se.queue = se.queue[:0]
+	se.qhead = 0
+	// Bump every epoch past any stamp a previous binding left in reused
+	// arrays; new array regions are zero, which the bumped counters also
+	// exceed.
+	se.qEpoch++
+	se.seenEpoch++
+	se.famEpoch++
+	se.valid = false
+	se.resync = false
+	return nil
+}
+
+// Eval re-simulates s, which must be a per-stage permutation of the bound
+// schedule's ops (shape and placement included — anything else returns a
+// wrapped errs.ErrIncompatible, telling callers to rebuild the session).
+// Orders that deadlock return a wrapped errs.ErrUncertified, exactly as
+// sim.Run reports them through Validate.
+//
+// The returned Result is owned by the session and is overwritten by the
+// next Eval.
+//
+//mepipe:deterministic
+func (se *Session) Eval(s *sched.Schedule) (*Result, error) {
+	if err := se.compat(s); err != nil {
+		return nil, err
+	}
+	se.qEpoch++
+	se.queue = se.queue[:0]
+	se.qhead = 0
+	if se.resync {
+		if err := se.remapAll(s); err != nil {
+			return nil, err
+		}
+	} else if err := se.diff(s); err != nil {
+		return nil, err
+	}
+	if !se.valid {
+		if err := se.sweep(); err != nil {
+			return nil, err
+		}
+	} else if se.qhead < len(se.queue) {
+		if !se.propagate() {
+			if err := se.sweep(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	se.valid = true
+	if se.dynamicW {
+		if err := se.runEngine(); err != nil {
+			return nil, err
+		}
+		se.assembleDynamic()
+		return &se.res, nil
+	}
+	se.memScan()
+	se.assembleStatic()
+	return &se.res, nil
+}
+
+// compat verifies s shares the bound schedule's shape, per-stage op counts,
+// and placement maps. It never mutates session state.
+func (se *Session) compat(s *sched.Schedule) error {
+	if s == nil {
+		return fmt.Errorf("sim: nil schedule: %w", errs.ErrIncompatible)
+	}
+	if s.P != se.P || s.V != se.V || s.S != se.S || s.N != se.N ||
+		s.SplitBW != se.splitBW || s.WPieces != se.wPieces || len(s.Stages) != se.P {
+		return fmt.Errorf("sim: session bound to %s, got %s: %w", se.base, s, errs.ErrIncompatible)
+	}
+	for k := range s.Stages {
+		if len(s.Stages[k]) != len(se.order[k]) {
+			return fmt.Errorf("sim: session: stage %d has %d ops, bound schedule has %d: %w", k, len(s.Stages[k]), len(se.order[k]), errs.ErrIncompatible)
+		}
+	}
+	if s.Place == nil {
+		return fmt.Errorf("sim: schedule has no placement: %w", errs.ErrIncompatible)
+	}
+	for k := 0; k < se.P; k++ {
+		for j := 0; j < se.V; j++ {
+			if int32(s.Place.Global(k, j)) != se.placeGlobal[k*se.V+j] {
+				return fmt.Errorf("sim: session: placement differs at stage %d chunk %d: %w", k, j, errs.ErrIncompatible)
+			}
+		}
+	}
+	for g := 0; g < se.P*se.V; g++ {
+		hk, hl := s.Place.Host(g)
+		if int32(hk) != se.placeHost[2*g] || int32(hl) != se.placeHost[2*g+1] {
+			return fmt.Errorf("sim: session: placement host differs for global chunk %d: %w", g, errs.ErrIncompatible)
+		}
+	}
+	return nil
+}
+
+func (se *Session) touchSeen(id int32) {
+	if se.seenEp[id] != se.seenEpoch {
+		se.seenEp[id] = se.seenEpoch
+		se.seenCnt[id] = 0
+	}
+}
+
+// diff aligns the session's order tables with s stage by stage: matching
+// prefixes and suffixes bound the edited window, an epoch-stamped counter
+// checks the window is a permutation, and the window's ops (plus the one
+// just after it, whose list predecessor changed) seed the worklist.
+func (se *Session) diff(s *sched.Schedule) error {
+	for k := 0; k < se.P; k++ {
+		ord := se.order[k]
+		ops := s.Stages[k]
+		lo := 0
+		for lo < len(ops) && se.opsl[ord[lo]] == ops[lo] {
+			lo++
+		}
+		if lo == len(ops) {
+			continue
+		}
+		hi := len(ops) - 1
+		for hi > lo && se.opsl[ord[hi]] == ops[hi] {
+			hi--
+		}
+		se.seenEpoch++
+		for p := lo; p <= hi; p++ {
+			cid := ord[p]
+			se.touchSeen(cid)
+			se.seenCnt[cid]++
+		}
+		ok := true
+		for p := lo; p <= hi; p++ {
+			cid, found := se.ids[opRef{k, ops[p]}]
+			if !found {
+				ok = false
+				break
+			}
+			se.touchSeen(cid)
+			se.seenCnt[cid]--
+			if se.seenCnt[cid] < 0 {
+				ok = false
+				break
+			}
+			ord[p] = cid
+			se.pos[cid] = int32(p)
+		}
+		if !ok {
+			// The order tables are now partially rewritten; remap from
+			// scratch on the next Eval.
+			se.resync = true
+			se.valid = false
+			return fmt.Errorf("sim: session: stage %d op list is not a permutation of the bound schedule: %w", k, errs.ErrIncompatible)
+		}
+		se.stDirty[k] = true
+		if se.valid {
+			end := hi + 1
+			if end > len(ops)-1 {
+				end = len(ops) - 1
+			}
+			for p := lo; p <= end; p++ {
+				se.push(ord[p])
+			}
+		}
+	}
+	return nil
+}
+
+// remapAll rebuilds order/pos from s after a failed diff, verifying the
+// whole schedule is a per-stage bijection onto the bound op set.
+func (se *Session) remapAll(s *sched.Schedule) error {
+	se.seenEpoch++
+	for k := 0; k < se.P; k++ {
+		ord := se.order[k]
+		ops := s.Stages[k]
+		for p := range ops {
+			cid, found := se.ids[opRef{k, ops[p]}]
+			if !found || se.seenEp[cid] == se.seenEpoch {
+				return fmt.Errorf("sim: session: stage %d op list is not a permutation of the bound schedule: %w", k, errs.ErrIncompatible)
+			}
+			se.seenEp[cid] = se.seenEpoch
+			ord[p] = cid
+			se.pos[cid] = int32(p)
+		}
+		se.stDirty[k] = true
+	}
+	se.resync = false
+	se.valid = false
+	return nil
+}
+
+func (se *Session) push(id int32) {
+	if se.inQ[id] == se.qEpoch {
+		return
+	}
+	se.inQ[id] = se.qEpoch
+	se.queue = append(se.queue, id)
+}
+
+// recompute solves one op's recurrence from its current predecessors:
+//
+//	start  = max(finish[list predecessor], max over deps(finish + comm))
+//	finish = start + dur
+//	height = 1 + max over predecessors(height)   (sources get 0)
+//
+// and reports whether finish or height changed. The float operations mirror
+// the runner's readyTime/execute exactly (same comparison order, same
+// math.Max), which is what makes incremental results bitwise-identical.
+func (se *Session) recompute(id int32) bool {
+	k := int(se.stg[id])
+	p := int(se.pos[id])
+	prevFin := 0.0
+	h := int32(-1)
+	if p > 0 {
+		pv := se.order[k][p-1]
+		prevFin = se.finish[pv]
+		h = se.height[pv]
+	}
+	t := 0.0
+	for e := se.depOff[id]; e < se.depOff[id+1]; e++ {
+		d := se.depID[e]
+		f := se.finish[d] + se.depComm[e]
+		if f > t {
+			t = f
+		}
+		if se.height[d] > h {
+			h = se.height[d]
+		}
+	}
+	st := math.Max(prevFin, t)
+	fin := st + se.dur[id]
+	h++
+	changed := math.Float64bits(fin) != math.Float64bits(se.finish[id]) || h != se.height[id]
+	se.start[id] = st
+	se.finish[id] = fin
+	se.height[id] = h
+	return changed
+}
+
+// propagate drains the worklist seeded by diff, pushing an op's list
+// successor and dependents whenever its finish or height changed. On a DAG
+// this chaotic iteration reaches the unique fixed point of the recurrence —
+// the same values a full replay computes. On a cyclic order heights grow
+// without bound, so the pop budget trips and the caller falls back to the
+// dense sweep, which certifies the cycle. Returns false on budget trip.
+//
+//mepipe:hotpath
+func (se *Session) propagate() bool {
+	budget := 16*se.n + 64
+	pops := 0
+	for se.qhead < len(se.queue) {
+		if pops >= budget {
+			return false
+		}
+		pops++
+		id := se.queue[se.qhead]
+		se.qhead++
+		se.inQ[id] = se.qEpoch - 1
+		if se.recompute(id) {
+			k := int(se.stg[id])
+			nx := int(se.pos[id]) + 1
+			ord := se.order[k]
+			if nx < len(ord) {
+				se.push(ord[nx])
+			}
+			for e := se.sucOff[id]; e < se.sucOff[id+1]; e++ {
+				se.push(se.sucID[e])
+			}
+		}
+	}
+	se.queue = se.queue[:0]
+	se.qhead = 0
+	return true
+}
+
+// sweep recomputes every op in Kahn order over program-order and dependency
+// edges. It is the first-evaluation path, the resync path, and the fallback
+// that turns a non-converging propagation into a certified cycle error.
+func (se *Session) sweep() error {
+	se.qEpoch++
+	se.queue = se.queue[:0]
+	se.qhead = 0
+	for i := 0; i < se.n; i++ {
+		d := se.depOff[i+1] - se.depOff[i]
+		if se.pos[i] > 0 {
+			d++
+		}
+		se.rem[i] = d
+	}
+	se.stack = se.stack[:0]
+	for i := 0; i < se.n; i++ {
+		if se.rem[i] == 0 {
+			se.stack = append(se.stack, int32(i))
+		}
+	}
+	processed := 0
+	for len(se.stack) > 0 {
+		id := se.stack[len(se.stack)-1]
+		se.stack = se.stack[:len(se.stack)-1]
+		se.recompute(id)
+		processed++
+		k := int(se.stg[id])
+		nx := int(se.pos[id]) + 1
+		ord := se.order[k]
+		if nx < len(ord) {
+			j := ord[nx]
+			se.rem[j]--
+			if se.rem[j] == 0 {
+				se.stack = append(se.stack, j)
+			}
+		}
+		for e := se.sucOff[id]; e < se.sucOff[id+1]; e++ {
+			j := se.sucID[e]
+			se.rem[j]--
+			if se.rem[j] == 0 {
+				se.stack = append(se.stack, j)
+			}
+		}
+	}
+	if processed != se.n {
+		se.valid = false
+		return fmt.Errorf("sim: session: %d of %d ops are on a program-order/dependency cycle (the order deadlocks): %w", se.n-processed, se.n, errs.ErrUncertified)
+	}
+	se.valid = true
+	return nil
+}
+
+func (se *Session) touchFam(f int32) {
+	if se.famEp[f] != se.famEpoch {
+		se.famEp[f] = se.famEpoch
+		se.famAcc[f] = 0
+		se.famCnt[f] = 0
+	}
+}
+
+// memScan replays each dirty stage's alloc/free sequence in list order —
+// memory in static mode depends only on the per-stage order, never on
+// times — caching compute time, peak bytes, and the first over-budget
+// position for assembly.
+func (se *Session) memScan() {
+	for k := 0; k < se.P; k++ {
+		if !se.stDirty[k] {
+			continue
+		}
+		se.stDirty[k] = false
+		se.famEpoch++
+		ord := se.order[k]
+		compute := 0.0
+		var live, peak int64
+		oomPos := int32(-1)
+		var bLim int64
+		if se.hasBudget {
+			bLim = se.budget[k]
+		}
+		for p := 0; p < len(ord); p++ {
+			id := ord[p]
+			compute += se.dur[id]
+			f := se.famID[id]
+			se.touchFam(f)
+			switch se.opsl[id].Kind {
+			case sched.F, sched.BAct:
+				b := se.memB[id]
+				se.famAcc[f] += b
+				live += b
+				if live > peak {
+					peak = live
+				}
+				if se.hasBudget && live > bLim && oomPos < 0 {
+					oomPos = int32(p)
+				}
+			case sched.B, sched.W:
+				live -= se.famAcc[f]
+				se.famAcc[f] = 0
+			case sched.WPiece:
+				se.famCnt[f]++
+				if int(se.famCnt[f]) == se.wPieces {
+					live -= se.famAcc[f]
+					se.famAcc[f] = 0
+				}
+			}
+		}
+		se.stCompute[k] = compute
+		se.stPeak[k] = peak
+		se.stOOMPos[k] = oomPos
+	}
+}
+
+// assembleStatic writes the Result exactly as the runner's result() does,
+// in the same float-operation order. The runner flags OOM at the first
+// over-budget allocation in global execution order; with static execution
+// sorted by (start, stage), that is the stage minimizing (start of its
+// first over-budget op, stage index).
+func (se *Session) assembleStatic() {
+	res := &se.res
+	res.SpansRecorded = se.record
+	res.PeakAct = 0
+	res.OOM = false
+	res.OOMStage = 0
+	end := 0.0
+	for k := 0; k < se.P; k++ {
+		ord := se.order[k]
+		fre := 0.0
+		if len(ord) > 0 {
+			fre = se.finish[ord[len(ord)-1]]
+		}
+		fin := fre
+		if se.hasTail {
+			fin += se.tailV[k]
+		}
+		var spans []Span
+		if se.record {
+			buf := se.spanBuf[k][:0]
+			for _, id := range ord {
+				buf = append(buf, Span{Op: se.opsl[id], Start: se.start[id], End: se.finish[id]})
+			}
+			se.spanBuf[k] = buf
+			spans = buf
+		}
+		res.Stages[k] = StageResult{Spans: spans, ComputeTime: se.stCompute[k], Finish: fin, PeakAct: se.stPeak[k]}
+		if fin > end {
+			end = fin
+		}
+		if se.stPeak[k] > res.PeakAct {
+			res.PeakAct = se.stPeak[k]
+		}
+	}
+	res.IterTime = end
+	busy := 0.0
+	for k := 0; k < se.P; k++ {
+		busy += se.stCompute[k]
+		if se.hasTail {
+			busy += se.tailV[k]
+		}
+	}
+	res.BubbleRatio = 0
+	if end > 0 {
+		res.BubbleRatio = 1 - busy/(float64(se.P)*end)
+	}
+	if se.hasBudget {
+		at := -1
+		bestStart := 0.0
+		for k := 0; k < se.P; k++ {
+			p := se.stOOMPos[k]
+			if p < 0 {
+				continue
+			}
+			s0 := se.start[se.order[k][p]]
+			if at < 0 || s0 < bestStart {
+				at = k
+				bestStart = s0
+			}
+		}
+		if at >= 0 {
+			res.OOM = true
+			res.OOMStage = at
+		}
+	}
+}
+
+// sgrow returns s resized to n, reusing capacity and preserving any prefix
+// (nested slices keep their buffers across rebinds).
+func sgrow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,509 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
+
+// sessClone deep-copies a schedule's op lists (shape/placement shared).
+func sessClone(s *sched.Schedule) *sched.Schedule {
+	out := *s
+	out.Stages = make([][]sched.Op, len(s.Stages))
+	for k := range s.Stages {
+		out.Stages[k] = append([]sched.Op(nil), s.Stages[k]...)
+	}
+	return &out
+}
+
+// sessDisplace mirrors internal/opt's displace: move ops[from] to to,
+// sliding the range between.
+func sessDisplace(ops []sched.Op, from, to int) {
+	op := ops[from]
+	if from < to {
+		copy(ops[from:], ops[from+1:to+1])
+	} else {
+		copy(ops[to+1:], ops[to:from])
+	}
+	ops[to] = op
+}
+
+// sessLCG is a tiny deterministic generator for move sequences.
+type sessLCG uint64
+
+func (l *sessLCG) next(n int) int {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return int((uint64(*l) >> 33) % uint64(n))
+}
+
+// requireSameResult asserts bitwise identity between a full replay and a
+// session evaluation — the tentpole's hard gate.
+func requireSameResult(t *testing.T, full, inc *Result, label string) {
+	t.Helper()
+	if full == nil || inc == nil {
+		t.Fatalf("%s: nil result (full=%v inc=%v)", label, full == nil, inc == nil)
+	}
+	if math.Float64bits(full.IterTime) != math.Float64bits(inc.IterTime) {
+		t.Fatalf("%s: IterTime %v != %v", label, full.IterTime, inc.IterTime)
+	}
+	if math.Float64bits(full.BubbleRatio) != math.Float64bits(inc.BubbleRatio) {
+		t.Fatalf("%s: BubbleRatio %v != %v", label, full.BubbleRatio, inc.BubbleRatio)
+	}
+	if full.PeakAct != inc.PeakAct {
+		t.Fatalf("%s: PeakAct %d != %d", label, full.PeakAct, inc.PeakAct)
+	}
+	if full.OOM != inc.OOM || full.OOMStage != inc.OOMStage {
+		t.Fatalf("%s: OOM %v@%d != %v@%d", label, full.OOM, full.OOMStage, inc.OOM, inc.OOMStage)
+	}
+	if full.SpansRecorded != inc.SpansRecorded {
+		t.Fatalf("%s: SpansRecorded %v != %v", label, full.SpansRecorded, inc.SpansRecorded)
+	}
+	if len(full.Stages) != len(inc.Stages) {
+		t.Fatalf("%s: stage count %d != %d", label, len(full.Stages), len(inc.Stages))
+	}
+	for k := range full.Stages {
+		fs, is := &full.Stages[k], &inc.Stages[k]
+		if math.Float64bits(fs.ComputeTime) != math.Float64bits(is.ComputeTime) {
+			t.Fatalf("%s: stage %d ComputeTime %v != %v", label, k, fs.ComputeTime, is.ComputeTime)
+		}
+		if math.Float64bits(fs.Finish) != math.Float64bits(is.Finish) {
+			t.Fatalf("%s: stage %d Finish %v != %v", label, k, fs.Finish, is.Finish)
+		}
+		if fs.PeakAct != is.PeakAct {
+			t.Fatalf("%s: stage %d PeakAct %d != %d", label, k, fs.PeakAct, is.PeakAct)
+		}
+		if !full.SpansRecorded {
+			continue
+		}
+		if len(fs.Spans) != len(is.Spans) {
+			t.Fatalf("%s: stage %d span count %d != %d", label, k, len(fs.Spans), len(is.Spans))
+		}
+		for i := range fs.Spans {
+			a, b := fs.Spans[i], is.Spans[i]
+			if a.Op != b.Op ||
+				math.Float64bits(a.Start) != math.Float64bits(b.Start) ||
+				math.Float64bits(a.End) != math.Float64bits(b.End) {
+				t.Fatalf("%s: stage %d span %d %+v != %+v", label, k, i, a, b)
+			}
+		}
+	}
+}
+
+type sessionCase struct {
+	name string
+	opt  Options // Sched filled per case below
+}
+
+// sessionCases builds schedule × option variants covering static/dynamic,
+// budgets, tails, and MakespanOnly.
+func sessionCases(t *testing.T) []sessionCase {
+	t.Helper()
+	tail := func(k int) float64 { return 0.3 * float64(k+1) }
+	mk := func(name string, s *sched.Schedule, err error, f func(*Options)) sessionCase {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		o := Options{Sched: s, Costs: UniformCosts{Est: sched.UniformEst{F: 1, BFused: 2, BAct: 1, W: 1, WPiece: 0.25, Comm: 0.2}, Act: 3, Grad: 1}}
+		if f != nil {
+			f(&o)
+		}
+		return sessionCase{name, o}
+	}
+	budget := func(p int, b int64) []int64 {
+		out := make([]int64, p)
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	var cases []sessionCase
+	s1, err1 := sched.MEPipe(4, 1, 2, 6, 0, 4, nil)
+	cases = append(cases,
+		mk("mepipe/static", sessClone(s1), err1, nil),
+		mk("mepipe/makespan", sessClone(s1), err1, func(o *Options) { o.MakespanOnly = true }),
+		mk("mepipe/budget", sessClone(s1), err1, func(o *Options) { o.ActBudget = budget(4, 14) }),
+		mk("mepipe/tail", sessClone(s1), err1, func(o *Options) { o.TailTime = tail }),
+		mk("mepipe/dynamic", sessClone(s1), err1, func(o *Options) { o.DynamicW = true }),
+		mk("mepipe/dynamic-budget", sessClone(s1), err1, func(o *Options) {
+			o.DynamicW = true
+			o.ActBudget = budget(4, 14)
+			o.TailTime = tail
+		}),
+	)
+	s2, err2 := sched.MEPipe(3, 1, 2, 4, 0, 0, nil) // whole-W split
+	cases = append(cases,
+		mk("mepipe-wholew/static", sessClone(s2), err2, nil),
+		mk("mepipe-wholew/dynamic-budget", sessClone(s2), err2, func(o *Options) {
+			o.DynamicW = true
+			o.ActBudget = budget(3, 11)
+		}),
+	)
+	s3, err3 := sched.SVPP(sched.SVPPOptions{P: 4, V: 1, S: 2, N: 4})
+	cases = append(cases, mk("svpp/fused", s3, err3, func(o *Options) { o.ActBudget = budget(4, 12) }))
+	s4, err4 := sched.DAPPLE(4, 6, nil)
+	cases = append(cases, mk("dapple", s4, err4, func(o *Options) { o.TailTime = tail }))
+	s5, err5 := sched.VPP(4, 2, 4, nil)
+	cases = append(cases, mk("vpp", s5, err5, nil))
+	return cases
+}
+
+// TestSessionMatchesRun drives each case through a long deterministic move
+// walk, comparing every incremental evaluation bitwise against a fresh full
+// replay — including steps whose order deadlocks, where both sides must
+// fail with the same error class.
+func TestSessionMatchesRun(t *testing.T) {
+	for _, tc := range sessionCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			se, err := NewSession(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := sessClone(tc.opt.Sched)
+			rng := sessLCG(1)
+			valid, invalid := 0, 0
+			for step := 0; step < 160; step++ {
+				cand := sessClone(cur)
+				k := rng.next(cand.P)
+				ops := cand.Stages[k]
+				if len(ops) >= 2 {
+					switch rng.next(3) {
+					case 0: // adjacent swap (the annealer's cheapest move)
+						i := rng.next(len(ops) - 1)
+						ops[i], ops[i+1] = ops[i+1], ops[i]
+					case 1: // short shift, usually survivable
+						from := rng.next(len(ops))
+						to := from + rng.next(7) - 3
+						if to < 0 {
+							to = 0
+						}
+						if to >= len(ops) {
+							to = len(ops) - 1
+						}
+						sessDisplace(ops, from, to)
+					default: // long displace, usually deadlocks
+						sessDisplace(ops, rng.next(len(ops)), rng.next(len(ops)))
+					}
+				}
+				fullOpt := tc.opt
+				fullOpt.Sched = cand
+				full, fullErr := Run(fullOpt)
+				inc, incErr := se.Eval(cand)
+				if (fullErr == nil) != (incErr == nil) {
+					t.Fatalf("step %d: full err %v, incremental err %v", step, fullErr, incErr)
+				}
+				if fullErr != nil {
+					// Keep walking from the last valid order, as the
+					// annealer does with rejected candidates.
+					invalid++
+					if !errors.Is(incErr, errs.ErrUncertified) && !errors.Is(incErr, errs.ErrIncompatible) {
+						t.Fatalf("step %d: incremental error class %v (full: %v)", step, incErr, fullErr)
+					}
+					if errors.Is(fullErr, errs.ErrUncertified) != errors.Is(incErr, errs.ErrUncertified) {
+						t.Fatalf("step %d: error classes differ: full %v, incremental %v", step, fullErr, incErr)
+					}
+					continue
+				}
+				valid++
+				requireSameResult(t, full, inc, tc.name)
+				cur = cand
+			}
+			if valid < 20 {
+				t.Fatalf("move walk produced only %d valid schedules", valid)
+			}
+			t.Logf("%s: %d valid, %d deadlocked steps", tc.name, valid, invalid)
+		})
+	}
+}
+
+// TestSessionRecoversAfterError pins that an Eval that fails (deadlocked
+// order) leaves the session usable: the next valid order must still match
+// the full replay bitwise.
+func TestSessionRecoversAfterError(t *testing.T) {
+	s, err := sched.MEPipe(4, 1, 2, 4, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Sched: s, Costs: Unit()}
+	se, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sessClone(s)
+	// Reverse stage 0: every family's BAct now precedes its F, a
+	// program-order/dependency cycle.
+	ops := bad.Stages[0]
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+	if _, err := se.Eval(bad); !errors.Is(err, errs.ErrUncertified) {
+		t.Fatalf("reversed stage: got %v, want ErrUncertified", err)
+	}
+	good := sessClone(s)
+	inc, err := se.Eval(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Options{Sched: good, Costs: Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, full, inc, "recovery")
+}
+
+// TestSessionIncompatible pins the rebuild contract: shape or placement
+// mismatches report errs.ErrIncompatible instead of garbage.
+func TestSessionIncompatible(t *testing.T) {
+	s, err := sched.MEPipe(4, 1, 2, 4, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSession(Options{Sched: s, Costs: Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := sched.MEPipe(4, 1, 2, 6, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Eval(other); !errors.Is(err, errs.ErrIncompatible) {
+		t.Fatalf("different N: got %v, want ErrIncompatible", err)
+	}
+	if _, err := se.Eval(nil); !errors.Is(err, errs.ErrIncompatible) {
+		t.Fatalf("nil schedule: got %v, want ErrIncompatible", err)
+	}
+	// Same shape, broken multiset: duplicate one op over another.
+	bad := sessClone(s)
+	bad.Stages[0][0] = bad.Stages[0][1]
+	if _, err := se.Eval(bad); !errors.Is(err, errs.ErrIncompatible) {
+		t.Fatalf("duplicated op: got %v, want ErrIncompatible", err)
+	}
+	// And the session still works on the bound schedule afterwards.
+	if _, err := se.Eval(s); err != nil {
+		t.Fatalf("after incompatible evals: %v", err)
+	}
+	// NewSession rejects traced options outright.
+	if _, err := NewSession(Options{Sched: s, Costs: Unit(), Trace: nopSink{}}); !errors.Is(err, errs.ErrIncompatible) {
+		t.Fatalf("traced session: got %v, want ErrIncompatible", err)
+	}
+}
+
+// TestSessionZeroAllocSteadyState is the arena-reuse gate: once warm, a
+// MakespanOnly evaluation of a moved schedule must not allocate at all.
+func TestSessionZeroAllocSteadyState(t *testing.T) {
+	s, err := sched.MEPipe(4, 1, 2, 6, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Sched: s, Costs: Unit(), MakespanOnly: true}
+	se, err := NewSession(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sessClone(s)
+	b := sessClone(s)
+	// A valid adjacent swap so both orders simulate: find one by trial.
+	found := false
+	for i := 0; i+1 < len(b.Stages[1]) && !found; i++ {
+		b.Stages[1][i], b.Stages[1][i+1] = b.Stages[1][i+1], b.Stages[1][i]
+		if _, err := Run(Options{Sched: b, Costs: Unit(), MakespanOnly: true}); err == nil {
+			found = true
+			break
+		}
+		b.Stages[1][i], b.Stages[1][i+1] = b.Stages[1][i+1], b.Stages[1][i]
+	}
+	if !found {
+		t.Fatal("no valid adjacent swap found")
+	}
+	// Warm the session (grows queue/buffer capacity to steady state).
+	for i := 0; i < 4; i++ {
+		if _, err := se.Eval(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := se.Eval(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := se.Eval(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := se.Eval(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Eval allocates %.1f times per move pair, want 0", allocs)
+	}
+}
+
+// TestEvaluateMatchesRun pins the pooled one-shot wrapper: identical result
+// to Run, caller-owned (survives later Evaluate calls), traced calls fall
+// back to RunContext.
+func TestEvaluateMatchesRun(t *testing.T) {
+	s, err := sched.MEPipe(4, 1, 2, 4, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Sched: s, Costs: Unit(), DynamicW: true, ActBudget: []int64{9, 9, 9, 9}}
+	full, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, full, got, "evaluate")
+	// Result must be independent of the pooled session.
+	for i := 0; i < 4; i++ {
+		if _, err := Evaluate(context.Background(), Options{Sched: s, Costs: Unit()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameResult(t, full, got, "evaluate after pool reuse")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, opt); !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("cancelled Evaluate: got %v, want ErrCancelled", err)
+	}
+}
+
+// TestEvaluateManyMatchesRun pins batched evaluation: positional results
+// identical to per-schedule Run, nil entries for broken schedules, across
+// worker counts.
+func TestEvaluateManyMatchesRun(t *testing.T) {
+	base, err := sched.MEPipe(4, 1, 2, 4, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Costs: Unit(), MakespanOnly: true}
+	rng := sessLCG(7)
+	var scheds []*sched.Schedule
+	cur := sessClone(base)
+	for i := 0; i < 40; i++ {
+		k := rng.next(cur.P)
+		ops := cur.Stages[k]
+		sessDisplace(ops, rng.next(len(ops)), rng.next(len(ops)))
+		scheds = append(scheds, sessClone(cur))
+	}
+	scheds[5] = nil // must yield a nil result, not an error
+	other, err := sched.DAPPLE(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds[11] = other // shape change mid-batch forces a worker rebind
+	want := make([]*Result, len(scheds))
+	for i, s := range scheds {
+		if s == nil {
+			continue
+		}
+		o := opt
+		o.Sched = s
+		want[i], _ = Run(o) // nil on deadlocked orders, matching EvaluateMany
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := EvaluateMany(context.Background(), scheds, opt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(scheds) {
+			t.Fatalf("workers=%d: %d results for %d schedules", workers, len(got), len(scheds))
+		}
+		for i := range got {
+			if (want[i] == nil) != (got[i] == nil) {
+				t.Fatalf("workers=%d: entry %d nil mismatch (want nil=%v)", workers, i, want[i] == nil)
+			}
+			if want[i] != nil {
+				requireSameResult(t, want[i], got[i], "batch entry")
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateMany(ctx, scheds, opt, 2); !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("cancelled EvaluateMany: got %v, want ErrCancelled", err)
+	}
+	if _, err := EvaluateMany(context.Background(), scheds, Options{Costs: Unit(), Trace: nopSink{}}, 2); !errors.Is(err, errs.ErrIncompatible) {
+		t.Fatalf("traced EvaluateMany: got %v, want ErrIncompatible", err)
+	}
+}
+
+// canonicalBenchWorkload is the P=4/S=2/N=6 point BENCH_sim.json reports.
+func canonicalBenchWorkload(b *testing.B) (*sched.Schedule, Options) {
+	b.Helper()
+	s, err := sched.MEPipe(4, 1, 2, 6, 0, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, Options{Sched: s, Costs: Unit(), MakespanOnly: true}
+}
+
+func benchCandidates(b *testing.B, base *sched.Schedule, n int) []*sched.Schedule {
+	b.Helper()
+	rng := sessLCG(3)
+	cur := sessClone(base)
+	out := make([]*sched.Schedule, 0, n)
+	for len(out) < n {
+		k := rng.next(cur.P)
+		ops := cur.Stages[k]
+		sessDisplace(ops, rng.next(len(ops)), rng.next(len(ops)))
+		if _, err := Run(Options{Sched: cur, Costs: Unit(), MakespanOnly: true}); err != nil {
+			continue
+		}
+		out = append(out, sessClone(cur))
+	}
+	return out
+}
+
+func BenchmarkFullReplay(b *testing.B) {
+	base, opt := canonicalBenchWorkload(b)
+	cands := benchCandidates(b, base, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := opt
+		o.Sched = cands[i%len(cands)]
+		if _, err := Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionEval(b *testing.B) {
+	base, opt := canonicalBenchWorkload(b)
+	cands := benchCandidates(b, base, 64)
+	se, err := NewSession(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cands {
+		if _, err := se.Eval(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := se.Eval(cands[i%len(cands)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateMany(b *testing.B) {
+	base, opt := canonicalBenchWorkload(b)
+	cands := benchCandidates(b, base, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(cands) {
+		if _, err := EvaluateMany(context.Background(), cands, opt, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

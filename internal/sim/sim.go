@@ -101,6 +101,11 @@ type Result struct {
 	// deferred weight-gradient work could free memory.
 	OOM      bool
 	OOMStage int
+	// SpansRecorded reports whether Stages carry per-op Span timelines.
+	// MakespanOnly runs drop them, and the utilization/memory statistics
+	// refuse to compute from a span-less result instead of returning
+	// all-idle garbage (see stats.go).
+	SpansRecorded bool
 }
 
 type stageState struct {
@@ -115,6 +120,12 @@ type stageState struct {
 	famActs map[sched.Op]int64 // family key -> retained bytes
 	// dynamic W queue (op, readiness)
 	wq []wItem
+	// drainable is the number of live bytes completing every queued W
+	// would free: the sum of famActs over families with queued
+	// weight-gradient work. The budget logic compares overshoots against
+	// it — draining cannot help when live + need − drainable still
+	// exceeds the budget.
+	drainable int64
 }
 
 type wItem struct {
@@ -322,9 +333,12 @@ func (r *runner) execute(k int) int {
 func (r *runner) traceWait(k int, op sched.Op, start float64) {
 	const eps = 1e-12
 	st := &r.stages[k]
-	deps := r.s.Deps(nil, k, op)
+	// Reuse the dependency scratch readyTime already owns: the walk here
+	// re-resolves edges the readiness check just produced, and a fresh
+	// Deps(nil, ...) would allocate once per traced op.
+	r.deps = r.s.Deps(r.deps[:0], k, op)
 	depReady := 0.0 // latest dependency finish, communication excluded
-	for _, d := range deps {
+	for _, d := range r.deps {
 		f, ok := r.finish[opRef{d.Stage, d.Op}]
 		if !ok {
 			return // unreachable: caller checked readiness
@@ -386,6 +400,14 @@ func (r *runner) fillGap(k int, start float64, next sched.Op) int {
 			need = r.opt.Costs.GradBytes(k, next)
 		}
 		if need > 0 && st.live+need > r.opt.ActBudget[k] {
+			if st.live+need-st.drainable > r.opt.ActBudget[k] {
+				// Draining every queued W could not cover the
+				// overshoot (W only frees its own family's bytes), so
+				// serially draining the queue here would distort the
+				// timeline without saving the run. Admit the op; its
+				// allocation flags the OOM.
+				return 0
+			}
 			if r.opt.Trace != nil {
 				r.opt.Trace.Emit(obs.Event{
 					Kind: obs.EvBudget, Stage: k, From: k, Op: next,
@@ -439,17 +461,27 @@ func (r *runner) runOp(k int, op sched.Op, start float64, cause string) {
 			r.enqueueW(k, op, end)
 		}
 	case sched.W:
+		if r.opt.DynamicW {
+			st.drainable -= st.famActs[key]
+		}
 		r.release(k, key)
 	case sched.WPiece:
 		if r.lastPiece(k, op) {
+			if r.opt.DynamicW {
+				st.drainable -= st.famActs[key]
+			}
 			r.release(k, key)
 		}
 	}
 }
 
 // enqueueW adds the family's weight-gradient work to the dynamic queue.
+// The family's retained bytes (activations plus gradients, both already
+// allocated by the time its BAct completes) become drainable: completing
+// the queued W — all pieces, for fine-grained families — frees them.
 func (r *runner) enqueueW(k int, b sched.Op, ready float64) {
 	st := &r.stages[k]
+	st.drainable += st.famActs[b.Key()]
 	if r.s.WPieces > 0 {
 		for p := 0; p < r.s.WPieces; p++ {
 			op := b
@@ -493,9 +525,13 @@ func (r *runner) alloc(k int, key sched.Op, bytes int64) {
 		})
 	}
 	if r.opt.ActBudget != nil && st.live > r.opt.ActBudget[k] && !r.oom {
-		// Dynamic mode already tried draining W; static schedules
-		// simply exceed. Either way this configuration cannot run.
-		if !r.opt.DynamicW || len(st.wq) == 0 {
+		// Static schedules simply exceed. Dynamic mode is OOM exactly
+		// when draining every queued weight gradient could not bring
+		// the stage back under budget — which subsumes the empty-queue
+		// case (drainable is then zero). Transient overshoots a queued
+		// family can still absorb are not flagged; the next admission's
+		// budget drain resolves them.
+		if !r.opt.DynamicW || st.live-st.drainable > r.opt.ActBudget[k] {
 			r.oom = true
 			r.oomAt = k
 		}
@@ -517,6 +553,7 @@ func (r *runner) release(k int, key sched.Op) {
 
 func (r *runner) result() *Result {
 	res := &Result{Stages: make([]StageResult, len(r.stages))}
+	res.SpansRecorded = !r.opt.MakespanOnly || r.opt.Trace != nil
 	end := 0.0
 	for k := range r.stages {
 		st := &r.stages[k]

@@ -406,7 +406,10 @@ func TestStageUtilization(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := range res.Stages {
-		u := res.StageUtilization(k)
+		u, err := res.StageUtilization(k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sum := u.Forward + u.Backward + u.Weight + u.Tail + u.Idle
 		if diff := sum - u.Total; diff > 1e-9 || diff < -1e-9 {
 			t.Fatalf("stage %d: breakdown %v does not sum to makespan %v", k, sum, u.Total)
@@ -420,7 +423,10 @@ func TestStageUtilization(t *testing.T) {
 			t.Errorf("stage %d: F/B time ratio %v, want 1", k, rel)
 		}
 	}
-	mean := res.MeanUtilization()
+	mean, err := res.MeanUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mean idle fraction must reproduce the aggregate bubble ratio.
 	_, _, _, _, idle := mean.Fractions()
 	if diff := idle - res.BubbleRatio; diff > 1e-9 || diff < -1e-9 {
@@ -549,7 +555,10 @@ func TestMemorySeriesConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < s.P; k++ {
-		series := res.MemorySeries(s, costs, k)
+		series, err := res.MemorySeries(s, costs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var peak int64
 		for _, p := range series {
 			if p.Bytes < 0 {

@@ -1,6 +1,11 @@
 package sim
 
-import "mepipe/internal/sched"
+import (
+	"fmt"
+
+	"mepipe/internal/errs"
+	"mepipe/internal/sched"
+)
 
 // Utilization breaks one stage's iteration down by op class — the numbers
 // behind the Fig 11/12 timelines: how much of the makespan went to
@@ -24,10 +29,23 @@ func (u Utilization) Fractions() (f, b, w, tail, idle float64) {
 		u.Tail / u.Total, u.Idle / u.Total
 }
 
+// errNoSpans rejects statistics over a result whose spans were dropped.
+// MakespanOnly results used to flow through these reconstructions and come
+// out as plausible-looking all-tail/all-idle breakdowns and empty memory
+// curves; refusing with a classifiable sentinel is the fix.
+func errNoSpans(what string) error {
+	return fmt.Errorf("sim: %s needs per-op spans, but the result was produced with MakespanOnly (re-run without it): %w", what, errs.ErrIncompatible)
+}
+
 // StageUtilization computes the per-class busy time of stage k against the
 // whole-iteration makespan. The gap between the stage's last op and its
-// recorded finish is the tail (optimizer step plus gradient sync).
-func (r *Result) StageUtilization(k int) Utilization {
+// recorded finish is the tail (optimizer step plus gradient sync). It
+// fails with a wrapped errs.ErrIncompatible when the result carries no
+// spans (MakespanOnly).
+func (r *Result) StageUtilization(k int) (Utilization, error) {
+	if !r.SpansRecorded {
+		return Utilization{}, errNoSpans("stage utilization")
+	}
 	u := Utilization{Total: r.IterTime}
 	lastEnd := 0.0
 	for _, sp := range r.Stages[k].Spans {
@@ -52,17 +70,25 @@ func (r *Result) StageUtilization(k int) Utilization {
 	if u.Idle < 0 {
 		u.Idle = 0
 	}
-	return u
+	return u, nil
 }
 
-// MeanUtilization averages the per-stage breakdowns.
-func (r *Result) MeanUtilization() Utilization {
+// MeanUtilization averages the per-stage breakdowns. Like
+// StageUtilization, it fails with a wrapped errs.ErrIncompatible on a
+// span-less (MakespanOnly) result.
+func (r *Result) MeanUtilization() (Utilization, error) {
 	var u Utilization
+	if !r.SpansRecorded {
+		return u, errNoSpans("mean utilization")
+	}
 	if len(r.Stages) == 0 {
-		return u
+		return u, nil
 	}
 	for k := range r.Stages {
-		s := r.StageUtilization(k)
+		s, err := r.StageUtilization(k)
+		if err != nil {
+			return Utilization{}, err
+		}
 		u.Forward += s.Forward
 		u.Backward += s.Backward
 		u.Weight += s.Weight
@@ -76,7 +102,7 @@ func (r *Result) MeanUtilization() Utilization {
 	u.Weight /= n
 	u.Tail /= n
 	u.Idle /= n
-	return u
+	return u, nil
 }
 
 // MemPoint is one step of a stage's retained-bytes curve.
@@ -89,8 +115,12 @@ type MemPoint struct {
 // from the executed spans — the per-stage curve behind Fig 1's peak values.
 // The same alloc/free rules as the live tracker apply: forwards allocate,
 // fused backwards free, split backwards retain gradients until the
-// family's weight gradients finish.
-func (r *Result) MemorySeries(s *sched.Schedule, costs Costs, k int) []MemPoint {
+// family's weight gradients finish. It fails with a wrapped
+// errs.ErrIncompatible when the result carries no spans (MakespanOnly).
+func (r *Result) MemorySeries(s *sched.Schedule, costs Costs, k int) ([]MemPoint, error) {
+	if !r.SpansRecorded {
+		return nil, errNoSpans("memory series")
+	}
 	type fam struct{ act, grad int64 }
 	live := int64(0)
 	fams := map[sched.Op]fam{}
@@ -125,5 +155,5 @@ func (r *Result) MemorySeries(s *sched.Schedule, costs Costs, k int) []MemPoint 
 		}
 		out = append(out, MemPoint{sp.End, live})
 	}
-	return out
+	return out, nil
 }

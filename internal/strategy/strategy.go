@@ -183,7 +183,10 @@ func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster
 	if o.costWrap != nil {
 		simCosts = o.costWrap(s, costs)
 	}
-	res, err := sim.RunContext(ctx, sim.Options{
+	// Evaluate takes the pooled-session fast path for untraced runs and
+	// falls back to RunContext itself when o.sink is set (tracing owns
+	// span emission); results are bitwise-identical either way.
+	res, err := sim.Evaluate(ctx, sim.Options{
 		Sched: s, Costs: simCosts,
 		ActBudget: plan.ActBudget,
 		DynamicW:  dynamicW,
