@@ -1,0 +1,129 @@
+package v1_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	v1 "mepipe/api/v1"
+	"mepipe/internal/strategy"
+)
+
+func sweepReq() *v1.SweepRequest {
+	return &v1.SweepRequest{
+		Systems:  []string{"MEPipe", "dapple"},
+		Model:    v1.ModelSpec{Preset: "13b"},
+		Cluster:  v1.ClusterSpec{Preset: "rtx4090"},
+		Training: v1.TrainingSpec{GlobalBatch: 64},
+		Space:    &v1.SpaceSpec{PP: []int{16, 8, 8}, SPP: []int{4, 2}},
+	}
+}
+
+// TestSweepKeyEquivalence: equivalent spellings share a key, semantic
+// differences change it.
+func TestSweepKeyEquivalence(t *testing.T) {
+	base, err := sweepReq().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Case and list order are not semantic.
+	alt := sweepReq()
+	alt.Systems = []string{"mepipe", "DAPPLE"}
+	alt.Space = &v1.SpaceSpec{PP: []int{8, 16}, SPP: []int{2, 4, 4}}
+	if k, err := alt.Key(); err != nil || k != base {
+		t.Errorf("equivalent spelling: key %q err %v, want %q", k, err, base)
+	}
+
+	// System order IS semantic (it is the response order).
+	swapped := sweepReq()
+	swapped.Systems = []string{"dapple", "mepipe"}
+	if k, _ := swapped.Key(); k == base {
+		t.Error("system order change did not change the key")
+	}
+
+	// An empty system list means all systems, spelled out or not.
+	all := sweepReq()
+	all.Systems = nil
+	allKey, err := all.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := sweepReq()
+	spelled.Systems = nil
+	for _, sys := range strategy.Systems() {
+		spelled.Systems = append(spelled.Systems, v1.SystemName(sys))
+	}
+	if k, _ := spelled.Key(); k != allKey {
+		t.Errorf("spelled-out all-systems key %q differs from empty-list key %q", k, allKey)
+	}
+
+	// A different operation tag keys differently than search even with
+	// one system.
+	one := sweepReq()
+	one.Systems = []string{"mepipe"}
+	oneKey, err := one.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := searchReq()
+	plain.Top = 0
+	plainKey, err := plain.Key("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneKey == plainKey {
+		t.Error("sweep and search share a cache key")
+	}
+}
+
+// TestSweepNormalizeRejects pins the bad-request classifications.
+func TestSweepNormalizeRejects(t *testing.T) {
+	dup := sweepReq()
+	dup.Systems = []string{"mepipe", "MEPIPE"}
+	if _, err := dup.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("duplicate systems: err = %v, want ErrBadRequest", err)
+	}
+
+	unknown := sweepReq()
+	unknown.Systems = []string{"nope"}
+	if _, err := unknown.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("unknown system: err = %v, want ErrBadRequest", err)
+	}
+
+	ver := sweepReq()
+	ver.API = "v2"
+	if _, err := ver.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("bad version: err = %v, want ErrBadRequest", err)
+	}
+
+	batch := sweepReq()
+	batch.Training.GlobalBatch = 0
+	if _, err := batch.Normalize(); !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("zero batch: err = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestSweepDecodeStrict: unknown fields are rejected like every other
+// document.
+func TestSweepDecodeStrict(t *testing.T) {
+	_, err := v1.DecodeSweepRequest(strings.NewReader(`{"systems":["mepipe"],"modle":{}}`))
+	if !errors.Is(err, v1.ErrBadRequest) {
+		t.Errorf("misspelled field: err = %v, want ErrBadRequest", err)
+	}
+	req, err := v1.DecodeSweepRequest(strings.NewReader(
+		`{"systems":["mepipe"],"model":{"preset":"7b"},"cluster":{"preset":"rtx4090"},"training":{"global_batch":8}}`))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	plan, err := req.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Systems) != 1 || plan.Systems[0] != strategy.MEPipe {
+		t.Errorf("compiled systems = %v", plan.Systems)
+	}
+	if len(plan.Space.PP) == 0 {
+		t.Error("default space not filled")
+	}
+}

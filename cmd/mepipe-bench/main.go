@@ -10,6 +10,7 @@
 //	mepipe-bench -serve-load    # drive the planning server, write BENCH_serve.json
 //	mepipe-bench -opt           # replay the discovered-schedule artifact, write BENCH_opt.json
 //	mepipe-bench -sim           # measure simulator fast-path throughput, write BENCH_sim.json
+//	mepipe-bench -sweep         # measure grid-search sweep-engine throughput, write BENCH_sweep.json
 package main
 
 import (
@@ -42,8 +43,19 @@ func main() {
 		simBench  = flag.Bool("sim", false, "measure simulator candidate-evaluation throughput (full vs incremental vs batched) and write a report")
 		simCands  = flag.Int("sim-candidates", 512, "candidate schedules to evaluate in -sim mode")
 		simOut    = flag.String("sim-out", "BENCH_sim.json", "report file written by -sim")
+		sweep     = flag.Bool("sweep", false, "measure multi-system grid-search throughput (sweep engine vs the pre-sweep path) and write a report")
+		sweepMinS = flag.Float64("sweep-min-s", 2.0, "minimum measured duration per row in -sweep mode")
+		sweepOut  = flag.String("sweep-out", "BENCH_sweep.json", "report file written by -sweep")
 	)
 	flag.Parse()
+
+	if *sweep {
+		if err := runSweepBench(*sweepMinS, *sweepOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mepipe-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *simBench {
 		if err := runSimBench(*simCands, *simOut); err != nil {

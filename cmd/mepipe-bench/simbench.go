@@ -30,6 +30,9 @@ type simReport struct {
 	N          int    `json:"n"`
 	Candidates int    `json:"candidates"`
 
+	// The top-level rates are the all-cores row, kept flat for
+	// compatibility with earlier baselines; Rows carries the full
+	// per-core-count breakdown (GOMAXPROCS=1 and all cores).
 	FullPerSec  float64 `json:"full_candidates_per_sec"`
 	IncrPerSec  float64 `json:"incremental_candidates_per_sec"`
 	BatchPerSec float64 `json:"batched_candidates_per_sec"`
@@ -37,7 +40,22 @@ type simReport struct {
 	IncrSpeedup  float64 `json:"incremental_speedup"`
 	BatchSpeedup float64 `json:"batched_speedup"`
 
+	Rows []simThroughput `json:"rows"`
+
 	AllocsPerCandidate float64 `json:"allocs_per_candidate"`
+}
+
+// simThroughput is one GOMAXPROCS configuration's measured rates. The
+// full and incremental paths are single-threaded, so their rates pin the
+// scheduler overhead; the batched path is the one that scales.
+type simThroughput struct {
+	Cores       int     `json:"cores"`
+	FullPerSec  float64 `json:"full_candidates_per_sec"`
+	IncrPerSec  float64 `json:"incremental_candidates_per_sec"`
+	BatchPerSec float64 `json:"batched_candidates_per_sec"`
+
+	IncrSpeedup  float64 `json:"incremental_speedup"`
+	BatchSpeedup float64 `json:"batched_speedup"`
 }
 
 // simLCG is a tiny deterministic generator for the candidate walk, so
@@ -182,37 +200,56 @@ func runSimBench(candidates int, out string) error {
 		return float64(done) / time.Since(t0).Seconds(), nil
 	}
 
-	fullPS, err := timeLoop(func(i int) error {
-		co := o
-		co.Sched = cands[i]
-		_, err := sim.Run(co)
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	incrPS, err := timeLoop(func(i int) error {
-		_, err := se.Eval(cands[i])
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	batchPS, err := timeLoop(func(i int) error {
-		if i != 0 {
-			return nil // one EvaluateMany call covers the whole set
-		}
-		rs, err := sim.EvaluateMany(context.Background(), cands, o, 0)
-		if err != nil {
+	// measure times all three paths at the current GOMAXPROCS setting.
+	measure := func(cores int) (simThroughput, error) {
+		prev := runtime.GOMAXPROCS(cores)
+		defer runtime.GOMAXPROCS(prev)
+		row := simThroughput{Cores: cores}
+		var err error
+		if row.FullPerSec, err = timeLoop(func(i int) error {
+			co := o
+			co.Sched = cands[i]
+			_, err := sim.Run(co)
 			return err
+		}); err != nil {
+			return row, err
 		}
-		for j, r := range rs {
-			if r == nil {
-				return fmt.Errorf("batched evaluation dropped candidate %d", j)
+		if row.IncrPerSec, err = timeLoop(func(i int) error {
+			_, err := se.Eval(cands[i])
+			return err
+		}); err != nil {
+			return row, err
+		}
+		if row.BatchPerSec, err = timeLoop(func(i int) error {
+			if i != 0 {
+				return nil // one EvaluateMany call covers the whole set
 			}
+			rs, err := sim.EvaluateMany(context.Background(), cands, o, 0)
+			if err != nil {
+				return err
+			}
+			for j, r := range rs {
+				if r == nil {
+					return fmt.Errorf("batched evaluation dropped candidate %d", j)
+				}
+			}
+			return nil
+		}); err != nil {
+			return row, err
 		}
-		return nil
-	})
+		if row.FullPerSec > 0 {
+			row.IncrSpeedup = row.IncrPerSec / row.FullPerSec
+			row.BatchSpeedup = row.BatchPerSec / row.FullPerSec
+		}
+		return row, nil
+	}
+
+	allCores := runtime.GOMAXPROCS(0)
+	row1, err := measure(1)
+	if err != nil {
+		return err
+	}
+	rowN, err := measure(allCores)
 	if err != nil {
 		return err
 	}
@@ -237,14 +274,13 @@ func runSimBench(candidates int, out string) error {
 		Go: runtime.Version(), Arch: runtime.GOARCH, Cores: runtime.NumCPU(),
 		P: a.P, V: a.V, S: a.S, N: a.N,
 		Candidates:         len(cands),
-		FullPerSec:         fullPS,
-		IncrPerSec:         incrPS,
-		BatchPerSec:        batchPS,
+		FullPerSec:         rowN.FullPerSec,
+		IncrPerSec:         rowN.IncrPerSec,
+		BatchPerSec:        rowN.BatchPerSec,
+		IncrSpeedup:        rowN.IncrSpeedup,
+		BatchSpeedup:       rowN.BatchSpeedup,
+		Rows:               []simThroughput{row1, rowN},
 		AllocsPerCandidate: allocs,
-	}
-	if fullPS > 0 {
-		rep.IncrSpeedup = incrPS / fullPS
-		rep.BatchSpeedup = batchPS / fullPS
 	}
 
 	f, err := os.Create(out)
@@ -263,10 +299,13 @@ func runSimBench(candidates int, out string) error {
 
 	fmt.Printf("sim bench: P=%d V=%d S=%d N=%d, %d candidates, %s on %s (%d cores)\n",
 		rep.P, rep.V, rep.S, rep.N, rep.Candidates, rep.Go, rep.Arch, rep.Cores)
-	fmt.Printf("  full replay   %.0f candidates/s\n", rep.FullPerSec)
-	fmt.Printf("  incremental   %.0f candidates/s (%.1fx), %.2f allocs/candidate\n",
-		rep.IncrPerSec, rep.IncrSpeedup, rep.AllocsPerCandidate)
-	fmt.Printf("  batched       %.0f candidates/s (%.1fx)\n", rep.BatchPerSec, rep.BatchSpeedup)
+	for _, row := range rep.Rows {
+		fmt.Printf("  [%d core(s)]\n", row.Cores)
+		fmt.Printf("    full replay   %.0f candidates/s\n", row.FullPerSec)
+		fmt.Printf("    incremental   %.0f candidates/s (%.1fx)\n", row.IncrPerSec, row.IncrSpeedup)
+		fmt.Printf("    batched       %.0f candidates/s (%.1fx)\n", row.BatchPerSec, row.BatchSpeedup)
+	}
+	fmt.Printf("  incremental steady state: %.2f allocs/candidate\n", rep.AllocsPerCandidate)
 	fmt.Printf("  report        written to %s\n", out)
 	return nil
 }

@@ -90,12 +90,18 @@ func main() {
 		fatal(fmt.Errorf("-optimize needs a single system (got -system %s)", *system))
 	}
 
+	// One streaming sweep over all requested systems: schedules shared by
+	// several grid points are generated and certified once, and the
+	// results are identical to per-system Search calls.
+	sw, err := strategy.Sweep(context.Background(), systems, m, cl, tr, space)
+	fatal(err)
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "system\trank\tstrategy\tn\titeration\tbubble\tpeak act\tstatus")
 	var best *strategy.Eval
-	for _, sys := range systems {
-		res, err := strategy.Search(sys, m, cl, tr, space)
-		if err != nil && res == nil {
+	for i, sys := range systems {
+		res := sw.Results[i]
+		if err := sw.Errs[i]; err != nil && len(res.Candidates) == 0 {
 			fmt.Fprintf(w, "%s\t-\t%v\t\t\t\t\t\n", sys, err)
 			continue
 		}

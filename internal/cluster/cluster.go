@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mepipe/internal/config"
+	"mepipe/internal/errs"
 	"mepipe/internal/hw"
 )
 
@@ -65,7 +66,7 @@ func NewMesh(c Cluster, par config.Parallel) (Mesh, error) {
 		return Mesh{}, err
 	}
 	if par.Devices() != c.GPUs() {
-		return Mesh{}, fmt.Errorf("cluster: strategy %v needs %d GPUs, cluster has %d", par, par.Devices(), c.GPUs())
+		return Mesh{}, fmt.Errorf("cluster: strategy %v needs %d GPUs, cluster has %d: %w", par, par.Devices(), c.GPUs(), errs.ErrIncompatible)
 	}
 	return Mesh{C: c, Par: par}, nil
 }

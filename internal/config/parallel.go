@@ -1,6 +1,10 @@
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"mepipe/internal/errs"
+)
 
 // Parallel describes a full parallelisation strategy for one training job.
 //
@@ -133,14 +137,14 @@ func (t Training) Validate() error {
 func (t Training) MicroBatches(p Parallel) (int, error) {
 	perDP := t.GlobalBatch / p.DP
 	if perDP*p.DP != t.GlobalBatch {
-		return 0, fmt.Errorf("config: global batch %d not divisible by DP=%d", t.GlobalBatch, p.DP)
+		return 0, fmt.Errorf("config: global batch %d not divisible by DP=%d: %w", t.GlobalBatch, p.DP, errs.ErrIncompatible)
 	}
 	n := perDP / t.MicroBatch
 	if n*t.MicroBatch != perDP {
-		return 0, fmt.Errorf("config: per-replica batch %d not divisible by micro batch %d", perDP, t.MicroBatch)
+		return 0, fmt.Errorf("config: per-replica batch %d not divisible by micro batch %d: %w", perDP, t.MicroBatch, errs.ErrIncompatible)
 	}
 	if n == 0 {
-		return 0, fmt.Errorf("config: global batch %d too small for DP=%d micro batch %d", t.GlobalBatch, p.DP, t.MicroBatch)
+		return 0, fmt.Errorf("config: global batch %d too small for DP=%d micro batch %d: %w", t.GlobalBatch, p.DP, t.MicroBatch, errs.ErrIncompatible)
 	}
 	return n, nil
 }

@@ -17,7 +17,7 @@ var rules = []struct {
 	check   func(fc *fileCtx, report reporter)
 }{
 	{name: "determinism", applies: deterministicPkg, check: checkDeterminism},
-	{name: "gospawn", applies: anyPkg(pkgUnder("internal/pipeline"), pkgUnder("internal/tensor"), pkgUnder("internal/opt"), pkgUnder("internal/sim")), check: checkGoSpawn},
+	{name: "gospawn", applies: anyPkg(pkgUnder("internal/pipeline"), pkgUnder("internal/tensor"), pkgUnder("internal/opt"), pkgUnder("internal/sim"), pkgUnder("internal/strategy")), check: checkGoSpawn},
 	{name: "noprint", applies: pkgUnder("internal"), check: checkNoPrint},
 	{name: "errwrap", applies: boundaryPkg, check: checkErrWrap},
 }

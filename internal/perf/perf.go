@@ -13,6 +13,7 @@ import (
 
 	"mepipe/internal/cluster"
 	"mepipe/internal/config"
+	"mepipe/internal/errs"
 	"mepipe/internal/model"
 	"mepipe/internal/sched"
 )
@@ -75,13 +76,13 @@ func New(m config.Model, mesh cluster.Mesh) (*Costs, error) {
 		return nil, err
 	}
 	if !model.EvenPartition(m.NumLayers, par.PP, par.VP) {
-		return nil, fmt.Errorf("perf: %s (%d layers + 2) does not split evenly into %d×%d chunks", m.Name, m.NumLayers, par.PP, par.VP)
+		return nil, fmt.Errorf("perf: %s (%d layers + 2) does not split evenly into %d×%d chunks: %w", m.Name, m.NumLayers, par.PP, par.VP, errs.ErrIncompatible)
 	}
 	if m.SeqLen%(par.SPP*par.CP) != 0 {
-		return nil, fmt.Errorf("perf: sequence %d not divisible by slice factor %d", m.SeqLen, par.SPP*par.CP)
+		return nil, fmt.Errorf("perf: sequence %d not divisible by slice factor %d: %w", m.SeqLen, par.SPP*par.CP, errs.ErrIncompatible)
 	}
 	if tp := par.TPSize(); m.NumHeads%tp != 0 || m.FFNHidden%tp != 0 {
-		return nil, fmt.Errorf("perf: tensor-parallel size %d does not divide %d heads / %d ffn", tp, m.NumHeads, m.FFNHidden)
+		return nil, fmt.Errorf("perf: tensor-parallel size %d does not divide %d heads / %d ffn: %w", tp, m.NumHeads, m.FFNHidden, errs.ErrIncompatible)
 	}
 	c := &Costs{
 		M: m, Mesh: mesh, K: DefaultKnobs(),
@@ -339,6 +340,13 @@ func (c *Costs) wPieces() int { return model.WeightGradGEMMsPerLayer }
 
 // WPieces exposes the decomposition width for schedule construction.
 func (c *Costs) WPieces() int { return c.wPieces() }
+
+// MicroInvariantCosts implements sched.MicroInvariant: every per-op query
+// of this model (OpTime, CommTime, ActBytes, GradBytes, CommBytes) reads
+// the op's kind, chunk, slice, and piece — never Op.Micro — so all
+// micro-batches of a family cost the same, bitwise. Consumers may query
+// the micro-0 twin and copy.
+func (c *Costs) MicroInvariantCosts() bool { return true }
 
 // CommTime implements sched.Estimator: the pipeline point-to-point delay of
 // op's output from stage `from` to stage `to`.

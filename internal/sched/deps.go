@@ -74,3 +74,110 @@ func (s *Schedule) Deps(dst []Dep, stage int, op Op) []Dep {
 // CrossStage reports whether a dependency edge carries a tensor between two
 // different stages (and therefore costs communication).
 func (d Dep) CrossStage(stage int) bool { return d.Stage != stage }
+
+// DepTable is the dense dependency structure of a schedule shape: for the
+// op with dense id i (per OpIndex), ID[Off[i]:Off[i+1]] holds the dense ids
+// of its dependencies in Deps order, and OutID[OutOff[i]:OutOff[i+1]] the
+// ids of its dependents (the reverse CSR, ascending, negatives dropped).
+// The table depends only on the shape and placement — never on the order
+// of Stages — so the generator, the certifier, and the simulator sessions
+// can share one table per schedule instead of re-deriving, re-indexing,
+// and re-scattering every Dep three times.
+type DepTable struct {
+	Ix  OpIndex
+	Off []int32
+	ID  []int32
+	// OutOff/OutID are the dependents CSR over the same ids.
+	OutOff []int32
+	OutID  []int32
+	// Cross is the number of cross-stage dependency edges, and Neg the
+	// number of out-of-shape (-1) entries in ID; both are cached for the
+	// certifier's statistics and fast-path gate.
+	Cross int
+	Neg   int
+}
+
+// DepTable returns the schedule's dense dependency table, building and
+// caching it on first use (the generator pre-populates the cache). The
+// cache is keyed by the shape fields, so mutating P/V/S/N/SplitBW/WPieces
+// invalidates it automatically; swapping Place for a placement with
+// different host/global maps while keeping the shape is not detected —
+// construct a fresh Schedule instead.
+//
+// Dependency rules never cross micro-batches and the id layout keeps
+// micro as the outermost per-stage coordinate, so the micro-m rows of a
+// stage are the micro-0 rows shifted by m·V·S·slots. The builder derives
+// only the micro-0 rows through Deps and shift-copies the rest, which is
+// where generation-heavy paths (the sweep engine generates every grid
+// point) win most of the table's cost back.
+func (s *Schedule) DepTable() *DepTable {
+	x := s.indexer()
+	if s.depTab != nil && s.depTab.Ix.x == x {
+		return s.depTab
+	}
+	total := x.total()
+	vss := x.perStage / x.n // ops per (stage, micro) block
+	t := &DepTable{Ix: OpIndex{x}, Off: make([]int32, total+1), ID: make([]int32, 0, 4*total)}
+	var deps []Dep
+	for k := 0; k < x.p; k++ {
+		base := k * x.perStage
+		m0 := len(t.ID)
+		for rel := 0; rel < vss; rel++ {
+			id := base + rel
+			stage, op := x.opAt(int32(id))
+			deps = s.Deps(deps[:0], stage, op)
+			for _, d := range deps {
+				t.ID = append(t.ID, x.id(d.Stage, d.Op))
+			}
+			t.Off[id+1] = int32(len(t.ID))
+		}
+		m0row := t.ID[m0:len(t.ID):len(t.ID)]
+		for m := 1; m < x.n; m++ {
+			shift := int32(m * vss)
+			for _, v0 := range m0row {
+				if v0 < 0 {
+					t.ID = append(t.ID, v0)
+				} else {
+					t.ID = append(t.ID, v0+shift)
+				}
+			}
+			mbase := base + m*vss
+			for rel := 0; rel < vss; rel++ {
+				t.Off[mbase+rel+1] = t.Off[mbase+rel] + (t.Off[base+rel+1] - t.Off[base+rel])
+			}
+		}
+	}
+	// Reverse CSR and edge statistics, in one counting pass and one
+	// id-ordered scatter (so each OutID row comes out ascending).
+	t.OutOff = make([]int32, total+1)
+	perStage := int32(x.perStage)
+	for id := 0; id < total; id++ {
+		ks := int32(id) / perStage
+		for _, from := range t.ID[t.Off[id]:t.Off[id+1]] {
+			if from < 0 {
+				t.Neg++
+				continue
+			}
+			t.OutOff[from+1]++
+			if from/perStage != ks {
+				t.Cross++
+			}
+		}
+	}
+	for id := 0; id < total; id++ {
+		t.OutOff[id+1] += t.OutOff[id]
+	}
+	t.OutID = make([]int32, t.OutOff[total])
+	cursor := make([]int32, total)
+	for id := 0; id < total; id++ {
+		for _, from := range t.ID[t.Off[id]:t.Off[id+1]] {
+			if from < 0 {
+				continue
+			}
+			t.OutID[t.OutOff[from]+cursor[from]] = int32(id)
+			cursor[from]++
+		}
+	}
+	s.depTab = t
+	return t
+}

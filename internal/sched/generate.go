@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mepipe/internal/errs"
 )
@@ -49,6 +50,22 @@ func (u UniformEst) OpTime(stage int, op Op) float64 {
 
 func (u UniformEst) CommTime(from, to int, op Op) float64 { return u.Comm }
 
+// MicroInvariantCosts implements MicroInvariant: uniform costs read only
+// the op kind.
+func (u UniformEst) MicroInvariantCosts() bool { return true }
+
+// MicroInvariant is an optional capability of cost models: a model
+// returning true promises that OpTime, CommTime, and any per-op byte
+// queries ignore Op.Micro entirely (every micro-batch of a family costs
+// the same, bitwise). The generator and the simulator sessions then query
+// only the micro-0 twin of each op and copy the value — an exact
+// optimization, since the model vouches the twin's result IS the op's
+// result. Models that cannot promise this simply don't implement the
+// interface and keep the per-op path.
+type MicroInvariant interface {
+	MicroInvariantCosts() bool
+}
+
 // GenOptions parameterises the greedy event-driven generator. The same
 // machinery produces every schedule family:
 //
@@ -92,14 +109,14 @@ type GenOptions struct {
 	Est Estimator
 }
 
-// node tracks generator state for one op on one stage.
+// node tracks generator state for one op on one stage. Dependents live in
+// the generator's shared CSR table (outOff/outID), not per-node slices.
 type node struct {
 	op        Op
 	dur       float64
 	remaining int     // unscheduled dependencies
 	ready     float64 // max(dep finish + comm) once remaining == 0
 	scheduled bool
-	outs      []int32 // dependents, as indices into the stage-local pool... (global ids)
 }
 
 type genStage struct {
@@ -127,7 +144,10 @@ type genStage struct {
 	order    []Op
 }
 
-// Generate builds and validates a schedule per opt.
+// Generate builds a schedule per opt. The returned schedule is valid by
+// construction (see the proof note at the end of the function); callers
+// binding schedules from any other source should run Validate or
+// verify.Certify themselves.
 func Generate(opt GenOptions) (*Schedule, error) {
 	s := &Schedule{
 		Name: opt.Name, P: opt.P, V: opt.V, S: opt.S, N: opt.N,
@@ -142,96 +162,145 @@ func Generate(opt GenOptions) (*Schedule, error) {
 	if opt.P <= 0 || opt.V <= 0 || opt.S <= 0 || opt.N <= 0 {
 		return nil, fmt.Errorf("sched: generate %s: non-positive shape p=%d v=%d s=%d n=%d: %w", opt.Name, opt.P, opt.V, opt.S, opt.N, errs.ErrIncompatible)
 	}
-	g := newGenerator(s, opt)
-	if err := g.run(); err != nil {
+	g := genPool.Get().(*generator)
+	g.reset(s, opt)
+	err := g.run()
+	if err == nil {
+		// The event-driven run is a constructive validity proof, so no
+		// Validate pass is needed: an op commits only after every dependency
+		// has already committed, and stage order is commit order, so every
+		// program-order and data edge points forward in commit time — the
+		// certification graph is acyclic by construction. Each op commits at
+		// most once (the scheduled flag) and the run ends only at done ==
+		// total, so each stage holds its complete op universe with no
+		// duplicates. The per-stage count below is the only part of
+		// well-formedness the loop invariants don't pin down structurally;
+		// consumers that accept schedules from outside the generator
+		// (deserialization, hand-built tables) still run Validate or
+		// verify.Certify themselves.
+		for k := range g.stages {
+			if g.stages[k].pending != 0 || len(g.stages[k].order) != g.x.perStage {
+				err = fmt.Errorf("sched: generator produced invalid schedule: stage %d has %d ops, want %d: %w",
+					k, len(g.stages[k].order), g.x.perStage, errs.ErrUncertified)
+				break
+			}
+		}
+	}
+	if err == nil {
+		for k := range g.stages {
+			s.Stages = append(s.Stages, g.stages[k].order)
+			g.stages[k].order = nil // handed to the schedule; never reused
+		}
+	}
+	// Drop references the pool must not retain (estimator, placement,
+	// schedule, dependency table) and recycle the arenas.
+	g.s, g.opt, g.dt = nil, GenOptions{}, nil
+	genPool.Put(g)
+	if err != nil {
 		return nil, err
 	}
-	for k := range g.stages {
-		s.Stages = append(s.Stages, g.stages[k].order)
-	}
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("sched: generator produced invalid schedule: %w", err)
-	}
 	return s, nil
+}
+
+// genPool recycles generator arenas across Generate calls: the node,
+// finish, and dependents-CSR tables dominate generation's allocation
+// profile, and sweep workers generate dozens of schedules back to back.
+var genPool = sync.Pool{New: func() any { return new(generator) }}
+
+// sgrow returns s resized to n elements, reusing capacity when it can.
+// Contents are NOT cleared — reset overwrites every element it reads.
+func sgrow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 type generator struct {
 	s      *Schedule
 	opt    GenOptions
+	x      opIndexer
 	nodes  []node
-	index  map[stageOp]int32
 	stages []genStage
 	finish []float64
-	total  int
-	done   int
+	// dt is the schedule's cached dependency table; its dependents CSR
+	// (OutID rows in increasing id order, the order the old per-node
+	// append produced) is the generator's wake list, so wake order — and
+	// with it every downstream tie-break — is unchanged.
+	dt    *DepTable
+	total int
+	done  int
 }
 
-func newGenerator(s *Schedule, opt GenOptions) *generator {
-	g := &generator{s: s, opt: opt, index: make(map[stageOp]int32)}
-	g.stages = make([]genStage, s.P)
-	// Build the op universe.
-	bKind := B
-	if s.SplitBW {
-		bKind = BAct
-	}
-	var all []stageOp
+// reset (re)initializes the generator for s, reusing pooled arenas. Every
+// element of every reused array is overwritten here or append-built, so no
+// clearing pass is needed beyond the counting tables.
+func (g *generator) reset(s *Schedule, opt GenOptions) {
+	g.s, g.opt, g.x = s, opt, s.indexer()
+	// Build the op universe. Ids follow the indexer's arithmetic
+	// enumeration (stage, micro, chunk, slice, family slot) — the same
+	// order the map-based build appended ops in.
+	total := g.x.total()
+	g.total, g.done = total, 0
+	g.nodes = sgrow(g.nodes, total)
+	g.finish = sgrow(g.finish, total)
+	g.stages = sgrow(g.stages, s.P)
 	for k := 0; k < s.P; k++ {
 		st := &g.stages[k]
-		st.unschedF = make([]int, s.N)
-		st.unschedB = make([]int, s.N)
+		st.free, st.inflight, st.deferred = 0, 0, 0
+		st.readyF = st.readyF[:0]
+		st.readyB = st.readyB[:0]
+		st.readyW = st.readyW[:0]
+		st.wHead = 0
+		st.cached = candidate{}
+		st.dirty = false
+		st.unschedF = sgrow(st.unschedF, s.N)
+		st.unschedB = sgrow(st.unschedB, s.N)
 		for m := 0; m < s.N; m++ {
-			for j := 0; j < s.V; j++ {
-				for i := 0; i < s.S; i++ {
-					fam := Op{Micro: m, Slice: i, Chunk: j}
-					ops := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}, {Kind: bKind, Micro: m, Slice: i, Chunk: j}}
-					if s.SplitBW {
-						if s.WPieces > 0 {
-							for p := 0; p < s.WPieces; p++ {
-								w := fam
-								w.Kind = WPiece
-								w.Piece = p
-								ops = append(ops, w)
-							}
-						} else {
-							w := fam
-							w.Kind = W
-							ops = append(ops, w)
-						}
-					}
-					for _, op := range ops {
-						g.index[stageOp{k, op}] = int32(len(all))
-						all = append(all, stageOp{k, op})
-					}
-					st.unschedF[m]++
-					st.unschedB[m]++
-				}
-			}
+			st.unschedF[m] = s.V * s.S
+			st.unschedB[m] = s.V * s.S
 		}
-		st.pending = 0
+		st.oldest = 0
+		st.pending = g.x.perStage
+		// The order list escapes into the returned Schedule, so it is the
+		// one array the pool never reuses.
+		st.order = make([]Op, 0, g.x.perStage)
 	}
-	g.total = len(all)
-	g.nodes = make([]node, len(all))
-	g.finish = make([]float64, len(all))
-	var deps []Dep
-	for id, so := range all {
+	// Decode every op and seed its dependency count. The dense dependency
+	// table — built here once, cached on the schedule — is what the
+	// certifier and the simulator sessions will reuse, so every Dep of
+	// this schedule is derived and indexed exactly once across the whole
+	// generate → certify → bind path; its dependents CSR doubles as the
+	// generator's wake list. Micro-invariant estimators (see
+	// MicroInvariant) are queried only for the micro-0 twin of each op —
+	// the copies are bitwise, so no generated byte changes.
+	t := s.DepTable()
+	g.dt = t
+	vss := g.x.perStage / g.x.n
+	microInv := false
+	if mi, ok := opt.Est.(MicroInvariant); ok {
+		microInv = mi.MicroInvariantCosts()
+	}
+	for id := 0; id < total; id++ {
+		stage, op := g.x.opAt(int32(id))
 		n := &g.nodes[id]
-		n.op = so.op
-		n.dur = opt.Est.OpTime(so.stage, so.op)
-		deps = s.Deps(deps[:0], so.stage, so.op)
-		n.remaining = len(deps)
-		for _, d := range deps {
-			from := g.index[stageOp{d.Stage, d.Op}]
-			g.nodes[from].outs = append(g.nodes[from].outs, int32(id))
+		n.op = op
+		if microInv && op.Micro > 0 {
+			n.dur = g.nodes[id-op.Micro*vss].dur
+		} else {
+			n.dur = opt.Est.OpTime(stage, op)
 		}
-		g.stages[so.stage].pending++
+		n.remaining = int(t.Off[id+1] - t.Off[id])
+		n.ready = 0
+		n.scheduled = false
+		g.finish[id] = 0
 	}
 	// Seed ready lists.
 	for id := range g.nodes {
 		if g.nodes[id].remaining == 0 {
-			g.markReady(int32(id), all[id].stage)
+			g.markReady(int32(id), g.x.stage(int32(id)))
 		}
 	}
-	return g
 }
 
 func (g *generator) markReady(id int32, stage int) {
@@ -348,7 +417,7 @@ func (g *generator) chooseF(k int) candidate {
 		if need >= limit {
 			continue
 		}
-		start := math.Max(st.free, g.nodes[id].ready)
+		start := max(st.free, g.nodes[id].ready)
 		if !best.ok || start < best.start-timeEps ||
 			(start < best.start+timeEps && less4(fPriority(op), fPriority(g.nodes[best.id].op))) {
 			best = candidate{id: id, start: start, kind: F, ok: true}
@@ -362,7 +431,7 @@ func (g *generator) chooseB(k int) candidate {
 	best := candidate{}
 	for _, id := range st.readyB {
 		op := g.nodes[id].op
-		start := math.Max(st.free, g.nodes[id].ready)
+		start := max(st.free, g.nodes[id].ready)
 		if !best.ok || start < best.start-timeEps ||
 			(start < best.start+timeEps && less4(g.bPriority(k, op), g.bPriority(k, g.nodes[best.id].op))) {
 			best = candidate{id: id, start: start, kind: op.Kind, ok: true}
@@ -378,12 +447,11 @@ func (g *generator) chooseW(k int) candidate {
 	}
 	id := st.readyW[st.wHead]
 	op := g.nodes[id].op
-	start := math.Max(st.free, g.nodes[id].ready)
+	start := max(st.free, g.nodes[id].ready)
 	return candidate{id: id, start: start, kind: op.Kind, ok: true}
 }
 
 func (g *generator) run() error {
-	stageIDs := g.rebuildStageIndex()
 	for k := range g.stages {
 		g.stages[k].dirty = true
 	}
@@ -422,7 +490,7 @@ func (g *generator) run() error {
 				return fmt.Errorf("sched: generate %s: deadlocked with %d/%d ops scheduled: %w\n%s", g.s, g.done, g.total, errs.ErrUncertified, g.dumpStall())
 			}
 		}
-		g.commit(bestStage, best, stageIDs)
+		g.commit(bestStage, best)
 	}
 	return nil
 }
@@ -440,7 +508,7 @@ func (g *generator) forceProgress() (int, candidate) {
 			if op.Micro != st.oldest {
 				continue
 			}
-			start := math.Max(st.free, g.nodes[id].ready)
+			start := max(st.free, g.nodes[id].ready)
 			c := candidate{id: id, start: start, kind: F, ok: true}
 			if bestStage < 0 || c.start < best.start-timeEps ||
 				(c.start < best.start+timeEps && op.Micro < g.nodes[best.id].op.Micro) {
@@ -466,14 +534,6 @@ func (g *generator) dumpStall() string {
 		out += fmt.Sprintf("] unschedF(oldest)=%d\n", st.unschedF[min(st.oldest, g.s.N-1)])
 	}
 	return out
-}
-
-func (g *generator) rebuildStageIndex() map[int32]int {
-	m := make(map[int32]int, g.total)
-	for so, id := range g.index {
-		m[id] = so.stage
-	}
-	return m
 }
 
 // pick selects the next op for stage k per the policy.
@@ -518,7 +578,7 @@ func (g *generator) pick(k int) candidate {
 	return main
 }
 
-func (g *generator) commit(k int, c candidate, stageIDs map[int32]int) {
+func (g *generator) commit(k int, c candidate) {
 	st := &g.stages[k]
 	st.dirty = true
 	n := &g.nodes[c.id]
@@ -563,9 +623,10 @@ func (g *generator) commit(k int, c candidate, stageIDs map[int32]int) {
 		}
 	}
 	// Wake dependents.
-	for _, dep := range n.outs {
+	for e := g.dt.OutOff[c.id]; e < g.dt.OutOff[c.id+1]; e++ {
+		dep := g.dt.OutID[e]
 		d := &g.nodes[dep]
-		ds := stageIDs[dep]
+		ds := g.x.stage(dep)
 		t := fin
 		if ds != k {
 			t += g.opt.Est.CommTime(k, ds, n.op)

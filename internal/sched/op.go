@@ -134,6 +134,10 @@ type Schedule struct {
 
 	// Stages[k] is the ordered op list of stage k.
 	Stages [][]Op
+
+	// depTab caches the dense dependency table (see DepTable); it is a
+	// pure function of the shape and placement, not of Stages.
+	depTab *DepTable
 }
 
 // TotalChunks returns P·V, the number of global model chunks.

@@ -1,0 +1,663 @@
+package sched
+
+// The frozen pre-sweep generator and validator, kept verbatim from the
+// tree as it stood before the streaming sweep engine landed: map-indexed
+// op universe, per-node dependent slices, and the standalone two-pass
+// Validate. strategy.SearchReference builds schedules through
+// GenerateReference so that mepipe-bench's reported speedup compares the
+// sweep engine against the code it actually replaced, and so the
+// equivalence tests pin the optimized generator (dense index, cached
+// dependency table, pooled arenas) against a genuinely independent
+// implementation.
+//
+// Nothing here is reachable from production paths; do not "optimize" this
+// file — its value is that it does not change.
+
+import (
+	"fmt"
+	"math"
+
+	"mepipe/internal/errs"
+)
+
+// ValidateReference is the frozen pre-sweep Schedule.Validate: the same
+// completeness and acyclicity guarantees, proven with the original
+// map-based passes.
+func ValidateReference(s *Schedule) error {
+	if s.P <= 0 || s.V <= 0 || s.S <= 0 || s.N <= 0 {
+		return fmt.Errorf("sched: %s has non-positive shape: %w", s, errs.ErrIncompatible)
+	}
+	if len(s.Stages) != s.P {
+		return fmt.Errorf("sched: %s has %d stage lists, want %d: %w", s, len(s.Stages), s.P, errs.ErrIncompatible)
+	}
+	if s.Place == nil {
+		return fmt.Errorf("sched: %s has no chunk placement: %w", s, errs.ErrIncompatible)
+	}
+	if err := refCheckComplete(s); err != nil {
+		return err
+	}
+	return refCheckAcyclic(s)
+}
+
+// refNode tracks refGenerator state for one op on one stage.
+type refNode struct {
+	op        Op
+	dur       float64
+	remaining int     // unscheduled dependencies
+	ready     float64 // max(dep finish + comm) once remaining == 0
+	scheduled bool
+	outs      []int32 // dependents, as indices into the stage-local pool... (global ids)
+}
+
+type refGenStage struct {
+	free     float64
+	inflight int
+	deferred int // outstanding W families (split mode)
+	// ready op ids by class. readyF/readyB are scanned in full (their
+	// sizes are bounded by the in-flight caps or the pipeline width);
+	// readyW is kept sorted by fPriority with an advancing head, because
+	// a ready weight-gradient op's only dependency (its same-stage BAct)
+	// has always already executed — every entry starts at st.free, so
+	// the priority-sorted head IS the best candidate.
+	readyF, readyB []int32
+	readyW         []int32
+	wHead          int
+	// cached pick() result, recomputed only when the stage's state
+	// changed since the last decision (dirty).
+	cached candidate
+	dirty  bool
+	// bookkeeping for the oldest-micro headroom rule
+	unschedF []int // per micro: unscheduled F ops on this stage
+	unschedB []int // per micro: unscheduled B-class ops on this stage
+	oldest   int   // smallest micro with unscheduled B ops
+	pending  int
+	order    []Op
+}
+
+// GenerateReference builds and validates a schedule per opt.
+func GenerateReference(opt GenOptions) (*Schedule, error) {
+	s := &Schedule{
+		Name: opt.Name, P: opt.P, V: opt.V, S: opt.S, N: opt.N,
+		SplitBW: opt.SplitBW, WPieces: opt.WPieces, Place: opt.Place,
+	}
+	if s.Place == nil {
+		s.Place = RoundRobin{P: opt.P, V: opt.V}
+	}
+	if opt.Est == nil {
+		opt.Est = Unit()
+	}
+	if opt.P <= 0 || opt.V <= 0 || opt.S <= 0 || opt.N <= 0 {
+		return nil, fmt.Errorf("sched: generate %s: non-positive shape p=%d v=%d s=%d n=%d: %w", opt.Name, opt.P, opt.V, opt.S, opt.N, errs.ErrIncompatible)
+	}
+	g := newRefGenerator(s, opt)
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	for k := range g.stages {
+		s.Stages = append(s.Stages, g.stages[k].order)
+	}
+	if err := ValidateReference(s); err != nil {
+		return nil, fmt.Errorf("sched: refGenerator produced invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+type refGenerator struct {
+	s      *Schedule
+	opt    GenOptions
+	nodes  []refNode
+	index  map[stageOp]int32
+	stages []refGenStage
+	finish []float64
+	total  int
+	done   int
+}
+
+func newRefGenerator(s *Schedule, opt GenOptions) *refGenerator {
+	g := &refGenerator{s: s, opt: opt, index: make(map[stageOp]int32)}
+	g.stages = make([]refGenStage, s.P)
+	// Build the op universe.
+	bKind := B
+	if s.SplitBW {
+		bKind = BAct
+	}
+	var all []stageOp
+	for k := 0; k < s.P; k++ {
+		st := &g.stages[k]
+		st.unschedF = make([]int, s.N)
+		st.unschedB = make([]int, s.N)
+		for m := 0; m < s.N; m++ {
+			for j := 0; j < s.V; j++ {
+				for i := 0; i < s.S; i++ {
+					fam := Op{Micro: m, Slice: i, Chunk: j}
+					ops := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}, {Kind: bKind, Micro: m, Slice: i, Chunk: j}}
+					if s.SplitBW {
+						if s.WPieces > 0 {
+							for p := 0; p < s.WPieces; p++ {
+								w := fam
+								w.Kind = WPiece
+								w.Piece = p
+								ops = append(ops, w)
+							}
+						} else {
+							w := fam
+							w.Kind = W
+							ops = append(ops, w)
+						}
+					}
+					for _, op := range ops {
+						g.index[stageOp{k, op}] = int32(len(all))
+						all = append(all, stageOp{k, op})
+					}
+					st.unschedF[m]++
+					st.unschedB[m]++
+				}
+			}
+		}
+		st.pending = 0
+	}
+	g.total = len(all)
+	g.nodes = make([]refNode, len(all))
+	g.finish = make([]float64, len(all))
+	var deps []Dep
+	for id, so := range all {
+		n := &g.nodes[id]
+		n.op = so.op
+		n.dur = opt.Est.OpTime(so.stage, so.op)
+		deps = s.Deps(deps[:0], so.stage, so.op)
+		n.remaining = len(deps)
+		for _, d := range deps {
+			from := g.index[stageOp{d.Stage, d.Op}]
+			g.nodes[from].outs = append(g.nodes[from].outs, int32(id))
+		}
+		g.stages[so.stage].pending++
+	}
+	// Seed ready lists.
+	for id := range g.nodes {
+		if g.nodes[id].remaining == 0 {
+			g.markReady(int32(id), all[id].stage)
+		}
+	}
+	return g
+}
+
+func (g *refGenerator) markReady(id int32, stage int) {
+	st := &g.stages[stage]
+	st.dirty = true
+	switch g.nodes[id].op.Kind {
+	case F:
+		st.readyF = append(st.readyF, id)
+	case B, BAct:
+		st.readyB = append(st.readyB, id)
+	default:
+		g.insertW(st, id)
+	}
+}
+
+// insertW keeps readyW[wHead:] sorted by fPriority. Weight-gradient work is
+// enqueued in nearly increasing priority order (families complete their
+// BAct in roughly micro order), so the binary search almost always appends.
+func (g *refGenerator) insertW(st *refGenStage, id int32) {
+	key := fPriority(g.nodes[id].op)
+	lo, hi := st.wHead, len(st.readyW)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less4(fPriority(g.nodes[st.readyW[mid]].op), key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	st.readyW = append(st.readyW, 0)
+	copy(st.readyW[lo+1:], st.readyW[lo:])
+	st.readyW[lo] = id
+}
+
+func (g *refGenerator) cap(stage int) int {
+	c := math.MaxInt
+	if g.opt.InFlightCap != nil {
+		c = g.opt.InFlightCap(stage)
+	}
+	if min := g.s.V * g.s.S; c < min {
+		c = min
+	}
+	return c
+}
+
+func (g *refGenerator) wCap(stage int) int {
+	if g.opt.WDeferCap == nil {
+		return math.MaxInt
+	}
+	c := g.opt.WDeferCap(stage)
+	if c < 0 {
+		return math.MaxInt
+	}
+	return c
+}
+
+// bPriority returns a sort key (smaller = preferred) among ready backwards.
+func (g *refGenerator) bPriority(stage int, op Op) [4]int {
+	gl := g.s.Place.Global(stage, op.Chunk)
+	if g.opt.Reschedule {
+		// Fig 6: prefer the backward with the most descendants —
+		// (slice+1)·(globalChunk+1)−1 backwards transitively depend
+		// on it.
+		desc := (op.Slice + 1) * (gl + 1)
+		return [4]int{-desc, op.Micro, 0, 0}
+	}
+	return [4]int{op.Micro, -gl, -op.Slice, 0}
+}
+
+// chooseF picks the best eligible forward for a stage.
+//
+// Eligibility keeps the cap from starving the critical chain: a backward of
+// micro m runs only after ALL of m's forwards ran on this stage (each later
+// chunk transitively revisits the stage), so a forward of a younger micro is
+// admitted only if headroom remains for the oldest live micro's unscheduled
+// forwards. This matches the hand-written Megatron/MEPipe orders; the rare
+// shapes it cannot protect (deep virtual pipelines under aggressive memory
+// knobs, where the oldest micro changes while younger ones hold capacity)
+// are handled by the stall-recovery path in run.
+func (g *refGenerator) chooseF(k int) candidate {
+	st := &g.stages[k]
+	limit := g.cap(k)
+	reserve := 0
+	if st.oldest < g.s.N {
+		reserve = st.unschedF[st.oldest]
+	}
+	best := candidate{}
+	for _, id := range st.readyF {
+		op := g.nodes[id].op
+		need := st.inflight
+		if op.Micro != st.oldest {
+			need += reserve
+		}
+		if need >= limit {
+			continue
+		}
+		start := math.Max(st.free, g.nodes[id].ready)
+		if !best.ok || start < best.start-timeEps ||
+			(start < best.start+timeEps && less4(fPriority(op), fPriority(g.nodes[best.id].op))) {
+			best = candidate{id: id, start: start, kind: F, ok: true}
+		}
+	}
+	return best
+}
+
+func (g *refGenerator) chooseB(k int) candidate {
+	st := &g.stages[k]
+	best := candidate{}
+	for _, id := range st.readyB {
+		op := g.nodes[id].op
+		start := math.Max(st.free, g.nodes[id].ready)
+		if !best.ok || start < best.start-timeEps ||
+			(start < best.start+timeEps && less4(g.bPriority(k, op), g.bPriority(k, g.nodes[best.id].op))) {
+			best = candidate{id: id, start: start, kind: op.Kind, ok: true}
+		}
+	}
+	return best
+}
+
+func (g *refGenerator) chooseW(k int) candidate {
+	st := &g.stages[k]
+	if st.wHead >= len(st.readyW) {
+		return candidate{}
+	}
+	id := st.readyW[st.wHead]
+	op := g.nodes[id].op
+	start := math.Max(st.free, g.nodes[id].ready)
+	return candidate{id: id, start: start, kind: op.Kind, ok: true}
+}
+
+func (g *refGenerator) run() error {
+	stageIDs := g.rebuildStageIndex()
+	for k := range g.stages {
+		g.stages[k].dirty = true
+	}
+	for g.done < g.total {
+		bestStage := -1
+		var best candidate
+		for k := 0; k < g.s.P; k++ {
+			st := &g.stages[k]
+			if st.pending == 0 {
+				continue
+			}
+			if st.dirty {
+				st.cached = g.pick(k)
+				st.dirty = false
+			}
+			c := st.cached
+			if !c.ok {
+				continue
+			}
+			if bestStage < 0 || c.start < best.start-timeEps {
+				bestStage, best = k, c
+			}
+		}
+		if bestStage < 0 {
+			// Global stall: every stage is either empty, at its cap,
+			// or waiting on another stage. Force the critical chain
+			// through — run a ready forward of some stage's oldest
+			// live micro-batch even though the stage is at its cap.
+			// This momentarily exceeds the memory knob but is the
+			// only way the oldest micro's backward (which frees the
+			// capacity) can ever become runnable. It triggers only
+			// for deep virtual pipelines under aggressive memory
+			// limits, never for the paper's configurations.
+			bestStage, best = g.forceProgress()
+			if bestStage < 0 {
+				return fmt.Errorf("sched: generate %s: deadlocked with %d/%d ops scheduled: %w\n%s", g.s, g.done, g.total, errs.ErrUncertified, g.dumpStall())
+			}
+		}
+		g.commit(bestStage, best, stageIDs)
+	}
+	return nil
+}
+
+// forceProgress picks a cap-exempt forward for stall recovery: the ready
+// forward of a stage's oldest live micro with the earliest possible start
+// (preferring, among ties, the oldest micro globally).
+func (g *refGenerator) forceProgress() (int, candidate) {
+	bestStage := -1
+	var best candidate
+	for k := 0; k < g.s.P; k++ {
+		st := &g.stages[k]
+		for _, id := range st.readyF {
+			op := g.nodes[id].op
+			if op.Micro != st.oldest {
+				continue
+			}
+			start := math.Max(st.free, g.nodes[id].ready)
+			c := candidate{id: id, start: start, kind: F, ok: true}
+			if bestStage < 0 || c.start < best.start-timeEps ||
+				(c.start < best.start+timeEps && op.Micro < g.nodes[best.id].op.Micro) {
+				bestStage, best = k, c
+			}
+		}
+	}
+	return bestStage, best
+}
+
+func (g *refGenerator) dumpStall() string {
+	out := ""
+	for k := range g.stages {
+		st := &g.stages[k]
+		out += fmt.Sprintf("stage %d: pending=%d inflight=%d cap=%d oldest=m%d readyF=[", k, st.pending, st.inflight, g.cap(k), st.oldest)
+		for _, id := range st.readyF {
+			out += g.nodes[id].op.String() + " "
+		}
+		out += "] readyB=["
+		for _, id := range st.readyB {
+			out += g.nodes[id].op.String() + " "
+		}
+		out += fmt.Sprintf("] unschedF(oldest)=%d\n", st.unschedF[min(st.oldest, g.s.N-1)])
+	}
+	return out
+}
+
+func (g *refGenerator) rebuildStageIndex() map[int32]int {
+	m := make(map[int32]int, g.total)
+	for so, id := range g.index {
+		m[id] = so.stage
+	}
+	return m
+}
+
+// pick selects the next op for stage k per the policy.
+func (g *refGenerator) pick(k int) candidate {
+	st := &g.stages[k]
+	// Forced weight gradients: too many deferred.
+	if g.s.SplitBW && st.deferred >= g.wCap(k) {
+		if c := g.chooseW(k); c.ok {
+			return c
+		}
+	}
+	cf := g.chooseF(k)
+	cb := g.chooseB(k)
+	var main candidate
+	switch {
+	case cf.ok && cb.ok:
+		if cf.start <= cb.start+timeEps {
+			main = cf
+		} else {
+			main = cb
+		}
+	case cf.ok:
+		main = cf
+	case cb.ok:
+		main = cb
+	}
+	if !g.s.SplitBW {
+		return main
+	}
+	cw := g.chooseW(k)
+	if !cw.ok {
+		return main
+	}
+	if !main.ok {
+		return cw
+	}
+	// Gap filling (§5 / zero-bubble): run a weight-gradient op only when
+	// it completes before the main candidate could start anyway.
+	if cw.start+g.nodes[cw.id].dur <= main.start+timeEps {
+		return cw
+	}
+	return main
+}
+
+func (g *refGenerator) commit(k int, c candidate, stageIDs map[int32]int) {
+	st := &g.stages[k]
+	st.dirty = true
+	n := &g.nodes[c.id]
+	n.scheduled = true
+	fin := c.start + n.dur
+	g.finish[c.id] = fin
+	st.free = fin
+	st.order = append(st.order, n.op)
+	st.pending--
+	g.done++
+	switch n.op.Kind {
+	case F:
+		st.inflight++
+		st.unschedF[n.op.Micro]--
+		st.readyF = removeID(st.readyF, c.id)
+	case B, BAct:
+		st.inflight--
+		st.unschedB[n.op.Micro]--
+		if g.s.SplitBW {
+			if g.s.WPieces > 0 {
+				st.deferred += g.s.WPieces
+			} else {
+				st.deferred++
+			}
+		}
+		if n.op.Micro == st.oldest && st.unschedB[n.op.Micro] == 0 {
+			for st.oldest < g.s.N && st.unschedB[st.oldest] == 0 {
+				st.oldest++
+			}
+		}
+		st.readyB = removeID(st.readyB, c.id)
+	case W, WPiece:
+		st.deferred--
+		// chooseW only ever proposes the head.
+		if st.wHead >= len(st.readyW) || st.readyW[st.wHead] != c.id {
+			panic("sched: refGenerator committed a non-head weight-gradient op")
+		}
+		st.wHead++
+		if st.wHead == len(st.readyW) {
+			st.readyW = st.readyW[:0]
+			st.wHead = 0
+		}
+	}
+	// Wake dependents.
+	for _, dep := range n.outs {
+		d := &g.nodes[dep]
+		ds := stageIDs[dep]
+		t := fin
+		if ds != k {
+			t += g.opt.Est.CommTime(k, ds, n.op)
+		}
+		if t > d.ready {
+			d.ready = t
+		}
+		d.remaining--
+		if d.remaining == 0 {
+			g.markReady(dep, ds)
+		}
+	}
+}
+
+type stageOp struct {
+	stage int
+	op    Op
+}
+
+func refCheckComplete(s *Schedule) error {
+	for k, ops := range s.Stages {
+		seen := make(map[Op]bool, len(ops))
+		for _, op := range ops {
+			if err := refCheckShape(s, k, op); err != nil {
+				return err
+			}
+			if seen[op] {
+				return fmt.Errorf("sched: %s stage %d: duplicate op %s: %w", s, k, op, errs.ErrIncompatible)
+			}
+			seen[op] = true
+		}
+		want := s.OpsPerStage()
+		if len(ops) != want {
+			return fmt.Errorf("sched: %s stage %d: %d ops, want %d: %w", s, k, len(ops), want, errs.ErrIncompatible)
+		}
+		// Completeness: every (kind, m, i, j[, piece]) present.
+		for m := 0; m < s.N; m++ {
+			for i := 0; i < s.S; i++ {
+				for j := 0; j < s.V; j++ {
+					if err := refCheckFamily(s, seen, k, m, i, j); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func refCheckShape(s *Schedule, stage int, op Op) error {
+	if op.Micro < 0 || op.Micro >= s.N || op.Slice < 0 || op.Slice >= s.S || op.Chunk < 0 || op.Chunk >= s.V {
+		return fmt.Errorf("sched: %s stage %d: op %s out of range: %w", s, stage, op, errs.ErrIncompatible)
+	}
+	switch op.Kind {
+	case F:
+	case B:
+		if s.SplitBW {
+			return fmt.Errorf("sched: %s stage %d: fused %s in split schedule: %w", s, stage, op, errs.ErrIncompatible)
+		}
+	case BAct:
+		if !s.SplitBW {
+			return fmt.Errorf("sched: %s stage %d: %s in fused schedule: %w", s, stage, op, errs.ErrIncompatible)
+		}
+	case W:
+		if !s.SplitBW || s.WPieces > 0 {
+			return fmt.Errorf("sched: %s stage %d: unexpected whole %s: %w", s, stage, op, errs.ErrIncompatible)
+		}
+	case WPiece:
+		if !s.SplitBW || s.WPieces == 0 || op.Piece < 0 || op.Piece >= s.WPieces {
+			return fmt.Errorf("sched: %s stage %d: unexpected %s: %w", s, stage, op, errs.ErrIncompatible)
+		}
+	default:
+		return fmt.Errorf("sched: %s stage %d: unknown kind in %s: %w", s, stage, op, errs.ErrIncompatible)
+	}
+	return nil
+}
+
+func refCheckFamily(s *Schedule, seen map[Op]bool, stage, m, i, j int) error {
+	need := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}}
+	switch {
+	case !s.SplitBW:
+		need = append(need, Op{Kind: B, Micro: m, Slice: i, Chunk: j})
+	case s.WPieces == 0:
+		need = append(need,
+			Op{Kind: BAct, Micro: m, Slice: i, Chunk: j},
+			Op{Kind: W, Micro: m, Slice: i, Chunk: j})
+	default:
+		need = append(need, Op{Kind: BAct, Micro: m, Slice: i, Chunk: j})
+		for p := 0; p < s.WPieces; p++ {
+			need = append(need, Op{Kind: WPiece, Micro: m, Slice: i, Chunk: j, Piece: p})
+		}
+	}
+	for _, op := range need {
+		if !seen[op] {
+			return fmt.Errorf("sched: %s stage %d: missing op %s: %w", s, stage, op, errs.ErrIncompatible)
+		}
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm over program-order and data edges.
+func refCheckAcyclic(s *Schedule) error {
+	index := make(map[stageOp]int) // refNode id
+	var nodes []stageOp
+	id := func(k int, op Op) int {
+		so := stageOp{k, op}
+		if i, ok := index[so]; ok {
+			return i
+		}
+		index[so] = len(nodes)
+		nodes = append(nodes, so)
+		return len(nodes) - 1
+	}
+	for k, ops := range s.Stages {
+		for _, op := range ops {
+			id(k, op)
+		}
+	}
+	adj := make([][]int32, len(nodes))
+	indeg := make([]int32, len(nodes))
+	addEdge := func(from, to int) {
+		adj[from] = append(adj[from], int32(to))
+		indeg[to]++
+	}
+	var deps []Dep
+	for k, ops := range s.Stages {
+		for idx, op := range ops {
+			to := id(k, op)
+			if idx > 0 {
+				addEdge(id(k, ops[idx-1]), to) // program order
+			}
+			deps = s.Deps(deps[:0], k, op)
+			for _, d := range deps {
+				from, ok := index[stageOp{d.Stage, d.Op}]
+				if !ok {
+					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d: %w", s, k, op, d.Op, d.Stage, errs.ErrIncompatible)
+				}
+				addEdge(from, to)
+			}
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, t := range adj[n] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, int(t))
+			}
+		}
+	}
+	if done != len(nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle: %w", s, nodes[i].op, nodes[i].stage, errs.ErrUncertified)
+			}
+		}
+	}
+	return nil
+}

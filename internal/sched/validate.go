@@ -16,7 +16,8 @@ import (
 //     lists in order can never deadlock.
 //
 // A nil error means any dependency-respecting executor can run the schedule
-// to completion.
+// to completion. Both checks run on the dense arithmetic op index
+// (opIndexer) — no hashing, no per-op allocation.
 func (s *Schedule) Validate() error {
 	if s.P <= 0 || s.V <= 0 || s.S <= 0 || s.N <= 0 {
 		return fmt.Errorf("sched: %s has non-positive shape: %w", s, errs.ErrIncompatible)
@@ -33,35 +34,35 @@ func (s *Schedule) Validate() error {
 	return s.checkAcyclic()
 }
 
-type stageOp struct {
-	stage int
-	op    Op
-}
-
 func (s *Schedule) checkComplete() error {
+	x := s.indexer()
+	seen := make([]bool, x.perStage)
 	for k, ops := range s.Stages {
-		seen := make(map[Op]bool, len(ops))
+		for i := range seen {
+			seen[i] = false
+		}
 		for _, op := range ops {
 			if err := s.checkShape(k, op); err != nil {
 				return err
 			}
-			if seen[op] {
+			id := int(x.id(k, op)) - k*x.perStage
+			if seen[id] {
 				return fmt.Errorf("sched: %s stage %d: duplicate op %s: %w", s, k, op, errs.ErrIncompatible)
 			}
-			seen[op] = true
+			seen[id] = true
 		}
 		want := s.OpsPerStage()
 		if len(ops) != want {
 			return fmt.Errorf("sched: %s stage %d: %d ops, want %d: %w", s, k, len(ops), want, errs.ErrIncompatible)
 		}
-		// Completeness: every (kind, m, i, j[, piece]) present.
-		for m := 0; m < s.N; m++ {
-			for i := 0; i < s.S; i++ {
-				for j := 0; j < s.V; j++ {
-					if err := s.checkFamily(seen, k, m, i, j); err != nil {
-						return err
-					}
-				}
+		// Completeness: want distinct in-shape ops out of exactly want
+		// possible means every (kind, m, i, j[, piece]) is present; the
+		// scan below can only fire if the shape arithmetic ever drifts
+		// from OpsPerStage.
+		for id, ok := range seen {
+			if !ok {
+				_, op := x.opAt(int32(k*x.perStage + id))
+				return fmt.Errorf("sched: %s stage %d: missing op %s: %w", s, k, op, errs.ErrIncompatible)
 			}
 		}
 	}
@@ -96,74 +97,71 @@ func (s *Schedule) checkShape(stage int, op Op) error {
 	return nil
 }
 
-func (s *Schedule) checkFamily(seen map[Op]bool, stage, m, i, j int) error {
-	need := []Op{{Kind: F, Micro: m, Slice: i, Chunk: j}}
-	switch {
-	case !s.SplitBW:
-		need = append(need, Op{Kind: B, Micro: m, Slice: i, Chunk: j})
-	case s.WPieces == 0:
-		need = append(need,
-			Op{Kind: BAct, Micro: m, Slice: i, Chunk: j},
-			Op{Kind: W, Micro: m, Slice: i, Chunk: j})
-	default:
-		need = append(need, Op{Kind: BAct, Micro: m, Slice: i, Chunk: j})
-		for p := 0; p < s.WPieces; p++ {
-			need = append(need, Op{Kind: WPiece, Micro: m, Slice: i, Chunk: j, Piece: p})
-		}
-	}
-	for _, op := range need {
-		if !seen[op] {
-			return fmt.Errorf("sched: %s stage %d: missing op %s: %w", s, stage, op, errs.ErrIncompatible)
-		}
-	}
-	return nil
-}
-
-// checkAcyclic runs Kahn's algorithm over program-order and data edges.
+// checkAcyclic runs Kahn's algorithm over program-order and data edges,
+// numbering nodes with the dense arithmetic index. checkComplete has
+// already proven every in-shape op present, so a dependency that decodes
+// to a valid id is known to exist.
 func (s *Schedule) checkAcyclic() error {
-	index := make(map[stageOp]int) // node id
-	var nodes []stageOp
-	id := func(k int, op Op) int {
-		so := stageOp{k, op}
-		if i, ok := index[so]; ok {
-			return i
-		}
-		index[so] = len(nodes)
-		nodes = append(nodes, so)
-		return len(nodes) - 1
-	}
-	for k, ops := range s.Stages {
-		for _, op := range ops {
-			id(k, op)
-		}
-	}
-	adj := make([][]int32, len(nodes))
-	indeg := make([]int32, len(nodes))
-	addEdge := func(from, to int) {
-		adj[from] = append(adj[from], int32(to))
-		indeg[to]++
-	}
+	x := s.indexer()
+	total := x.total()
+	indeg := make([]int32, total)
+	// Edge counting pass: one program-order edge per adjacent pair plus
+	// the data dependencies.
+	edges := 0
 	var deps []Dep
 	for k, ops := range s.Stages {
+		if len(ops) > 1 {
+			edges += len(ops) - 1
+		}
+		for _, op := range ops {
+			deps = s.Deps(deps[:0], k, op)
+			for _, d := range deps {
+				if x.id(d.Stage, d.Op) < 0 {
+					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d: %w", s, k, op, d.Op, d.Stage, errs.ErrIncompatible)
+				}
+			}
+			edges += len(deps)
+		}
+	}
+	// CSR fill pass.
+	off := make([]int32, total+1)
+	for k, ops := range s.Stages {
 		for idx, op := range ops {
-			to := id(k, op)
 			if idx > 0 {
-				addEdge(id(k, ops[idx-1]), to) // program order
+				off[x.id(k, ops[idx-1])+1]++
 			}
 			deps = s.Deps(deps[:0], k, op)
 			for _, d := range deps {
-				from, ok := index[stageOp{d.Stage, d.Op}]
-				if !ok {
-					return fmt.Errorf("sched: %s stage %d: op %s depends on absent %s@stage%d: %w", s, k, op, d.Op, d.Stage, errs.ErrIncompatible)
-				}
-				addEdge(from, to)
+				off[x.id(d.Stage, d.Op)+1]++
 			}
 		}
 	}
-	queue := make([]int, 0, len(nodes))
-	for i, d := range indeg {
-		if d == 0 {
-			queue = append(queue, i)
+	for id := 0; id < total; id++ {
+		off[id+1] += off[id]
+	}
+	adj := make([]int32, edges)
+	cursor := make([]int32, total)
+	addEdge := func(from, to int32) {
+		adj[off[from]+cursor[from]] = to
+		cursor[from]++
+		indeg[to]++
+	}
+	for k, ops := range s.Stages {
+		for idx, op := range ops {
+			to := x.id(k, op)
+			if idx > 0 {
+				addEdge(x.id(k, ops[idx-1]), to)
+			}
+			deps = s.Deps(deps[:0], k, op)
+			for _, d := range deps {
+				addEdge(x.id(d.Stage, d.Op), to)
+			}
+		}
+	}
+	queue := make([]int32, 0, total)
+	for id := 0; id < total; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, int32(id))
 		}
 	}
 	done := 0
@@ -171,17 +169,22 @@ func (s *Schedule) checkAcyclic() error {
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		done++
-		for _, t := range adj[n] {
+		for e := off[n]; e < off[n+1]; e++ {
+			t := adj[e]
 			indeg[t]--
 			if indeg[t] == 0 {
-				queue = append(queue, int(t))
+				queue = append(queue, t)
 			}
 		}
 	}
-	if done != len(nodes) {
-		for i, d := range indeg {
-			if d > 0 {
-				return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle: %w", s, nodes[i].op, nodes[i].stage, errs.ErrUncertified)
+	if done != total {
+		// Report the first stuck op in stage-list appearance order — the
+		// order the old first-appearance node numbering produced.
+		for k, ops := range s.Stages {
+			for _, op := range ops {
+				if indeg[x.id(k, op)] > 0 {
+					return fmt.Errorf("sched: %s deadlocks: op %s@stage%d is on a dependency cycle: %w", s, op, k, errs.ErrUncertified)
+				}
 			}
 		}
 	}

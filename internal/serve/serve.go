@@ -3,6 +3,7 @@
 // the static certifier into long-running, heavily cacheable endpoints.
 //
 //	POST /v1/search    grid-search a system over a cluster (cached, coalesced)
+//	POST /v1/sweep     grid-search several systems in one deduplicated pass
 //	POST /v1/simulate  evaluate one pinned strategy (cached, coalesced)
 //	POST /v1/optimize  anneal one pinned strategy's schedule (cached, coalesced)
 //	POST /v1/certify   statically certify a schedule artifact
@@ -55,6 +56,9 @@ type Backend struct {
 	Search   func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace, sink obs.Sink) (*mepipe.SearchResult, error)
 	Evaluate func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, sink obs.Sink) (*mepipe.Eval, error)
 	Optimize func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, o mepipe.OptimizeOptions, sink obs.Sink) (*mepipe.Optimized, error)
+	// Sweep takes no sink: the sweep engine's session reuse is
+	// incompatible with tracing, so the server never taps it.
+	Sweep func(ctx context.Context, systems []mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace) (*mepipe.SweepResult, error)
 }
 
 // facadeBackend fills the zero fields of a Backend with the facade entry
@@ -74,6 +78,9 @@ func facadeBackend(b Backend) Backend {
 		b.Optimize = func(ctx context.Context, sys mepipe.System, m mepipe.Model, cl mepipe.Cluster, par mepipe.Parallel, tr mepipe.Training, o mepipe.OptimizeOptions, sink obs.Sink) (*mepipe.Optimized, error) {
 			return mepipe.OptimizeEval(ctx, sys, m, cl, par, tr, o, mepipe.WithTrace(sink))
 		}
+	}
+	if b.Sweep == nil {
+		b.Sweep = mepipe.Sweep
 	}
 	return b
 }
@@ -135,6 +142,7 @@ func New(opts Options) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/certify", s.handleCertify)
@@ -289,6 +297,77 @@ func (s *Server) computeSearch(ctx context.Context, key string, plan *v1.Plan) (
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding search response: %w", err)
+	}
+	return body, nil
+}
+
+// handleSweep is a deterministic entry point, modulo the audited Clock seam
+// (latency metrics): a given request body must always produce the same
+// response.
+//
+//mepipe:deterministic
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := v1.DecodeSweepRequest(r.Body)
+	if err != nil {
+		s.failNow(w, "/v1/sweep", err)
+		return
+	}
+	plan, err := req.Compile()
+	if err != nil {
+		s.failNow(w, "/v1/sweep", err)
+		return
+	}
+	key, err := req.Key()
+	if err != nil {
+		s.failNow(w, "/v1/sweep", err)
+		return
+	}
+	s.serveCached(w, r, "/v1/sweep", key, func(ctx context.Context) (any, error) {
+		return s.computeSweep(ctx, key, plan)
+	})
+}
+
+// computeSweep runs one multi-system sweep and encodes its response body.
+// Per-system "no candidate fits" failures are part of the document, not
+// HTTP errors — a sweep that answers every system answered the request.
+func (s *Server) computeSweep(ctx context.Context, key string, plan *v1.SweepPlan) ([]byte, error) {
+	res, err := s.backend.Sweep(ctx, plan.Systems, plan.Model, plan.Cluster, plan.Training, plan.Space)
+	if err != nil {
+		return nil, err
+	}
+	resp := &v1.SweepResponse{
+		API: v1.Version, Key: key, Certified: true,
+		Systems: make([]v1.SweepSystemResult, 0, len(plan.Systems)),
+		Stats:   v1.SweepStatsFrom(res.Stats),
+	}
+	for i, sys := range plan.Systems {
+		sr := res.Results[i]
+		out := v1.SweepSystemResult{
+			System:    v1.SystemName(sys),
+			Found:     sr.Found(),
+			Evaluated: sr.Evaluated,
+			Pruned:    sr.Pruned,
+		}
+		if res.Errs[i] != nil {
+			out.Error = res.Errs[i].Error()
+		}
+		cands := sr.Candidates
+		if plan.Top > 0 && len(cands) > plan.Top {
+			cands = cands[:plan.Top]
+		}
+		out.Candidates = make([]v1.Candidate, 0, len(cands))
+		for _, ev := range cands {
+			out.Candidates = append(out.Candidates, v1.CandidateFrom(ev, plan.Model, plan.Cluster, plan.Training))
+		}
+		if best := sr.Best(); best != nil {
+			c := v1.CandidateFrom(best, plan.Model, plan.Cluster, plan.Training)
+			out.Best = &c
+		}
+		resp.Systems = append(resp.Systems, out)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding sweep response: %w", err)
 	}
 	return body, nil
 }

@@ -698,3 +698,139 @@ func TestOptimizeEndToEnd(t *testing.T) {
 		t.Errorf("no parallel: %s: %s", resp.Status, body)
 	}
 }
+
+// TestSweepEndToEnd runs /v1/sweep against the real engine on a small
+// grid and cross-checks each system's slice against its own /v1/search:
+// the sweep is advertised as byte-identical to per-system searches, and
+// the wire layer must preserve that.
+func TestSweepEndToEnd(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	space := &v1.SpaceSpec{PP: []int{8}, CP: []int{1}, SPP: []int{4}, VP: []int{1}, MinDP: 1}
+	doc, err := json.Marshal(v1.SweepRequest{
+		Systems:  []string{"mepipe", "terapipe"},
+		Model:    v1.ModelSpec{Preset: "7b"},
+		Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+		Training: v1.TrainingSpec{GlobalBatch: 8},
+		Space:    space,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/sweep", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	var res v1.SweepResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified || len(res.Systems) != 2 || res.Key == "" {
+		t.Fatalf("sweep response = %+v", res)
+	}
+	if res.Stats.GridPoints == 0 || res.Stats.Evaluated == 0 {
+		t.Errorf("implausible stats: %+v", res.Stats)
+	}
+	for i, name := range []string{"mepipe", "terapipe"} {
+		sdoc, err := json.Marshal(v1.PlanRequest{
+			System:   name,
+			Model:    v1.ModelSpec{Preset: "7b"},
+			Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+			Training: v1.TrainingSpec{GlobalBatch: 8},
+			Space:    space,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sresp, sbody := post(t, ts.URL+"/v1/search", sdoc)
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("search %s: %s: %s", name, sresp.Status, sbody)
+		}
+		var sr v1.SearchResponse
+		if err := json.Unmarshal(sbody, &sr); err != nil {
+			t.Fatal(err)
+		}
+		sys := res.Systems[i]
+		if sys.System != name || sys.Found != sr.Found ||
+			sys.Evaluated != sr.Evaluated || sys.Pruned != sr.Pruned {
+			t.Errorf("%s: sweep slice %+v does not match search %+v", name, sys, sr)
+		}
+		if len(sys.Candidates) != len(sr.Candidates) {
+			t.Fatalf("%s: sweep has %d candidates, search %d", name, len(sys.Candidates), len(sr.Candidates))
+		}
+		for j := range sr.Candidates {
+			if sys.Candidates[j] != sr.Candidates[j] {
+				t.Errorf("%s: candidate %d differs:\nsweep:  %+v\nsearch: %+v", name, j, sys.Candidates[j], sr.Candidates[j])
+			}
+		}
+	}
+
+	resp, body2 := post(t, ts.URL+"/v1/sweep", doc)
+	if got := resp.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("repeat outcome = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached sweep body differs from computed body")
+	}
+
+	// An unknown system name is a 400.
+	bad, err := json.Marshal(v1.SweepRequest{
+		Systems:  []string{"nope"},
+		Model:    v1.ModelSpec{Preset: "7b"},
+		Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+		Training: v1.TrainingSpec{GlobalBatch: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/v1/sweep", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown system: %s: %s", resp.Status, body)
+	}
+}
+
+// TestSweepBackendStub proves /v1/sweep routes through Backend.Sweep and
+// counts its metrics under its own endpoint.
+func TestSweepBackendStub(t *testing.T) {
+	var calls atomic.Int32
+	s := New(Options{Backend: Backend{
+		Sweep: func(ctx context.Context, systems []mepipe.System, m mepipe.Model, cl mepipe.Cluster, tr mepipe.Training, sp mepipe.SearchSpace) (*mepipe.SweepResult, error) {
+			calls.Add(1)
+			res := &mepipe.SweepResult{}
+			for range systems {
+				res.Results = append(res.Results, &mepipe.SearchResult{Candidates: []*mepipe.Eval{stubEval()}, Evaluated: 1})
+				res.Errs = append(res.Errs, nil)
+			}
+			return res, nil
+		},
+	}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc, err := json.Marshal(v1.SweepRequest{
+		Model:    v1.ModelSpec{Preset: "7b"},
+		Cluster:  v1.ClusterSpec{Preset: "rtx4090", Servers: 1},
+		Training: v1.TrainingSpec{GlobalBatch: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/v1/sweep", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	var res v1.SweepResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	// An empty system list expands to every system.
+	if len(res.Systems) != len(mepipe.Systems()) {
+		t.Errorf("sweep covered %d systems, want %d", len(res.Systems), len(mepipe.Systems()))
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("backend ran %d times, want 1", got)
+	}
+}

@@ -123,12 +123,12 @@ func (se *Session) engStart(k int) (float64, bool) {
 		id := se.order[k][e.cursor[k]]
 		rt, ok := se.engReady(id)
 		if ok {
-			return math.Max(e.free[k], rt), true
+			return max(e.free[k], rt), true
 		}
 		// Next scheduled op blocked: a queued W can still run.
 	}
 	if e.wqHead[k] < len(e.wq[k]) {
-		return math.Max(e.free[k], e.wq[k][e.wqHead[k]].ready), true
+		return max(e.free[k], e.wq[k][e.wqHead[k]].ready), true
 	}
 	return 0, false
 }
@@ -155,7 +155,7 @@ func (se *Session) engExecute(k int) int {
 		id := se.order[k][e.cursor[k]]
 		rt, ok := se.engReady(id)
 		if ok {
-			start := math.Max(e.free[k], rt)
+			start := max(e.free[k], rt)
 			if n := se.engFillGap(k, start, id); n > 0 {
 				return n
 			}
@@ -184,7 +184,7 @@ func (se *Session) engFillGap(k int, start float64, nextID int32) int {
 		return 0
 	}
 	w := e.wq[k][e.wqHead[k]]
-	wStart := math.Max(e.free[k], w.ready)
+	wStart := max(e.free[k], w.ready)
 	dur := se.dur[w.id]
 	const eps = 1e-9
 	if wStart+dur <= start+eps {
@@ -216,7 +216,7 @@ func (se *Session) engPopW(k int) int {
 		e.wq[k] = e.wq[k][:0]
 		e.wqHead[k] = 0
 	}
-	start := math.Max(e.free[k], w.ready)
+	start := max(e.free[k], w.ready)
 	se.engRunOp(k, w.id, start)
 	return 1
 }

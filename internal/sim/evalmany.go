@@ -150,6 +150,11 @@ func evalOne(se *Session, bound *bool, opt Options, s *sched.Schedule) *Result {
 	return cloneResult(r)
 }
 
+// Clone deep-copies the result. Callers that drive a Session directly and
+// retain results across Eval calls need it: Eval's Result is session-owned
+// and overwritten by the next evaluation.
+func (r *Result) Clone() *Result { return cloneResult(r) }
+
 // cloneResult deep-copies a session-owned Result so it survives the next
 // Eval.
 func cloneResult(r *Result) *Result {

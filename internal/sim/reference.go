@@ -1,14 +1,56 @@
 package sim
 
+// The frozen pre-sweep evaluation path, kept verbatim from the tree as it
+// stood before the streaming sweep engine landed. strategy.SearchReference
+// simulates through EvaluateReference so that (a) mepipe-bench's reported
+// speedup compares the sweep engine against the code it actually replaced,
+// measured live in the same process, and (b) the equivalence tests pin the
+// fast path against a genuinely independent implementation — refSession
+// shares none of the dense index, dependency-table, or micro-invariance
+// machinery the optimized Session uses.
+//
+// Nothing here is reachable from production paths; do not "optimize" this
+// file — its value is that it does not change.
+
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"mepipe/internal/errs"
 	"mepipe/internal/sched"
 )
 
-// Session is a reusable fast-evaluation context over one schedule shape: it
+// refSessionPool recycles refSession capacity across EvaluateReference
+// calls, mirroring the sessionPool the pre-sweep Evaluate used.
+var refSessionPool = sync.Pool{New: func() any { return &refSession{} }}
+
+// EvaluateReference is the pre-sweep sim.Evaluate, frozen: RunContext
+// through the (map-indexed) session fast path. The returned Result is the
+// caller's to keep.
+//
+//mepipe:deterministic
+func EvaluateReference(ctx context.Context, opt Options) (*Result, error) {
+	if opt.Trace != nil {
+		return RunContext(ctx, opt)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: evaluate %w: %v", errs.ErrCancelled, err)
+	}
+	se := refSessionPool.Get().(*refSession)
+	defer refSessionPool.Put(se)
+	if err := se.init(opt); err != nil {
+		return nil, err
+	}
+	r, err := se.Eval(opt.Sched)
+	if err != nil {
+		return nil, err
+	}
+	return cloneResult(r), nil
+}
+
+// refSession is a reusable fast-evaluation context over one schedule shape: it
 // pins the cost model, budgets, and op identities once, then re-simulates
 // edited copies of the schedule incrementally. The schedule optimizer's
 // moves (swap, shift, rebalance) touch a handful of list positions; instead
@@ -17,11 +59,11 @@ import (
 // result is guaranteed bitwise-identical to sim.Run on the same Options —
 // the differential fuzzer in fuzz_test.go holds that gate closed.
 //
-// A Session is not safe for concurrent use; EvaluateMany runs one per
+// A refSession is not safe for concurrent use; EvaluateMany runs one per
 // worker. All slices inside the returned Result are owned by the session
 // and are overwritten by the next Eval — callers that retain results across
 // evaluations must copy them first.
-type Session struct {
+type refSession struct {
 	opt  Options
 	base *sched.Schedule
 
@@ -38,21 +80,18 @@ type Session struct {
 
 	// op identity tables. Every op in the bound schedule gets a dense id;
 	// moves permute positions but never identities, so the dependency
-	// graph, durations, and memory charges below are computed once. Ids
-	// are resolved through the shape's arithmetic op index plus a lut —
-	// no hashing anywhere on the bind or diff paths.
-	n     int
-	x     sched.OpIndex // dense (stage, op) numbering of the bound shape
-	lut   []int32       // universe id -> session id, -1 when absent
-	uid   []int32       // session id -> universe id (lut's inverse)
-	nfam  int
-	opsl  []sched.Op // id -> op
-	stg   []int32    // id -> stage
-	pos   []int32    // id -> current position in its stage list
-	order [][]int32  // stage -> position -> id
-	famID []int32    // id -> family slot
-	dur   []float64  // id -> op duration
-	memB  []int64    // id -> bytes allocated at execution (F: act, BAct: grad)
+	// graph, durations, and memory charges below are computed once.
+	n      int
+	ids    map[opRef]int32 // (stage, op) -> id
+	famIDs map[opRef]int32 // (stage, op.Key()) -> family slot
+	nfam   int
+	opsl   []sched.Op // id -> op
+	stg    []int32    // id -> stage
+	pos    []int32    // id -> current position in its stage list
+	order  [][]int32  // stage -> position -> id
+	famID  []int32    // id -> family slot
+	dur    []float64  // id -> op duration
+	memB   []int64    // id -> bytes allocated at execution (F: act, BAct: grad)
 
 	// dependency edges (identity-based, immutable across moves)
 	depOff  []int32 // id -> [depOff[id], depOff[id+1]) into depID/depComm
@@ -111,38 +150,16 @@ type Session struct {
 	depScratch []sched.Dep
 	spanBuf    [][]Span
 	res        Result
-	eng        *engState
+	eng        *refEngState
 
 	valid  bool // start/finish/height solve the current order
 	resync bool // orders may be inconsistent; rebuild from the schedule
 }
 
-// NewSession binds a fast-evaluation session to opt. opt.Sched is fully
-// validated and becomes the base order; subsequent Eval calls accept any
-// per-stage permutation of the same ops. Tracing is incompatible with
-// sessions (use RunContext), as is a nil schedule or a budget of the wrong
-// length — all reported as wrapped errs.ErrIncompatible.
-//
-//mepipe:deterministic
-func NewSession(opt Options) (*Session, error) {
-	se := &Session{}
-	if err := se.init(opt); err != nil {
-		return nil, err
-	}
-	return se, nil
-}
-
-// Bind (re)binds the session to opt, reusing any capacity from a previous
-// binding — the amortization the strategy sweep's per-worker sessions rely
-// on. A zero Session is ready to Bind.
-//
-//mepipe:deterministic
-func (se *Session) Bind(opt Options) error { return se.init(opt) }
-
 // init (re)binds the session, reusing any capacity from a previous binding.
 //
 //mepipe:coldalloc binding sizes every table once; Eval reuses the capacity, so the steady state never allocates
-func (se *Session) init(opt Options) error {
+func (se *refSession) init(opt Options) error {
 	if opt.Trace != nil {
 		return fmt.Errorf("sim: sessions cannot trace (use RunContext for traced runs): %w", errs.ErrIncompatible)
 	}
@@ -150,10 +167,11 @@ func (se *Session) init(opt Options) error {
 	if s == nil {
 		return fmt.Errorf("sim: nil schedule: %w", errs.ErrIncompatible)
 	}
-	if !opt.AssumeValid {
-		if err := s.Validate(); err != nil {
-			return err
-		}
+	// The pre-sweep Validate: the frozen map-based passes, not the
+	// current dense ones — bind-time validation cost is part of what the
+	// baseline measures.
+	if err := sched.ValidateReference(s); err != nil {
+		return err
 	}
 	if opt.DynamicW && !s.SplitBW {
 		return fmt.Errorf("sim: dynamic weight-gradient mode requires a split-backward schedule: %w", errs.ErrIncompatible)
@@ -187,123 +205,86 @@ func (se *Session) init(opt Options) error {
 		n += len(s.Stages[k])
 	}
 	se.n = n
-	se.x = sched.IndexOf(s)
-	se.lut = sgrow(se.lut, se.x.Total())
-	for i := range se.lut {
-		se.lut[i] = -1
+	if se.ids == nil {
+		se.ids = make(map[opRef]int32, n)
+	} else {
+		clear(se.ids)
+	}
+	if se.famIDs == nil {
+		se.famIDs = make(map[opRef]int32, n)
+	} else {
+		clear(se.famIDs)
 	}
 	se.opsl = sgrow(se.opsl, n)
 	se.stg = sgrow(se.stg, n)
 	se.pos = sgrow(se.pos, n)
-	se.uid = sgrow(se.uid, n)
 	se.famID = sgrow(se.famID, n)
 	se.dur = sgrow(se.dur, n)
 	se.memB = sgrow(se.memB, n)
 	se.order = sgrow(se.order, s.P)
-	// Micro-invariant cost models (see sched.MicroInvariant) are queried
-	// only for the micro-0 twin of each op; the copies below are bitwise.
-	// The fast path needs the complete op universe so every twin resolves.
-	microInv := se.microInvariant(opt.Costs) && n == se.x.Total()
-	vss := se.x.PerStage() / s.N
-	id := int32(0)
+	id, nfam := int32(0), int32(0)
 	for k := range s.Stages {
 		ops := s.Stages[k]
 		ord := sgrow(se.order[k], len(ops))
 		for p := range ops {
 			op := ops[p]
-			uid := se.x.ID(k, op)
-			if uid < 0 {
-				return fmt.Errorf("sim: session: op %v@stage%d is outside the schedule shape: %w", op, k, errs.ErrIncompatible)
-			}
-			if se.lut[uid] >= 0 {
+			ref := opRef{k, op}
+			if _, dup := se.ids[ref]; dup {
 				return fmt.Errorf("sim: session: duplicate op %v@stage%d: %w", op, k, errs.ErrIncompatible)
 			}
-			se.lut[uid] = id
-			se.uid[id] = uid
+			se.ids[ref] = id
 			se.opsl[id] = op
 			se.stg[id] = int32(k)
 			se.pos[id] = int32(p)
 			ord[p] = id
-			se.famID[id] = se.x.FamilyOf(uid)
-			if !microInv || op.Micro == 0 {
-				se.dur[id] = opt.Costs.OpTime(k, op)
-				switch op.Kind {
-				case sched.F:
-					se.memB[id] = opt.Costs.ActBytes(k, op)
-				case sched.BAct:
-					se.memB[id] = opt.Costs.GradBytes(k, op)
-				default:
-					se.memB[id] = 0
-				}
+			fref := opRef{k, op.Key()}
+			f, okf := se.famIDs[fref]
+			if !okf {
+				f = nfam
+				se.famIDs[fref] = f
+				nfam++
+			}
+			se.famID[id] = f
+			se.dur[id] = opt.Costs.OpTime(k, op)
+			switch op.Kind {
+			case sched.F:
+				se.memB[id] = opt.Costs.ActBytes(k, op)
+			case sched.BAct:
+				se.memB[id] = opt.Costs.GradBytes(k, op)
+			default:
+				se.memB[id] = 0
 			}
 			id++
 		}
 		se.order[k] = ord
 	}
-	if microInv {
-		// Twin pass: micro-0 costs are all in place (the loop above set
-		// them regardless of stage order), so copy them onto the rest.
-		for i := int32(0); i < int32(n); i++ {
-			m := se.opsl[i].Micro
-			if m == 0 {
-				continue
-			}
-			tw := se.lut[se.uid[i]-int32(m*vss)]
-			se.dur[i] = se.dur[tw]
-			se.memB[i] = se.memB[tw]
-		}
-	}
-	se.nfam = se.x.Families()
+	se.nfam = int(nfam)
 
 	// Dependency edges, resolved to dense ids with communication delays
 	// folded in (0 for same-stage edges keeps the max loop branch-free
-	// without perturbing bits: finish times are never negative zero). The
-	// edges come straight from the schedule's cached dense dependency
-	// table — the same rows the generator and the certifier consumed — so
-	// binding never re-derives a Dep.
-	dt := s.DepTable()
-	perStage := int32(se.x.PerStage())
+	// without perturbing bits: finish times are never negative zero).
 	se.depOff = sgrow(se.depOff, n+1)
 	se.depID = se.depID[:0]
 	se.depComm = se.depComm[:0]
 	for i := 0; i < n; i++ {
 		se.depOff[i] = int32(len(se.depID))
 		k := int(se.stg[i])
-		u := se.uid[i]
-		twin := microInv && se.opsl[i].Micro > 0
-		row := dt.ID[dt.Off[u]:dt.Off[u+1]]
-		for _, duid := range row {
-			j := int32(-1)
-			if duid >= 0 {
-				j = se.lut[duid]
-			}
-			if j < 0 {
-				return se.absentDepErr(s, k, se.opsl[i])
+		op := se.opsl[i]
+		se.depScratch = s.Deps(se.depScratch[:0], k, op)
+		for _, d := range se.depScratch {
+			j, okd := se.ids[opRef{d.Stage, d.Op}]
+			if !okd {
+				return fmt.Errorf("sim: session: op %v@stage%d depends on absent op %v@stage%d: %w", op, k, d.Op, d.Stage, errs.ErrIncompatible)
 			}
 			comm := 0.0
-			if ds := int(duid / perStage); ds != k && !twin {
-				_, dop := se.x.At(duid)
-				comm = opt.Costs.CommTime(ds, k, dop)
+			if d.Stage != k {
+				comm = opt.Costs.CommTime(d.Stage, k, d.Op)
 			}
 			se.depID = append(se.depID, j)
 			se.depComm = append(se.depComm, comm)
 		}
 	}
 	se.depOff[n] = int32(len(se.depID))
-	if microInv {
-		// Twin pass for communication delays: dependency rows of micro
-		// twins are id-shifted copies in identical order, and CommTime is
-		// micro-invariant, so each micro-m row is a bitwise copy of its
-		// micro-0 row.
-		for i := int32(0); i < int32(n); i++ {
-			m := se.opsl[i].Micro
-			if m == 0 {
-				continue
-			}
-			tw := se.lut[se.uid[i]-int32(m*vss)]
-			copy(se.depComm[se.depOff[i]:se.depOff[i+1]], se.depComm[se.depOff[tw]:se.depOff[tw+1]])
-		}
-	}
 	se.sucOff = sgrow(se.sucOff, n+1)
 	for i := range se.sucOff {
 		se.sucOff[i] = 0
@@ -342,8 +323,8 @@ func (se *Session) init(opt Options) error {
 					probe := b
 					probe.Kind = sched.WPiece
 					probe.Piece = p
-					j := se.lookup(k, probe)
-					if j < 0 {
+					j, okw := se.ids[opRef{k, probe}]
+					if !okw {
 						return fmt.Errorf("sim: session: family %v@stage%d is missing piece %d: %w", b.Key(), k, p, errs.ErrIncompatible)
 					}
 					se.wIDs = append(se.wIDs, j)
@@ -351,8 +332,8 @@ func (se *Session) init(opt Options) error {
 			} else {
 				probe := b
 				probe.Kind = sched.W
-				j := se.lookup(k, probe)
-				if j < 0 {
+				j, okw := se.ids[opRef{k, probe}]
+				if !okw {
 					return fmt.Errorf("sim: session: family %v@stage%d is missing its W op: %w", b.Key(), k, errs.ErrIncompatible)
 				}
 				se.wIDs = append(se.wIDs, j)
@@ -406,31 +387,6 @@ func (se *Session) init(opt Options) error {
 	return nil
 }
 
-// absentDepErr reports which dependency of op is missing from the bound
-// table. Cold path: the hot dep loop works on dense ids alone, so the Dep
-// is re-derived here only to name it in the error.
-func (se *Session) absentDepErr(s *sched.Schedule, k int, op sched.Op) error {
-	se.depScratch = s.Deps(se.depScratch[:0], k, op)
-	for _, d := range se.depScratch {
-		j := int32(-1)
-		if uid := se.x.ID(d.Stage, d.Op); uid >= 0 {
-			j = se.lut[uid]
-		}
-		if j < 0 {
-			return fmt.Errorf("sim: session: op %v@stage%d depends on absent op %v@stage%d: %w", op, k, d.Op, d.Stage, errs.ErrIncompatible)
-		}
-	}
-	return fmt.Errorf("sim: session: op %v@stage%d has an absent dependency: %w", op, k, errs.ErrIncompatible)
-}
-
-// microInvariant reports whether the cost model promises identical
-// answers for ops differing only in Micro (see sched.MicroInvariant),
-// which lets init and Recost query the micro-0 twin once and copy.
-func (se *Session) microInvariant(c Costs) bool {
-	mi, ok := c.(sched.MicroInvariant)
-	return ok && mi.MicroInvariantCosts()
-}
-
 // Eval re-simulates s, which must be a per-stage permutation of the bound
 // schedule's ops (shape and placement included — anything else returns a
 // wrapped errs.ErrIncompatible, telling callers to rebuild the session).
@@ -441,7 +397,7 @@ func (se *Session) microInvariant(c Costs) bool {
 // next Eval.
 //
 //mepipe:deterministic
-func (se *Session) Eval(s *sched.Schedule) (*Result, error) {
+func (se *refSession) Eval(s *sched.Schedule) (*Result, error) {
 	if err := se.compat(s); err != nil {
 		return nil, err
 	}
@@ -481,7 +437,7 @@ func (se *Session) Eval(s *sched.Schedule) (*Result, error) {
 
 // compat verifies s shares the bound schedule's shape, per-stage op counts,
 // and placement maps. It never mutates session state.
-func (se *Session) compat(s *sched.Schedule) error {
+func (se *refSession) compat(s *sched.Schedule) error {
 	if s == nil {
 		return fmt.Errorf("sim: nil schedule: %w", errs.ErrIncompatible)
 	}
@@ -513,17 +469,7 @@ func (se *Session) compat(s *sched.Schedule) error {
 	return nil
 }
 
-// lookup resolves (stage, op) to the session id, -1 when op is not part
-// of the bound schedule.
-func (se *Session) lookup(k int, op sched.Op) int32 {
-	uid := se.x.ID(k, op)
-	if uid < 0 {
-		return -1
-	}
-	return se.lut[uid]
-}
-
-func (se *Session) touchSeen(id int32) {
+func (se *refSession) touchSeen(id int32) {
 	if se.seenEp[id] != se.seenEpoch {
 		se.seenEp[id] = se.seenEpoch
 		se.seenCnt[id] = 0
@@ -534,7 +480,7 @@ func (se *Session) touchSeen(id int32) {
 // prefixes and suffixes bound the edited window, an epoch-stamped counter
 // checks the window is a permutation, and the window's ops (plus the one
 // just after it, whose list predecessor changed) seed the worklist.
-func (se *Session) diff(s *sched.Schedule) error {
+func (se *refSession) diff(s *sched.Schedule) error {
 	for k := 0; k < se.P; k++ {
 		ord := se.order[k]
 		ops := s.Stages[k]
@@ -557,8 +503,8 @@ func (se *Session) diff(s *sched.Schedule) error {
 		}
 		ok := true
 		for p := lo; p <= hi; p++ {
-			cid := se.lookup(k, ops[p])
-			if cid < 0 {
+			cid, found := se.ids[opRef{k, ops[p]}]
+			if !found {
 				ok = false
 				break
 			}
@@ -594,14 +540,14 @@ func (se *Session) diff(s *sched.Schedule) error {
 
 // remapAll rebuilds order/pos from s after a failed diff, verifying the
 // whole schedule is a per-stage bijection onto the bound op set.
-func (se *Session) remapAll(s *sched.Schedule) error {
+func (se *refSession) remapAll(s *sched.Schedule) error {
 	se.seenEpoch++
 	for k := 0; k < se.P; k++ {
 		ord := se.order[k]
 		ops := s.Stages[k]
 		for p := range ops {
-			cid := se.lookup(k, ops[p])
-			if cid < 0 || se.seenEp[cid] == se.seenEpoch {
+			cid, found := se.ids[opRef{k, ops[p]}]
+			if !found || se.seenEp[cid] == se.seenEpoch {
 				return fmt.Errorf("sim: session: stage %d op list is not a permutation of the bound schedule: %w", k, errs.ErrIncompatible)
 			}
 			se.seenEp[cid] = se.seenEpoch
@@ -615,7 +561,7 @@ func (se *Session) remapAll(s *sched.Schedule) error {
 	return nil
 }
 
-func (se *Session) push(id int32) {
+func (se *refSession) push(id int32) {
 	if se.inQ[id] == se.qEpoch {
 		return
 	}
@@ -632,7 +578,7 @@ func (se *Session) push(id int32) {
 // and reports whether finish or height changed. The float operations mirror
 // the runner's readyTime/execute exactly (same comparison order, same
 // math.Max), which is what makes incremental results bitwise-identical.
-func (se *Session) recompute(id int32) bool {
+func (se *refSession) recompute(id int32) bool {
 	k := int(se.stg[id])
 	p := int(se.pos[id])
 	prevFin := 0.0
@@ -653,7 +599,7 @@ func (se *Session) recompute(id int32) bool {
 			h = se.height[d]
 		}
 	}
-	st := max(prevFin, t)
+	st := math.Max(prevFin, t)
 	fin := st + se.dur[id]
 	h++
 	changed := math.Float64bits(fin) != math.Float64bits(se.finish[id]) || h != se.height[id]
@@ -671,7 +617,7 @@ func (se *Session) recompute(id int32) bool {
 // dense sweep, which certifies the cycle. Returns false on budget trip.
 //
 //mepipe:hotpath
-func (se *Session) propagate() bool {
+func (se *refSession) propagate() bool {
 	budget := 16*se.n + 64
 	pops := 0
 	for se.qhead < len(se.queue) {
@@ -702,7 +648,7 @@ func (se *Session) propagate() bool {
 // sweep recomputes every op in Kahn order over program-order and dependency
 // edges. It is the first-evaluation path, the resync path, and the fallback
 // that turns a non-converging propagation into a certified cycle error.
-func (se *Session) sweep() error {
+func (se *refSession) sweep() error {
 	se.qEpoch++
 	se.queue = se.queue[:0]
 	se.qhead = 0
@@ -751,7 +697,7 @@ func (se *Session) sweep() error {
 	return nil
 }
 
-func (se *Session) touchFam(f int32) {
+func (se *refSession) touchFam(f int32) {
 	if se.famEp[f] != se.famEpoch {
 		se.famEp[f] = se.famEpoch
 		se.famAcc[f] = 0
@@ -763,7 +709,7 @@ func (se *Session) touchFam(f int32) {
 // memory in static mode depends only on the per-stage order, never on
 // times — caching compute time, peak bytes, and the first over-budget
 // position for assembly.
-func (se *Session) memScan() {
+func (se *refSession) memScan() {
 	for k := 0; k < se.P; k++ {
 		if !se.stDirty[k] {
 			continue
@@ -816,7 +762,7 @@ func (se *Session) memScan() {
 // over-budget allocation in global execution order; with static execution
 // sorted by (start, stage), that is the stage minimizing (start of its
 // first over-budget op, stage index).
-func (se *Session) assembleStatic() {
+func (se *refSession) assembleStatic() {
 	res := &se.res
 	res.SpansRecorded = se.record
 	res.PeakAct = 0
@@ -883,103 +829,327 @@ func (se *Session) assembleStatic() {
 	}
 }
 
-// Recost rebinds the session's cost-dependent tables — op durations,
-// memory charges, communication delays, budgets and tail times — without
-// rebuilding the op identity tables or revalidating the schedule. It is
-// the fast path for evaluating cost variants of one schedule shape (the
-// strategy sweep's recompute variants): opt.Sched must be compatible with
-// the bound schedule (same shape, op multiset and placement — it may
-// permute positions, which the next Eval reconciles), and opt.DynamicW
-// must match the binding. Violations return a wrapped
-// errs.ErrIncompatible, telling callers to rebuild the session instead.
-//
-//mepipe:deterministic
-func (se *Session) Recost(opt Options) error {
-	if opt.Trace != nil {
-		return fmt.Errorf("sim: sessions cannot trace (use RunContext for traced runs): %w", errs.ErrIncompatible)
+// refEngState is the refSession's dynamic-mode (§5) execution engine: a dense
+// replay of the runner's event loop over the session's id tables. Dynamic W
+// drain order depends on runtime decisions across stages, so there is no
+// local window to re-propagate — instead the engine mirrors the runner
+// op-for-op (same tie-breaks, same math.Max calls, same epsilon) on arrays
+// that are allocated once and reused across Evals.
+type refEngState struct {
+	cursor []int // per stage: position of the next scheduled (non-W) op
+	free   []float64
+	comp   []float64
+	live   []int64
+	peak   []int64
+	drain  []int64
+	wq     [][]refWRef
+	wqHead []int
+	fin    []float64
+	done   []uint32
+	ep     uint32
+	oom    bool
+	oomAt  int
+}
+
+type refWRef struct {
+	id    int32
+	ready float64
+}
+
+func (se *refSession) runEngine() error {
+	e := se.eng
+	if e == nil {
+		e = &refEngState{}
+		se.eng = e
 	}
-	if err := se.compat(opt.Sched); err != nil {
-		return err
-	}
-	if opt.DynamicW != se.dynamicW {
-		return fmt.Errorf("sim: session: cannot recost across dynamic-W modes: %w", errs.ErrIncompatible)
-	}
-	if opt.ActBudget != nil && len(opt.ActBudget) != se.P {
-		return fmt.Errorf("sim: ActBudget has %d entries, want %d: %w", len(opt.ActBudget), se.P, errs.ErrIncompatible)
-	}
-	se.opt = opt
-	se.base = opt.Sched
-	se.record = !opt.MakespanOnly
-	se.hasBudget = opt.ActBudget != nil
-	se.budget = append(se.budget[:0], opt.ActBudget...)
-	se.hasTail = opt.TailTime != nil
+	e.cursor = sgrow(e.cursor, se.P)
+	e.free = sgrow(e.free, se.P)
+	e.comp = sgrow(e.comp, se.P)
+	e.live = sgrow(e.live, se.P)
+	e.peak = sgrow(e.peak, se.P)
+	e.drain = sgrow(e.drain, se.P)
+	e.wq = sgrow(e.wq, se.P)
+	e.wqHead = sgrow(e.wqHead, se.P)
+	e.fin = sgrow(e.fin, se.n)
+	e.done = sgrow(e.done, se.n)
+	e.ep++
+	se.famEpoch++
+	e.oom = false
+	e.oomAt = 0
 	for k := 0; k < se.P; k++ {
-		if se.hasTail {
-			se.tailV[k] = opt.TailTime(k)
-		} else {
-			se.tailV[k] = 0
+		e.cursor[k] = 0
+		se.engSkip(k)
+		e.free[k] = 0
+		e.comp[k] = 0
+		e.live[k] = 0
+		e.peak[k] = 0
+		e.drain[k] = 0
+		e.wq[k] = e.wq[k][:0]
+		e.wqHead[k] = 0
+		if se.record {
+			se.spanBuf[k] = se.spanBuf[k][:0]
 		}
 	}
-	// Micro-invariant models re-cost only the micro-0 twins; the copies
-	// are bitwise (same reasoning as init's twin passes).
-	microInv := se.microInvariant(opt.Costs) && se.n == se.x.Total()
-	vss := se.x.PerStage() / se.N
-	for id := 0; id < se.n; id++ {
-		k := int(se.stg[id])
-		op := se.opsl[id]
-		if microInv && op.Micro > 0 {
-			continue
+	done := 0
+	for done < se.n {
+		k, ok := se.engNext()
+		if !ok {
+			return fmt.Errorf("sim: session: deadlock with %d/%d ops executed (schedule order violates dependencies): %w", done, se.n, errs.ErrUncertified)
 		}
-		se.dur[id] = opt.Costs.OpTime(k, op)
-		switch op.Kind {
-		case sched.F:
-			se.memB[id] = opt.Costs.ActBytes(k, op)
-		case sched.BAct:
-			se.memB[id] = opt.Costs.GradBytes(k, op)
-		default:
-			se.memB[id] = 0
-		}
+		done += se.engExecute(k)
 	}
-	for id := 0; id < se.n; id++ {
-		if microInv && se.opsl[id].Micro > 0 {
-			continue
-		}
-		k := int(se.stg[id])
-		for e := se.depOff[id]; e < se.depOff[id+1]; e++ {
-			j := se.depID[e]
-			if int(se.stg[j]) != k {
-				se.depComm[e] = opt.Costs.CommTime(int(se.stg[j]), k, se.opsl[j])
-			} else {
-				se.depComm[e] = 0
-			}
-		}
-	}
-	if microInv {
-		for i := int32(0); i < int32(se.n); i++ {
-			m := se.opsl[i].Micro
-			if m == 0 {
-				continue
-			}
-			tw := se.lut[se.uid[i]-int32(m*vss)]
-			se.dur[i] = se.dur[tw]
-			se.memB[i] = se.memB[tw]
-			copy(se.depComm[se.depOff[i]:se.depOff[i+1]], se.depComm[se.depOff[tw]:se.depOff[tw+1]])
-		}
-	}
-	for k := 0; k < se.P; k++ {
-		se.stDirty[k] = true
-	}
-	se.valid = false
 	return nil
 }
 
-// sgrow returns s resized to n, reusing capacity and preserving any prefix
-// (nested slices keep their buffers across rebinds).
-func sgrow[T any](s []T, n int) []T {
-	if cap(s) >= n {
-		return s[:n]
+// engSkip advances stage k's cursor past statically-placed W/WPiece entries;
+// the engine executes those from the per-stage queue instead, exactly as
+// the runner strips them from its order.
+func (se *refSession) engSkip(k int) {
+	e := se.eng
+	ord := se.order[k]
+	c := e.cursor[k]
+	for c < len(ord) {
+		kd := se.opsl[ord[c]].Kind
+		if kd != sched.W && kd != sched.WPiece {
+			break
+		}
+		c++
 	}
-	out := make([]T, n)
-	copy(out, s)
-	return out
+	e.cursor[k] = c
+}
+
+// engNext mirrors the runner's nextStage: earliest next start wins, ties go
+// to the lowest stage.
+func (se *refSession) engNext() (int, bool) {
+	e := se.eng
+	best, bestStart, found := -1, math.Inf(1), false
+	for k := 0; k < se.P; k++ {
+		if e.cursor[k] >= len(se.order[k]) && e.wqHead[k] >= len(e.wq[k]) {
+			continue
+		}
+		start, ok := se.engStart(k)
+		if !ok {
+			continue
+		}
+		if start < bestStart {
+			best, bestStart, found = k, start, true
+		}
+	}
+	return best, found
+}
+
+func (se *refSession) engStart(k int) (float64, bool) {
+	e := se.eng
+	if e.cursor[k] < len(se.order[k]) {
+		id := se.order[k][e.cursor[k]]
+		rt, ok := se.engReady(id)
+		if ok {
+			return math.Max(e.free[k], rt), true
+		}
+		// Next scheduled op blocked: a queued W can still run.
+	}
+	if e.wqHead[k] < len(e.wq[k]) {
+		return math.Max(e.free[k], e.wq[k][e.wqHead[k]].ready), true
+	}
+	return 0, false
+}
+
+func (se *refSession) engReady(id int32) (float64, bool) {
+	e := se.eng
+	t := 0.0
+	for ed := se.depOff[id]; ed < se.depOff[id+1]; ed++ {
+		d := se.depID[ed]
+		if e.done[d] != e.ep {
+			return 0, false
+		}
+		f := e.fin[d] + se.depComm[ed]
+		if f > t {
+			t = f
+		}
+	}
+	return t, true
+}
+
+func (se *refSession) engExecute(k int) int {
+	e := se.eng
+	if e.cursor[k] < len(se.order[k]) {
+		id := se.order[k][e.cursor[k]]
+		rt, ok := se.engReady(id)
+		if ok {
+			start := math.Max(e.free[k], rt)
+			if n := se.engFillGap(k, start, id); n > 0 {
+				return n
+			}
+			e.cursor[k]++
+			se.engSkip(k)
+			se.engRunOp(k, id, start)
+			return 1
+		}
+		if e.wqHead[k] < len(e.wq[k]) {
+			return se.engPopW(k)
+		}
+		return 0
+	}
+	if e.wqHead[k] < len(e.wq[k]) {
+		return se.engPopW(k)
+	}
+	return 0
+}
+
+// engFillGap mirrors the runner's fillGap: drain a queued W that fits the
+// stall before start, or — under memory pressure that draining can actually
+// cover — before admitting an allocating op.
+func (se *refSession) engFillGap(k int, start float64, nextID int32) int {
+	e := se.eng
+	if e.wqHead[k] >= len(e.wq[k]) {
+		return 0
+	}
+	w := e.wq[k][e.wqHead[k]]
+	wStart := math.Max(e.free[k], w.ready)
+	dur := se.dur[w.id]
+	const eps = 1e-9
+	if wStart+dur <= start+eps {
+		return se.engPopW(k)
+	}
+	if se.hasBudget {
+		var need int64
+		switch se.opsl[nextID].Kind {
+		case sched.F, sched.BAct:
+			need = se.memB[nextID]
+		}
+		if need > 0 && e.live[k]+need > se.budget[k] {
+			if e.live[k]+need-e.drain[k] > se.budget[k] {
+				// Uncoverable overshoot: admit the op and let its
+				// allocation flag the OOM (see runner.fillGap).
+				return 0
+			}
+			return se.engPopW(k)
+		}
+	}
+	return 0
+}
+
+func (se *refSession) engPopW(k int) int {
+	e := se.eng
+	w := e.wq[k][e.wqHead[k]]
+	e.wqHead[k]++
+	if e.wqHead[k] == len(e.wq[k]) {
+		e.wq[k] = e.wq[k][:0]
+		e.wqHead[k] = 0
+	}
+	start := math.Max(e.free[k], w.ready)
+	se.engRunOp(k, w.id, start)
+	return 1
+}
+
+func (se *refSession) engRunOp(k int, id int32, start float64) {
+	e := se.eng
+	dur := se.dur[id]
+	end := start + dur
+	e.free[k] = end
+	e.comp[k] += dur
+	if se.record {
+		se.spanBuf[k] = append(se.spanBuf[k], Span{Op: se.opsl[id], Start: start, End: end})
+	}
+	e.fin[id] = end
+	e.done[id] = e.ep
+	f := se.famID[id]
+	switch se.opsl[id].Kind {
+	case sched.F:
+		se.engAlloc(k, f, se.memB[id])
+	case sched.B:
+		se.engRelease(k, f)
+	case sched.BAct:
+		se.engAlloc(k, f, se.memB[id])
+		se.engEnqueueW(k, id, end)
+	case sched.W:
+		se.touchFam(f)
+		e.drain[k] -= se.famAcc[f]
+		se.engRelease(k, f)
+	case sched.WPiece:
+		se.touchFam(f)
+		se.famCnt[f]++
+		if int(se.famCnt[f]) == se.wPieces {
+			e.drain[k] -= se.famAcc[f]
+			se.engRelease(k, f)
+		}
+	}
+}
+
+// engEnqueueW queues the family's precomputed weight-gradient ops and makes
+// its retained bytes drainable, mirroring the runner's enqueueW.
+func (se *refSession) engEnqueueW(k int, bID int32, ready float64) {
+	e := se.eng
+	f := se.famID[bID]
+	se.touchFam(f)
+	e.drain[k] += se.famAcc[f]
+	for w := se.wOff[bID]; w < se.wOff[bID+1]; w++ {
+		e.wq[k] = append(e.wq[k], refWRef{se.wIDs[w], ready})
+	}
+}
+
+func (se *refSession) engAlloc(k int, f int32, bytes int64) {
+	e := se.eng
+	se.touchFam(f)
+	se.famAcc[f] += bytes
+	e.live[k] += bytes
+	if e.live[k] > e.peak[k] {
+		e.peak[k] = e.live[k]
+	}
+	if se.hasBudget && e.live[k] > se.budget[k] && !e.oom {
+		// Dynamic mode is OOM exactly when draining every queued weight
+		// gradient could not bring the stage back under budget.
+		if e.live[k]-e.drain[k] > se.budget[k] {
+			e.oom = true
+			e.oomAt = k
+		}
+	}
+}
+
+func (se *refSession) engRelease(k int, f int32) {
+	e := se.eng
+	se.touchFam(f)
+	e.live[k] -= se.famAcc[f]
+	se.famAcc[f] = 0
+}
+
+// assembleDynamic writes the Result from the engine's per-stage state in
+// the runner's result() float-operation order.
+func (se *refSession) assembleDynamic() {
+	e := se.eng
+	res := &se.res
+	res.SpansRecorded = se.record
+	res.PeakAct = 0
+	end := 0.0
+	for k := 0; k < se.P; k++ {
+		fin := e.free[k]
+		if se.hasTail {
+			fin += se.tailV[k]
+		}
+		var spans []Span
+		if se.record {
+			spans = se.spanBuf[k]
+		}
+		res.Stages[k] = StageResult{Spans: spans, ComputeTime: e.comp[k], Finish: fin, PeakAct: e.peak[k]}
+		if fin > end {
+			end = fin
+		}
+		if e.peak[k] > res.PeakAct {
+			res.PeakAct = e.peak[k]
+		}
+	}
+	res.IterTime = end
+	busy := 0.0
+	for k := 0; k < se.P; k++ {
+		busy += e.comp[k]
+		if se.hasTail {
+			busy += se.tailV[k]
+		}
+	}
+	res.BubbleRatio = 0
+	if end > 0 {
+		res.BubbleRatio = 1 - busy/(float64(se.P)*end)
+	}
+	res.OOM = e.oom
+	res.OOMStage = e.oomAt
 }

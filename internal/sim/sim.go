@@ -65,6 +65,16 @@ type Options struct {
 	// there, but exporters built on Result would silently go blind), so
 	// Trace wins when both are set.
 	MakespanOnly bool
+
+	// AssumeValid skips the redundant Schedule.Validate at session bind.
+	// It is sound only for schedules that come valid — sched.Generate's
+	// output is valid by construction and the strategy paths additionally
+	// certify before binding. Misuse still fails safe:
+	// malformed tables are rejected while the identity tables build
+	// (wrapping errs.ErrIncompatible) and deadlocking orders surface at
+	// the first evaluation exactly like Run reports them (wrapping
+	// errs.ErrUncertified).
+	AssumeValid bool
 }
 
 // BytesEstimator is optionally implemented by Costs to report the payload
@@ -280,12 +290,12 @@ func (r *runner) stageStart(k int) (float64, bool) {
 	if st.cursor < len(st.order) {
 		rt, ok := r.readyTime(k, st.order[st.cursor])
 		if ok {
-			return math.Max(st.free, rt), true
+			return max(st.free, rt), true
 		}
 		// Next scheduled op blocked: a queued W can still run.
 	}
 	if len(st.wq) > 0 {
-		return math.Max(st.free, st.wq[0].ready), true
+		return max(st.free, st.wq[0].ready), true
 	}
 	return 0, false
 }
@@ -298,7 +308,7 @@ func (r *runner) execute(k int) int {
 		op := st.order[st.cursor]
 		rt, ok := r.readyTime(k, op)
 		if ok {
-			start := math.Max(st.free, rt)
+			start := max(st.free, rt)
 			if r.opt.DynamicW {
 				// Fill the stall before `start` with queued
 				// weight-gradient pieces (§5), and drain under
@@ -382,7 +392,7 @@ func (r *runner) fillGap(k int, start float64, next sched.Op) int {
 		return 0
 	}
 	w := st.wq[0]
-	wStart := math.Max(st.free, w.ready)
+	wStart := max(st.free, w.ready)
 	dur := r.opt.Costs.OpTime(k, w.op)
 	const eps = 1e-9
 	if wStart+dur <= start+eps {
@@ -426,7 +436,7 @@ func (r *runner) popW(k int, cause string) int {
 	st := &r.stages[k]
 	w := st.wq[0]
 	st.wq = st.wq[1:]
-	start := math.Max(st.free, w.ready)
+	start := max(st.free, w.ready)
 	r.runOp(k, w.op, start, cause)
 	return 1
 }

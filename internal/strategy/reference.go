@@ -1,0 +1,139 @@
+package strategy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"mepipe/internal/cluster"
+	"mepipe/internal/config"
+	"mepipe/internal/errs"
+	"mepipe/internal/memplan"
+	"mepipe/internal/perf"
+	"mepipe/internal/sched"
+	"mepipe/internal/sim"
+	"mepipe/internal/verify"
+)
+
+// SearchReference grid-searches one system the way the pre-sweep code path
+// did: a sequential loop that, for every grid point, builds the mesh, the
+// memory plan, and the cost model from scratch (no memoization), generates
+// the schedule with the frozen map-indexed generator
+// (sched.GenerateReference, which runs the original two-pass Validate),
+// certifies it with the frozen map-graph certifier
+// (verify.CertifyReference), and simulates it through the frozen
+// map-bound session (sim.EvaluateReference).
+//
+// It exists for two reasons. First, it is the live benchmark baseline for
+// the sweep engine: mepipe-bench measures Sweep against SearchReference in
+// the same process, so the reported speedup is never contaminated by
+// machine drift between runs. Second, it is an independent equivalence
+// oracle — the frozen implementations share none of the engine's dense
+// index, dependency table, caches, or sessions, so agreement between the
+// two is evidence about the engine, not about shared state.
+//
+// The result is byte-identical to SearchContext (and therefore to the
+// per-system slice of Sweep); the tests pin all three against each other.
+//
+//mepipe:deterministic
+func SearchReference(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace) (*SearchResult, error) {
+	gpus := cl.GPUs()
+	res := &SearchResult{Sys: sys}
+	bestTime := 0.0
+	for _, par := range enumerate(sys, gpus, tr, sp) {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
+		}
+		if sp.Prune && bestTime > 0 {
+			if lb, ok := lowerBound(sys, m, cl, par, tr); ok && lb > bestTime {
+				res.Pruned++
+				continue
+			}
+		}
+		ev, err := referenceEvaluate(ctx, sys, m, cl, par, tr)
+		if err != nil {
+			if errors.Is(err, errs.ErrIncompatible) {
+				continue
+			}
+			return nil, err
+		}
+		res.Evaluated++
+		res.Candidates = append(res.Candidates, ev)
+		if !ev.OOM && (bestTime == 0 || ev.IterTime < bestTime) {
+			bestTime = ev.IterTime
+		}
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		return less(res.Candidates[i], res.Candidates[j])
+	})
+	if len(res.Candidates) == 0 {
+		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs: %w", sys, gpus, errs.ErrIncompatible)
+	}
+	return res, nil
+}
+
+// referenceEvaluate is the cold per-point evaluation through the frozen
+// pre-sweep pipeline: every model object is constructed fresh, and the
+// schedule is generated, validated, certified, and simulated by the
+// original map-based implementations.
+func referenceEvaluate(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, par config.Parallel, tr config.Training) (*Eval, error) {
+	if err := compatible(sys, par); err != nil {
+		return nil, err
+	}
+	mesh, err := cluster.NewMesh(cl, par)
+	if err != nil {
+		return nil, err
+	}
+	n, err := tr.MicroBatches(par)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Eval{Sys: sys, Par: par, N: n}
+	var reserve int64
+	if sys == ZB || sys == ZBV {
+		reserve = memplan.SplitReserve
+	}
+	plan, err := memplan.NewWithReserve(m, mesh, reserve)
+	if err != nil {
+		return nil, err
+	}
+	ev.Budget = minInt64(plan.ActBudget)
+	if !plan.Feasible() {
+		ev.OOM = true
+		ev.OOMWhy = "static memory exceeds device capacity"
+		return ev, nil
+	}
+	costs, err := perf.New(m, mesh)
+	if err != nil {
+		return nil, err
+	}
+	s, dynamicW, f, err := buildScheduleWith(sched.GenerateReference, sys, par, n, costs, plan)
+	if err != nil {
+		ev.OOM = true
+		ev.OOMWhy = err.Error()
+		return ev, nil
+	}
+	if _, err := verify.CertifyReference(s, verify.Options{}); err != nil {
+		return nil, fmt.Errorf("strategy: %s schedule rejected: %w", sys, err)
+	}
+	res, err := sim.EvaluateReference(ctx, sim.Options{
+		Sched: s, Costs: costs,
+		ActBudget: plan.ActBudget,
+		DynamicW:  dynamicW,
+		TailTime:  costs.TailTime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("strategy: simulating %s %v: %w", sys, par, err)
+	}
+	ev.Result = res
+	ev.IterTime = res.IterTime
+	ev.Bubble = res.BubbleRatio
+	ev.PeakAct = res.PeakAct
+	ev.F = f
+	if res.OOM {
+		ev.OOM = true
+		ev.OOMWhy = fmt.Sprintf("activations exceed budget on stage %d", res.OOMStage)
+	}
+	return ev, nil
+}

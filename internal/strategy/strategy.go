@@ -192,6 +192,9 @@ func EvaluateContext(ctx context.Context, sys System, m config.Model, cl cluster
 		DynamicW:  dynamicW,
 		TailTime:  costs.TailTime,
 		Trace:     o.sink,
+		// The schedule was validated by its generator and certified just
+		// above — re-validating at session bind would prove nothing new.
+		AssumeValid: true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("strategy: simulating %s %v: %w", sys, par, err)
@@ -244,21 +247,28 @@ func compatible(sys System, par config.Parallel) error {
 // memory variant from the plan. The returned bool selects the dynamic
 // weight-gradient engine.
 func buildSchedule(sys System, par config.Parallel, n int, costs *perf.Costs, plan *memplan.Plan) (s *sched.Schedule, dynamicW bool, f int, err error) {
+	return buildScheduleWith(sched.Generate, sys, par, n, costs, plan)
+}
+
+// buildScheduleWith is buildSchedule over an explicit generator, so the
+// production path (sched.Generate) and the frozen pre-sweep baseline
+// (sched.GenerateReference) share one system-to-GenOptions mapping.
+func buildScheduleWith(gen func(sched.GenOptions) (*sched.Schedule, error), sys System, par config.Parallel, n int, costs *perf.Costs, plan *memplan.Plan) (s *sched.Schedule, dynamicW bool, f int, err error) {
 	p := par.PP
 	switch sys {
 	case DAPPLE:
-		s, err = sched.DAPPLE(p, n, costs)
+		s, err = gen(sched.DAPPLEOpts(p, n, costs))
 	case GPipe:
-		s, err = sched.GPipe(p, n, costs)
+		s, err = gen(sched.GPipeOpts(p, n, costs))
 	case VPP:
-		s, err = sched.VPP(p, par.VP, n, costs)
+		s, err = gen(sched.VPPOpts(p, par.VP, n, costs))
 	case ZB:
-		s, err = sched.ZB1P(p, n, costs)
+		s, err = gen(sched.ZB1POpts(p, n, costs))
 	case ZBV:
 		costs.WithPlacement(sched.Wave{P: p})
-		s, err = sched.ZBV(p, n, costs)
+		s, err = gen(sched.ZBVOpts(p, n, costs))
 	case TeraPipe:
-		s, err = sched.TeraPipe(p, par.SPP, n, costs)
+		s, err = gen(sched.TeraPipeOpts(p, par.SPP, n, costs))
 	case MEPipe:
 		fam := costs.ActBytes(0, sched.Op{Kind: sched.F})
 		grad := costs.GradBytes(0, sched.Op{Kind: sched.BAct})
@@ -268,12 +278,12 @@ func buildSchedule(sys System, par config.Parallel, n int, costs *perf.Costs, pl
 			// failure, not a shape failure.
 			return nil, false, 0, fmt.Errorf("%v: %w", err, errs.ErrOOM)
 		}
-		s, err = sched.SVPP(sched.SVPPOptions{
+		s, err = gen(sched.SVPPOptions{
 			P: p, V: par.VP, S: par.SPP, N: n, F: f,
 			Reschedule: true, Split: true,
 			FineGrainedW: costs.WPieces(),
 			Est:          costs,
-		})
+		}.GenOpts())
 		dynamicW = true
 	default:
 		err = fmt.Errorf("strategy: unknown system %v: %w", sys, errs.ErrIncompatible)
@@ -406,12 +416,112 @@ func Search(sys System, m config.Model, cl cluster.Cluster, tr config.Training, 
 //
 //mepipe:deterministic
 func SearchContext(ctx context.Context, sys System, m config.Model, cl cluster.Cluster, tr config.Training, sp SearchSpace, opts ...Option) (*SearchResult, error) {
+	gpus := cl.GPUs()
+	cands := enumerate(sys, gpus, tr, sp)
+	res := &SearchResult{Sys: sys}
+	if sp.Prune {
+		// Pruning is inherently sequential (each decision depends on
+		// the best seen so far).
+		bestTime := 0.0
+		for _, par := range cands {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
+			}
+			if bestTime > 0 {
+				if lb, ok := lowerBound(sys, m, cl, par, tr); ok && lb > bestTime {
+					res.Pruned++
+					continue
+				}
+			}
+			ev, err := EvaluateContext(ctx, sys, m, cl, par, tr, opts...)
+			if err != nil {
+				if errors.Is(err, errs.ErrIncompatible) {
+					continue // expected: partition/sequence shape rejection
+				}
+				// Cancellation or a genuine failure (a rejected schedule,
+				// a simulator error) — not a shape mismatch to skip.
+				return nil, err
+			}
+			res.Evaluated++
+			res.Candidates = append(res.Candidates, ev)
+			if !ev.OOM && (bestTime == 0 || ev.IterTime < bestTime) {
+				bestTime = ev.IterTime
+			}
+		}
+	} else {
+		// Candidates are independent: evaluate them across the host's
+		// cores. Failures are classified exactly like the sequential
+		// branch: expected shape rejections (errs.ErrIncompatible) skip
+		// the candidate, anything else — a rejected schedule, a simulator
+		// failure — is a genuine error and the whole search reports the
+		// first one in grid order rather than silently dropping it.
+		evals := make([]*Eval, len(cands))
+		errsAt := make([]error, len(cands))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain remaining indices
+					}
+					ev, err := EvaluateContext(ctx, sys, m, cl, cands[i], tr, opts...)
+					if err != nil {
+						if !errors.Is(err, errs.ErrIncompatible) {
+							errsAt[i] = err
+						}
+						continue
+					}
+					evals[i] = ev
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
+		}
+		for _, err := range errsAt {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, ev := range evals {
+			if ev != nil {
+				res.Evaluated++
+				res.Candidates = append(res.Candidates, ev)
+			}
+		}
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		return less(res.Candidates[i], res.Candidates[j])
+	})
+	if len(res.Candidates) == 0 {
+		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs: %w", sys, gpus, errs.ErrIncompatible)
+	}
+	return res, nil
+}
+
+// enumerate lists every candidate strategy of the system's grid, in the
+// fixed grid order both SearchContext and the sweep engine walk (the order
+// the branch-and-bound prefix gate and its sequential replay are defined
+// over).
+func enumerate(sys System, gpus int, tr config.Training, sp SearchSpace) []config.Parallel {
 	var cands []config.Parallel
 	add := func(par config.Parallel) {
 		if par.Validate() != nil {
 			return
 		}
-		if par.Devices() != cl.GPUs() {
+		if par.Devices() != gpus {
 			return
 		}
 		if par.DP < sp.MinDP {
@@ -422,7 +532,6 @@ func SearchContext(ctx context.Context, sys System, m config.Model, cl cluster.C
 		}
 		cands = append(cands, par)
 	}
-	gpus := cl.GPUs()
 	for _, pp := range sp.PP {
 		if gpus%pp != 0 {
 			continue
@@ -462,82 +571,7 @@ func SearchContext(ctx context.Context, sys System, m config.Model, cl cluster.C
 			}
 		}
 	}
-	res := &SearchResult{Sys: sys}
-	if sp.Prune {
-		// Pruning is inherently sequential (each decision depends on
-		// the best seen so far).
-		bestTime := 0.0
-		for _, par := range cands {
-			if ctx.Err() != nil {
-				return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
-			}
-			if bestTime > 0 {
-				if lb, ok := lowerBound(sys, m, cl, par, tr); ok && lb > bestTime {
-					res.Pruned++
-					continue
-				}
-			}
-			ev, err := EvaluateContext(ctx, sys, m, cl, par, tr, opts...)
-			if err != nil {
-				if errors.Is(err, errs.ErrCancelled) {
-					return nil, err
-				}
-				continue // incompatible partition/sequence shapes
-			}
-			res.Evaluated++
-			res.Candidates = append(res.Candidates, ev)
-			if !ev.OOM && (bestTime == 0 || ev.IterTime < bestTime) {
-				bestTime = ev.IterTime
-			}
-		}
-	} else {
-		// Candidates are independent: evaluate them across the host's
-		// cores.
-		evals := make([]*Eval, len(cands))
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(cands) {
-			workers = len(cands)
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					if ctx.Err() != nil {
-						continue // drain remaining indices
-					}
-					ev, err := EvaluateContext(ctx, sys, m, cl, cands[i], tr, opts...)
-					if err != nil {
-						continue // incompatible shapes
-					}
-					evals[i] = ev
-				}
-			}()
-		}
-		for i := range cands {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("strategy: search for %s %w: %v", sys, errs.ErrCancelled, ctx.Err())
-		}
-		for _, ev := range evals {
-			if ev != nil {
-				res.Evaluated++
-				res.Candidates = append(res.Candidates, ev)
-			}
-		}
-	}
-	sort.SliceStable(res.Candidates, func(i, j int) bool {
-		return less(res.Candidates[i], res.Candidates[j])
-	})
-	if len(res.Candidates) == 0 {
-		return res, fmt.Errorf("strategy: no candidate for %s fits %d GPUs: %w", sys, gpus, errs.ErrIncompatible)
-	}
-	return res, nil
+	return cands
 }
 
 // less is the total candidate order: feasible before OOM, faster before

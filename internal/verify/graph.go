@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"sync"
+
 	"mepipe/internal/sched"
 )
 
@@ -211,17 +213,140 @@ func (g *graph) edgeKind(from, to int) string {
 }
 
 // checkAcyclic proves deadlock-freedom, filling the certificate's graph
-// statistics, or returns the minimal counterexample cycle.
+// statistics, or returns the minimal counterexample cycle. The proof runs
+// on the dense arithmetic op index (no hashing, no per-node allocation);
+// only when a cycle exists — the rare failure path — is the labelled
+// map-based graph rebuilt to extract the same minimal counterexample the
+// original implementation reported.
 func checkAcyclic(s *sched.Schedule, cert *Certificate) error {
+	ok, handled, err := kahnDense(s, cert)
+	if err != nil {
+		return err
+	}
+	if handled && ok {
+		return nil
+	}
 	g, err := buildGraph(s)
 	if err != nil {
 		return err
 	}
-	cert.Nodes = len(g.nodes)
-	cert.Edges, cert.CrossEdges = g.edges()
-	if res := g.residual(); res != nil {
-		nodes, kinds := g.minimalCycle(res)
-		return &CycleError{Schedule: s.String(), Cycle: nodes, Kind: kinds}
+	if !handled {
+		cert.Nodes = len(g.nodes)
+		cert.Edges, cert.CrossEdges = g.edges()
+		if g.residual() == nil {
+			return nil
+		}
 	}
-	return nil
+	res := g.residual()
+	nodes, kinds := g.minimalCycle(res)
+	return &CycleError{Schedule: s.String(), Cycle: nodes, Kind: kinds}
+}
+
+// kahnScratch recycles the dense certification pass's working arrays:
+// sweep workers certify dozens of schedules back to back, and the arrays
+// are shape-sized, so pooling removes certification's entire allocation
+// profile on the hot path.
+type kahnScratch struct {
+	seen  []bool
+	next  []int32
+	indeg []int32
+	queue []int32
+}
+
+var kahnPool = sync.Pool{New: func() any { return new(kahnScratch) }}
+
+// kgrow returns s resized to n elements, reusing capacity when it can.
+// Contents are NOT cleared — callers overwrite every element they read.
+func kgrow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// kahnDense runs Kahn's algorithm over the dense op index, filling the
+// certificate's node/edge statistics. The edge universe is never
+// materialized: in-degrees come from the schedule's cached dependency
+// table row widths, successors are walked through the table's dependents
+// CSR plus a per-stage program-order chain, and the edge statistics are
+// cached on the table itself. It reports ok=false when the graph has a
+// cycle (counterexample extraction is the caller's job) and handled=false
+// on tables the fast path does not model — incomplete op universes or
+// out-of-shape deps, both only reachable with AssumeComplete or
+// hand-built placements — which fall back to the labelled map-based
+// graph.
+func kahnDense(s *sched.Schedule, cert *Certificate) (ok, handled bool, err error) {
+	t := s.DepTable()
+	x := t.Ix
+	total := x.Total()
+	n := 0
+	nonEmpty := 0
+	for k := range s.Stages {
+		if len(s.Stages[k]) > 0 {
+			nonEmpty++
+		}
+		n += len(s.Stages[k])
+	}
+	if n != total || t.Neg > 0 {
+		return false, false, nil
+	}
+	sc := kahnPool.Get().(*kahnScratch)
+	defer kahnPool.Put(sc)
+	sc.seen = kgrow(sc.seen, total)
+	for i := range sc.seen {
+		sc.seen[i] = false
+	}
+	sc.next = kgrow(sc.next, total)
+	sc.indeg = kgrow(sc.indeg, total)
+	// One pass over the stages pins the op universe (every op indexes,
+	// no duplicates — with n == total that makes coverage exact), seeds
+	// in-degrees from the table rows, and chains program order.
+	for k, ops := range s.Stages {
+		prev := int32(-1)
+		for idx, op := range ops {
+			id := x.ID(k, op)
+			if id < 0 || sc.seen[id] {
+				return false, false, nil
+			}
+			sc.seen[id] = true
+			deg := t.Off[id+1] - t.Off[id]
+			if idx > 0 {
+				deg++
+				sc.next[prev] = id
+			}
+			sc.indeg[id] = deg
+			prev = id
+		}
+		if prev >= 0 {
+			sc.next[prev] = -1
+		}
+	}
+	cert.Nodes = total
+	cert.Edges = len(t.ID) + n - nonEmpty
+	cert.CrossEdges = t.Cross
+	sc.queue = sc.queue[:0]
+	for id := 0; id < total; id++ {
+		if sc.indeg[id] == 0 {
+			sc.queue = append(sc.queue, int32(id))
+		}
+	}
+	done := 0
+	dec := func(j int32) {
+		sc.indeg[j]--
+		if sc.indeg[j] == 0 {
+			sc.queue = append(sc.queue, j)
+		}
+	}
+	for len(sc.queue) > 0 {
+		u := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		done++
+		for _, j := range t.OutID[t.OutOff[u]:t.OutOff[u+1]] {
+			dec(j)
+		}
+		if j := sc.next[u]; j >= 0 {
+			dec(j)
+		}
+	}
+	return done == total, true, nil
 }

@@ -192,10 +192,16 @@ func Certify(s *sched.Schedule, opts Options) (*Certificate, error) {
 
 // checkComplete verifies that every op is in range, unique, and that
 // every (micro, slice, chunk) family has all its members: an F, and a B
-// (fused) or BAct plus W/WPieces (split).
+// (fused) or BAct plus W/WPieces (split). Presence is tracked in a dense
+// bitset over the arithmetic op index — no map, no per-family allocation.
 func checkComplete(s *sched.Schedule) error {
+	x := sched.IndexOf(s)
+	base := 0
+	seen := make([]bool, x.PerStage())
 	for k, ops := range s.Stages {
-		seen := make(map[sched.Op]bool, len(ops))
+		for i := range seen {
+			seen[i] = false
+		}
 		for _, op := range ops {
 			if op.Micro < 0 || op.Micro >= s.N || op.Slice < 0 || op.Slice >= s.S ||
 				op.Chunk < 0 || op.Chunk >= s.V || op.Piece < 0 {
@@ -206,25 +212,63 @@ func checkComplete(s *sched.Schedule) error {
 				return &ShapeError{Schedule: s.String(),
 					Detail: fmt.Sprintf("stage %d: op %v %s", k, op, bad)}
 			}
-			if seen[op] {
+			id := int(x.ID(k, op)) - base
+			if seen[id] {
 				return &ShapeError{Schedule: s.String(),
 					Detail: fmt.Sprintf("stage %d: duplicate op %v", k, op)}
 			}
-			seen[op] = true
+			seen[id] = true
 		}
 		for m := 0; m < s.N; m++ {
 			for i := 0; i < s.S; i++ {
 				for j := 0; j < s.V; j++ {
-					for _, op := range familyOps(s, m, i, j) {
-						if !seen[op] {
-							return &IncompleteError{Schedule: s.String(), Stage: k, Missing: op}
-						}
+					if op, ok := missingFamilyOp(s, x, seen, base, k, m, i, j); !ok {
+						return &IncompleteError{Schedule: s.String(), Stage: k, Missing: op}
 					}
 				}
 			}
 		}
+		base += x.PerStage()
 	}
 	return nil
+}
+
+// missingFamilyOp scans one family's members in familyOps order and
+// returns the first absent one (ok=false), if any.
+func missingFamilyOp(s *sched.Schedule, x sched.OpIndex, seen []bool, base, k, m, i, j int) (sched.Op, bool) {
+	probe := func(op sched.Op) bool { return seen[int(x.ID(k, op))-base] }
+	f := sched.Op{Kind: sched.F, Micro: m, Slice: i, Chunk: j}
+	if !probe(f) {
+		return f, false
+	}
+	switch {
+	case !s.SplitBW:
+		b := sched.Op{Kind: sched.B, Micro: m, Slice: i, Chunk: j}
+		if !probe(b) {
+			return b, false
+		}
+	case s.WPieces == 0:
+		b := sched.Op{Kind: sched.BAct, Micro: m, Slice: i, Chunk: j}
+		if !probe(b) {
+			return b, false
+		}
+		w := sched.Op{Kind: sched.W, Micro: m, Slice: i, Chunk: j}
+		if !probe(w) {
+			return w, false
+		}
+	default:
+		b := sched.Op{Kind: sched.BAct, Micro: m, Slice: i, Chunk: j}
+		if !probe(b) {
+			return b, false
+		}
+		for p := 0; p < s.WPieces; p++ {
+			w := sched.Op{Kind: sched.WPiece, Micro: m, Slice: i, Chunk: j, Piece: p}
+			if !probe(w) {
+				return w, false
+			}
+		}
+	}
+	return sched.Op{}, true
 }
 
 // kindMismatch reports why op's kind is inexpressible under the

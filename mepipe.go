@@ -278,6 +278,8 @@ type (
 	Eval         = strategy.Eval
 	SearchResult = strategy.SearchResult
 	SearchSpace  = strategy.SearchSpace
+	SweepResult  = strategy.SweepResult
+	SweepStats   = strategy.SweepStats
 )
 
 // Systems under evaluation.
@@ -326,6 +328,18 @@ func Search(ctx context.Context, sys System, m Model, cl Cluster, tr Training, s
 		fn(&c)
 	}
 	return strategy.SearchContext(ctx, sys, m, cl, tr, sp, strategy.WithSink(c.sink))
+}
+
+// Sweep grid-searches several systems in one streaming pass over a
+// deduplicated work plan: schedules are generated and certified once per
+// distinct shape, planning objects are memoized across grid points, and
+// shape groups run on a parallel branch-and-bound worker pool. The result
+// is byte-identical, per system, to a sequential Search call — including
+// candidate order and the Evaluated/Pruned counters — just cheaper to
+// produce (see docs/PERFORMANCE.md). Tracing options are incompatible with
+// the engine's session reuse; use Evaluate with WithTrace instead.
+func Sweep(ctx context.Context, systems []System, m Model, cl Cluster, tr Training, sp SearchSpace) (*SweepResult, error) {
+	return strategy.Sweep(ctx, systems, m, cl, tr, sp)
 }
 
 // Analytic closed forms (Table 3).
